@@ -1,0 +1,136 @@
+// Fig. 2 — write bandwidth drops as the index grows (paper §III).
+//
+// The paper fills a real 3.84 TB PM983 with fixed-size values (2 MB ->
+// 11 B) and shows normalized write bandwidth collapsing once the
+// (fixed, multi-level hash) index outgrows the SSD DRAM, plus a hard
+// key-count cap (~3.1 B keys). We reproduce the shape on a scaled
+// device: a multi-level-hash KVSSD whose DRAM cache holds only a small
+// slice of the index. Large values => tiny index => flat bandwidth;
+// small values => index >> cache => bandwidth decays with utilization,
+// and the smallest size hits the index key cap before the device fills.
+//
+// Scale: 128 MiB device (paper: 3.84 TB), 256 KiB cache (paper: device
+// DRAM), value sizes 256 KiB / 32 KiB / 2 KiB / 64 B (paper: 2 MB /
+// 32 KB / 2 KB / 11 B).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/keygen.hpp"
+
+using namespace rhik;
+
+namespace {
+
+constexpr std::uint64_t kDeviceBytes = 64ull << 20;
+constexpr std::uint64_t kCacheBytes = 256ull << 10;
+constexpr int kWindows = 10;  // utilization buckets (10% each)
+// Key cap keeps the smallest-value series tractable on the emulator; the
+// per-window normalization is unaffected (windows are deciles of each
+// series' own fill).
+constexpr std::uint64_t kMaxKeys = 60'000;
+
+struct Series {
+  std::uint64_t value_size;
+  std::vector<double> bw_mib;       // per utilization window
+  std::uint64_t keys_stored = 0;
+  bool index_full = false;
+  double fill_fraction = 1.0;
+};
+
+Series run(std::uint64_t value_size) {
+  kvssd::DeviceConfig cfg;
+  cfg.geometry = bench::scaled_geometry(kDeviceBytes);
+  cfg.dram_cache_bytes = kCacheBytes;
+  cfg.index_kind = kvssd::IndexKind::kMlHash;
+  // Fixed provisioning, as in the real device: sized for a mid-range
+  // workload; the smallest-value series overflows it (the §III key cap).
+  cfg.mlhash =
+      index::MlHashConfig::for_keys(40'000, cfg.geometry.page_size, /*levels=*/4);
+  kvssd::KvssdDevice dev(cfg);
+
+  Series s;
+  s.value_size = value_size;
+  const std::uint64_t pair = ftl::FlashKvStore::pair_bytes(16, value_size);
+  // Fill to ~80% of raw capacity (GC headroom + extent/index overhead).
+  const std::uint64_t target_bytes = kDeviceBytes * 80 / 100;
+  const std::uint64_t total_keys = std::min(target_bytes / pair, kMaxKeys);
+  const std::uint64_t window_keys = total_keys / kWindows;
+
+  Bytes value(value_size);
+  std::uint64_t id = 0;
+  for (int w = 0; w < kWindows; ++w) {
+    const SimTime t0 = dev.clock().now();
+    std::uint64_t written = 0;
+    for (std::uint64_t i = 0; i < window_keys; ++i, ++id) {
+      workload::fill_value(id, value);
+      const Status st = dev.put(workload::key_for_id(id, 16), value);
+      if (st == Status::kIndexFull || st == Status::kCollisionAbort) {
+        s.index_full = true;
+        break;
+      }
+      if (st == Status::kDeviceFull) break;
+      written += value_size;
+    }
+    const SimTime dt = dev.clock().now() - t0;
+    s.bw_mib.push_back(mib_per_sec(written, dt));
+    if (s.index_full || written < window_keys * value_size) {
+      s.fill_fraction = (static_cast<double>(w) + 1.0) / kWindows;
+      break;
+    }
+  }
+  s.keys_stored = dev.key_count();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 2 — write bandwidth vs device utilization",
+                 "RHIK paper Fig. 2a-2d (§III motivation)");
+  bench::note("device %llu MiB, FTL cache %llu KiB, multi-level hash index",
+              static_cast<unsigned long long>(kDeviceBytes >> 20),
+              static_cast<unsigned long long>(kCacheBytes >> 10));
+  bench::note("paper: 3.84TB PM983; value sizes 2MB/32KB/2KB/11B; key cap 3.1B");
+
+  // 30 KiB (not 32 KiB) keeps the mid-size pair within one 32 KiB page:
+  // our extent layout starts multi-page pairs on page boundaries, so a
+  // pair just over the page size would waste half its extent.
+  const std::vector<std::uint64_t> sizes{256ull << 10, 30ull << 10, 2ull << 10,
+                                         64};
+  std::vector<Series> all;
+  for (const auto vs : sizes) all.push_back(run(vs));
+
+  std::printf("\nnormalized write bandwidth per 10%% utilization window\n");
+  std::printf("%-10s", "util%");
+  for (const auto& s : all) {
+    std::printf("%12s", bench::size_label(s.value_size).c_str());
+  }
+  std::printf("\n");
+  // Normalize each series to its first window (paper normalizes too).
+  for (int w = 0; w < kWindows; ++w) {
+    std::printf("%-10d", (w + 1) * 10);
+    for (const auto& s : all) {
+      if (w < static_cast<int>(s.bw_mib.size()) && s.bw_mib[0] > 0) {
+        std::printf("%12.3f", s.bw_mib[w] / s.bw_mib[0]);
+      } else {
+        std::printf("%12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  for (const auto& s : all) {
+    std::printf("value %-8s keys stored %9llu  first-window bw %8.1f MiB/s%s\n",
+                bench::size_label(s.value_size).c_str(),
+                static_cast<unsigned long long>(s.keys_stored),
+                s.bw_mib.empty() ? 0.0 : s.bw_mib[0],
+                s.index_full
+                    ? "  << INDEX FULL before device full (paper: 3.1B key cap)"
+                    : "");
+  }
+  bench::note("expected shape: large values flat; smaller values decay as the");
+  bench::note("index outgrows the cache; smallest size hits the index key cap.");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks of RHIK's hot primitives (google-benchmark): key
+// hashing, hopscotch table ops, record-page codec, index and device ops.
+// These report *host* time for the implementation itself, complementing
+// the simulated-clock figure benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ftl/gc.hpp"
+#include "ftl/kv_store.hpp"
+#include "hash/hopscotch.hpp"
+#include "hash/murmur.hpp"
+#include "index/rhik/record_page.hpp"
+#include "index/rhik/rhik_index.hpp"
+#include "kvssd/device.hpp"
+#include "workload/keygen.hpp"
+
+namespace {
+
+using namespace rhik;
+
+void BM_Murmur2_64(benchmark::State& state) {
+  const Bytes key = workload::key_for_id(12345, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::murmur2_64(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur2_64)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Murmur3_128(benchmark::State& state) {
+  const Bytes key = workload::key_for_id(12345, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::murmur3_128(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur3_128)->Arg(16)->Arg(128);
+
+void BM_HopscotchInsertFind(benchmark::State& state) {
+  const auto fill = static_cast<double>(state.range(0)) / 100.0;
+  hash::HopscotchTable table(1927, 32);
+  Rng rng(1);
+  std::vector<std::uint64_t> sigs;
+  while (table.occupancy() < fill) {
+    const std::uint64_t sig = rng.next();
+    if (ok(table.insert(sig, 1))) sigs.push_back(sig);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(sigs[i++ % sigs.size()]));
+  }
+}
+BENCHMARK(BM_HopscotchInsertFind)->Arg(50)->Arg(80);
+
+void BM_RecordPageEncode(benchmark::State& state) {
+  index::RhikConfig cfg;
+  index::RecordPageCodec codec(cfg, 32 * 1024);
+  hash::HopscotchTable table = codec.make_table();
+  Rng rng(2);
+  while (table.occupancy() < 0.8) table.insert(rng.next(), 1);
+  Bytes page(32 * 1024);
+  for (auto _ : state) {
+    codec.encode(table, page);
+    benchmark::DoNotOptimize(page.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32768);
+}
+BENCHMARK(BM_RecordPageEncode);
+
+void BM_RecordPageDecode(benchmark::State& state) {
+  index::RhikConfig cfg;
+  index::RecordPageCodec codec(cfg, 32 * 1024);
+  hash::HopscotchTable table = codec.make_table();
+  Rng rng(3);
+  while (table.occupancy() < 0.8) table.insert(rng.next(), 1);
+  Bytes page(32 * 1024);
+  codec.encode(table, page);
+  hash::HopscotchTable out = codec.make_table();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(page, &out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32768);
+}
+BENCHMARK(BM_RecordPageDecode);
+
+void BM_RhikCachedGet(benchmark::State& state) {
+  SimClock clock;
+  flash::NandDevice nand(flash::Geometry::with_capacity(256ull << 20),
+                         flash::NandLatency::kvemu_defaults(), &clock);
+  ftl::PageAllocator alloc(&nand, 4);
+  index::RhikConfig cfg;
+  cfg.anticipated_keys = 100'000;
+  index::RhikIndex index(&nand, &alloc, cfg, 64ull << 20);
+  Rng rng(4);
+  std::vector<std::uint64_t> sigs;
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint64_t sig = rng.next();
+    if (ok(index.put(sig, i))) sigs.push_back(sig);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.get(sigs[i++ % sigs.size()]));
+  }
+}
+BENCHMARK(BM_RhikCachedGet);
+
+void BM_DevicePutSmall(benchmark::State& state) {
+  kvssd::DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::with_capacity(1ull << 30);
+  kvssd::KvssdDevice dev(cfg);
+  Bytes value(256);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    workload::fill_value(id, value);
+    benchmark::DoNotOptimize(dev.put(workload::key_for_id(id, 16), value));
+    ++id;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_DevicePutSmall);
+
+void BM_ZipfianDraw(benchmark::State& state) {
+  Rng rng(5);
+  Zipfian zipf(1'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianDraw);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Table I: request-size diversity and the implied key counts a 4 TB
+// KVSSD must index (paper §III).
+//
+// Pure analysis over the published distributions — no device needed. The
+// point of the table: real deployments imply key counts (up to hundreds
+// of billions) far beyond the ~3.1 billion cap the authors measured on
+// the PM983, motivating a resizable index.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "workload/size_dist.hpp"
+
+using namespace rhik;
+using workload::SizeDistribution;
+
+namespace {
+
+void print_distribution(const char* name, const SizeDistribution& dist) {
+  std::printf("\n%s\n", name);
+  std::printf("  %-18s %-10s\n", "request size", "weight %");
+  double total = 0;
+  for (const auto& b : dist.buckets()) total += b.weight;
+  for (const auto& b : dist.buckets()) {
+    std::printf("  %8s-%-9s %6.1f%%\n", bench::size_label(b.lo).c_str(),
+                bench::size_label(b.hi).c_str(), 100.0 * b.weight / total);
+  }
+}
+
+void print_projection(const char* name, const SizeDistribution& dist,
+                      std::uint64_t capacity) {
+  const auto fmt = [](double pairs) {
+    char buf[32];
+    if (pairs >= 1e9) {
+      std::snprintf(buf, sizeof(buf), "%.1f B", pairs / 1e9);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f M", pairs / 1e6);
+    }
+    return std::string(buf);
+  };
+  const auto range = dist.pair_count_range(capacity);
+  std::printf("  %-22s mean req %10.1f B  -> %10s pairs (expected)\n", name,
+              dist.mean(), fmt(dist.expected_pairs(capacity)).c_str());
+  std::printf("  %-22s key-count range: %s ... %s pairs\n", "",
+              fmt(range.min_pairs).c_str(), fmt(range.max_pairs).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table I — workload request-size diversity",
+                 "RHIK paper Table I (§III)");
+
+  print_distribution("Baidu Atlas — write requests",
+                     SizeDistribution::atlas_write());
+  print_distribution("Facebook Memcached — ETC",
+                     SizeDistribution::fb_memcached_etc());
+
+  constexpr std::uint64_t k4TB = 4ull << 40;
+  std::printf("\nKey-count projections for a 4 TB KVSSD:\n");
+  print_projection("Baidu Atlas (write)", SizeDistribution::atlas_write(), k4TB);
+  print_projection("FB Memcached ETC", SizeDistribution::fb_memcached_etc(), k4TB);
+  print_projection("RocksDB UDB", SizeDistribution::rocksdb_udb(), k4TB);
+  print_projection("RocksDB ZippyDB", SizeDistribution::rocksdb_zippydb(), k4TB);
+  print_projection("RocksDB UP2X", SizeDistribution::rocksdb_up2x(), k4TB);
+
+  bench::note("paper quotes: Atlas 34M-2.7B keys; ETC 24B-744B keys;");
+  bench::note("RocksDB deployments imply 26B-700B keys on 4TB.");
+  bench::note("PM983 measured cap: ~3.1B keys -> fixed indexes cannot cover");
+  bench::note("these workloads; RHIK's resizing closes the gap.");
+
+  // Empirical sanity: sampled means match the analytic means.
+  Rng rng(1);
+  for (const auto* which : {"atlas", "etc"}) {
+    const SizeDistribution d = which[0] == 'a'
+                                   ? SizeDistribution::atlas_write()
+                                   : SizeDistribution::fb_memcached_etc();
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+    std::printf("\nsampled mean (%s): %.1f B (analytic %.1f B)\n", which,
+                sum / n, d.mean());
+  }
+  return 0;
+}

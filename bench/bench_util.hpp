@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one table or figure from the
+// paper. Absolute numbers come from the emulator's simulated clock and a
+// scaled-down device (documented per bench); the *shape* — who wins, by
+// what factor, where the knees fall — is the reproduction target
+// (EXPERIMENTS.md records paper-vs-measured for each).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "kvssd/device.hpp"
+#include "workload/keygen.hpp"
+
+namespace rhik::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  # ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+/// Paper-style geometry (32 KiB pages) scaled to a small capacity with
+/// proportionally smaller erase blocks, so the scaled device still has
+/// enough blocks (>= ~32) for GC to operate the way it does at full
+/// scale. Keeping the paper's 256 pages/block on a 64 MiB device would
+/// leave 8 monolithic blocks and permanent GC thrash.
+inline flash::Geometry scaled_geometry(std::uint64_t capacity_bytes,
+                                       std::uint32_t pages_per_block = 64) {
+  flash::Geometry g;
+  g.pages_per_block = pages_per_block;
+  const std::uint64_t blocks = capacity_bytes / g.block_bytes();
+  g.num_blocks = blocks == 0 ? 1 : static_cast<std::uint32_t>(blocks);
+  return g;
+}
+
+/// Human-readable byte size ("11B", "4KB", "2MB").
+inline std::string size_label(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluMB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluKB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+/// Loads `n` sequential keys of fixed value size into a device.
+/// Returns false on device-full / index-full.
+inline bool load_keys(kvssd::KvssdDevice& dev, std::uint64_t n,
+                      std::uint32_t value_size, std::uint32_t key_size = 16) {
+  Bytes value(value_size);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    workload::fill_value(id, value);
+    const Status s = dev.put(workload::key_for_id(id, key_size), value);
+    if (!ok(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace rhik::bench

@@ -1,0 +1,86 @@
+#include "api/kvs.hpp"
+
+namespace rhik::api {
+
+KvsResult from_status(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return KvsResult::KVS_SUCCESS;
+    case Status::kNotFound: return KvsResult::KVS_ERR_KEY_NOT_EXIST;
+    case Status::kAlreadyExists: return KvsResult::KVS_ERR_OPTION_INVALID;
+    case Status::kDeviceFull: return KvsResult::KVS_ERR_CONT_FULL;
+    case Status::kIndexFull: return KvsResult::KVS_ERR_CONT_FULL;
+    case Status::kCollisionAbort: return KvsResult::KVS_ERR_UNCORRECTIBLE;
+    case Status::kInvalidArgument: return KvsResult::KVS_ERR_KEY_LENGTH_INVALID;
+    case Status::kCorruption: return KvsResult::KVS_ERR_SYS_IO;
+    case Status::kIoError: return KvsResult::KVS_ERR_SYS_IO;
+    case Status::kBusy: return KvsResult::KVS_ERR_DEV_BUSY;
+    case Status::kUnsupported: return KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED;
+  }
+  return KvsResult::KVS_ERR_SYS_IO;
+}
+
+const char* to_string(KvsResult r) noexcept {
+  switch (r) {
+    case KvsResult::KVS_SUCCESS: return "KVS_SUCCESS";
+    case KvsResult::KVS_ERR_KEY_NOT_EXIST: return "KVS_ERR_KEY_NOT_EXIST";
+    case KvsResult::KVS_ERR_KEY_LENGTH_INVALID: return "KVS_ERR_KEY_LENGTH_INVALID";
+    case KvsResult::KVS_ERR_VALUE_LENGTH_INVALID:
+      return "KVS_ERR_VALUE_LENGTH_INVALID";
+    case KvsResult::KVS_ERR_CONT_FULL: return "KVS_ERR_CONT_FULL";
+    case KvsResult::KVS_ERR_UNCORRECTIBLE: return "KVS_ERR_UNCORRECTIBLE";
+    case KvsResult::KVS_ERR_DEV_BUSY: return "KVS_ERR_DEV_BUSY";
+    case KvsResult::KVS_ERR_SYS_IO: return "KVS_ERR_SYS_IO";
+    case KvsResult::KVS_ERR_OPTION_INVALID: return "KVS_ERR_OPTION_INVALID";
+    case KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED:
+      return "KVS_ERR_ITERATOR_NOT_SUPPORTED";
+  }
+  return "KVS_ERR_UNKNOWN";
+}
+
+KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
+  kvssd::DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes);
+  cfg.dram_cache_bytes = opts.dram_cache_bytes;
+  cfg.prefix_signatures = opts.enable_iterator;
+  if (opts.use_rhik) {
+    cfg.index_kind = kvssd::IndexKind::kRhik;
+    cfg.rhik.anticipated_keys = opts.anticipated_keys;
+    cfg.rhik.incremental_resize = opts.incremental_resize;
+  } else {
+    cfg.index_kind = kvssd::IndexKind::kMlHash;
+    if (opts.anticipated_keys != 0) {
+      cfg.mlhash = index::MlHashConfig::for_keys(opts.anticipated_keys,
+                                                 cfg.geometry.page_size);
+    }
+  }
+  dev_ = std::make_unique<kvssd::KvssdDevice>(cfg);
+}
+
+KvsResult KvsDevice::store(std::string_view key, ByteSpan value) {
+  return from_status(dev_->put(key_span(key), value));
+}
+
+KvsResult KvsDevice::retrieve(std::string_view key, Bytes* value_out) {
+  return from_status(dev_->get(key_span(key), value_out));
+}
+
+KvsResult KvsDevice::remove(std::string_view key) {
+  return from_status(dev_->del(key_span(key)));
+}
+
+KvsResult KvsDevice::exist(std::string_view key) {
+  return from_status(dev_->exist(key_span(key)));
+}
+
+KvsResult KvsDevice::iterate(std::string_view prefix,
+                             std::vector<std::string>* keys_out) {
+  std::vector<Bytes> keys;
+  const Status s = dev_->iterate_prefix(key_span(prefix), &keys);
+  if (!ok(s)) return from_status(s);
+  keys_out->clear();
+  keys_out->reserve(keys.size());
+  for (const auto& k : keys) keys_out->push_back(rhik::to_string(k));
+  return KvsResult::KVS_SUCCESS;
+}
+
+}  // namespace rhik::api

@@ -1,0 +1,69 @@
+// Host-side KV API in the style of the SNIA Key Value Storage API 1.0
+// (paper §II-A): the library applications link against. It wraps the
+// emulated device behind SNIA-flavoured result codes and string keys,
+// which is what the examples/ programs use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvssd/device.hpp"
+
+namespace rhik::api {
+
+/// SNIA-flavoured result codes.
+enum class KvsResult {
+  KVS_SUCCESS = 0,
+  KVS_ERR_KEY_NOT_EXIST,
+  KVS_ERR_KEY_LENGTH_INVALID,
+  KVS_ERR_VALUE_LENGTH_INVALID,
+  KVS_ERR_CONT_FULL,        ///< device out of space
+  KVS_ERR_UNCORRECTIBLE,    ///< index collision abort (§IV-A1)
+  KVS_ERR_DEV_BUSY,         ///< reconfiguration in progress
+  KVS_ERR_SYS_IO,
+  KVS_ERR_OPTION_INVALID,
+  KVS_ERR_ITERATOR_NOT_SUPPORTED,
+};
+
+[[nodiscard]] KvsResult from_status(Status s) noexcept;
+[[nodiscard]] const char* to_string(KvsResult r) noexcept;
+
+/// Simplified device-open options; maps onto kvssd::DeviceConfig.
+struct KvsDeviceOptions {
+  std::uint64_t capacity_bytes = std::uint64_t{4} << 30;  ///< emulated size
+  std::uint64_t dram_cache_bytes = 10ull << 20;
+  bool use_rhik = true;               ///< false: multi-level hash baseline
+  std::uint64_t anticipated_keys = 0; ///< Eq. 2 initial sizing hint
+  bool enable_iterator = false;       ///< §VI prefix-signature iteration
+  bool incremental_resize = false;    ///< §VI real-time scaling
+};
+
+/// An open KVSSD with the SNIA-style verb set.
+class KvsDevice {
+ public:
+  explicit KvsDevice(const KvsDeviceOptions& opts);
+
+  KvsResult store(std::string_view key, ByteSpan value);
+  KvsResult store(std::string_view key, std::string_view value) {
+    return store(key, as_bytes(std::string(value)));
+  }
+  KvsResult retrieve(std::string_view key, Bytes* value_out);
+  KvsResult remove(std::string_view key);
+  KvsResult exist(std::string_view key);
+  /// Enumerates stored keys with the given prefix (needs enable_iterator).
+  KvsResult iterate(std::string_view prefix, std::vector<std::string>* keys_out);
+
+  /// Access to the underlying emulated device for stats/advanced use.
+  [[nodiscard]] kvssd::KvssdDevice& device() noexcept { return *dev_; }
+
+ private:
+  static ByteSpan key_span(std::string_view key) noexcept {
+    return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};
+  }
+  std::unique_ptr<kvssd::KvssdDevice> dev_;
+};
+
+}  // namespace rhik::api

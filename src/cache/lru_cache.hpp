@@ -1,0 +1,152 @@
+// Byte-budgeted LRU cache modelling the scarce SSD-integrated DRAM.
+//
+// The paper's Fig. 5 experiment limits the FTL cache budget to 10 MB and
+// measures the miss ratio of the index under it; both RHIK's record-layer
+// tables and the baseline multi-level hash index share a cache of this
+// shape. Entries carry a dirty bit: evicting a dirty entry invokes the
+// owner's write-back handler (which programs a new flash page).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace rhik::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return hits + misses; }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(n);
+  }
+};
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// Called when a dirty entry leaves the cache (eviction or flush); the
+  /// owner persists it. Clean entries are dropped silently.
+  using WritebackFn = std::function<void(const K&, V&)>;
+
+  /// `budget_bytes` / `entry_charge` bounds the entry count (min 1).
+  LruCache(std::uint64_t budget_bytes, std::uint64_t entry_charge)
+      : capacity_(entry_charge == 0 ? 1 : budget_bytes / entry_charge) {
+    if (capacity_ == 0) capacity_ = 1;
+  }
+
+  void set_writeback(WritebackFn fn) { writeback_ = std::move(fn); }
+
+  /// Lookup; refreshes recency. Counts a hit or miss.
+  V* get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      stats_.misses++;
+      return nullptr;
+    }
+    stats_.hits++;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->value;
+  }
+
+  /// Lookup without stats/recency side effects (introspection).
+  V* peek(const K& key) {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->value;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const { return map_.count(key) != 0; }
+
+  /// Inserts (or replaces) an entry; evicts LRU entries over budget.
+  /// Returns the cached value.
+  V* insert(const K& key, V value, bool dirty = false) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->value = std::move(value);
+      it->second->dirty = it->second->dirty || dirty;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return &it->second->value;
+    }
+    lru_.push_front(Node{key, std::move(value), dirty});
+    map_[key] = lru_.begin();
+    while (map_.size() > capacity_) evict_lru();
+    return &lru_.begin()->value;
+  }
+
+  void mark_dirty(const K& key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) it->second->dirty = true;
+  }
+
+  /// Drops an entry without write-back (caller already persisted or the
+  /// entry is obsolete, e.g. after a resize).
+  void erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  /// Writes back every dirty entry; entries stay cached (now clean).
+  void flush_all() {
+    for (auto& node : lru_) {
+      if (node.dirty) {
+        if (writeback_) writeback_(node.key, node.value);
+        stats_.dirty_writebacks++;
+        node.dirty = false;
+      }
+    }
+  }
+
+  /// Drops everything, writing back dirty entries first.
+  void clear() {
+    flush_all();
+    lru_.clear();
+    map_.clear();
+  }
+
+  /// Changes the entry budget; evicts immediately if shrinking.
+  void set_capacity_entries(std::uint64_t entries) {
+    capacity_ = entries == 0 ? 1 : entries;
+    while (map_.size() > capacity_) evict_lru();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::uint64_t capacity_entries() const noexcept { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    bool dirty = false;
+  };
+
+  void evict_lru() {
+    assert(!lru_.empty());
+    Node& victim = lru_.back();
+    if (victim.dirty) {
+      if (writeback_) writeback_(victim.key, victim.value);
+      stats_.dirty_writebacks++;
+    }
+    stats_.evictions++;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+
+  std::uint64_t capacity_;
+  std::list<Node> lru_;
+  std::unordered_map<K, typename std::list<Node>::iterator> map_;
+  WritebackFn writeback_;
+  CacheStats stats_;
+};
+
+}  // namespace rhik::cache

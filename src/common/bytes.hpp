@@ -1,0 +1,96 @@
+// Byte-buffer helpers: little-endian fixed-width encode/decode.
+//
+// The on-flash structures (record pages, extent headers, page footers) are
+// serialized explicitly rather than memcpy'ing structs, so the layout is
+// well-defined regardless of host padding/endianness.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rhik {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+// Little-endian fixed-width accessors. On little-endian hosts (the only
+// targets we build for; enforced below) these compile to single moves.
+static_assert(std::endian::native == std::endian::little,
+              "on-flash codecs assume a little-endian host");
+
+inline void put_u16(MutByteSpan dst, std::size_t off, std::uint16_t v) noexcept {
+  assert(off + 2 <= dst.size());
+  std::memcpy(dst.data() + off, &v, 2);
+}
+
+inline void put_u32(MutByteSpan dst, std::size_t off, std::uint32_t v) noexcept {
+  assert(off + 4 <= dst.size());
+  std::memcpy(dst.data() + off, &v, 4);
+}
+
+inline void put_u64(MutByteSpan dst, std::size_t off, std::uint64_t v) noexcept {
+  assert(off + 8 <= dst.size());
+  std::memcpy(dst.data() + off, &v, 8);
+}
+
+/// 40-bit (5-byte) little-endian store — the paper's physical page address
+/// width (Eq. 1 uses ppa = 5 B).
+inline void put_u40(MutByteSpan dst, std::size_t off, std::uint64_t v) noexcept {
+  assert(off + 5 <= dst.size());
+  assert(v < (std::uint64_t{1} << 40));
+  for (int i = 0; i < 5; ++i) dst[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(ByteSpan src, std::size_t off) noexcept {
+  assert(off + 2 <= src.size());
+  std::uint16_t v;
+  std::memcpy(&v, src.data() + off, 2);
+  return v;
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(ByteSpan src, std::size_t off) noexcept {
+  assert(off + 4 <= src.size());
+  std::uint32_t v;
+  std::memcpy(&v, src.data() + off, 4);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(ByteSpan src, std::size_t off) noexcept {
+  assert(off + 8 <= src.size());
+  std::uint64_t v;
+  std::memcpy(&v, src.data() + off, 8);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u40(ByteSpan src, std::size_t off) noexcept {
+  assert(off + 5 <= src.size());
+  std::uint64_t v = 0;
+  std::memcpy(&v, src.data() + off, 5);
+  return v;
+}
+
+inline void put_bytes(MutByteSpan dst, std::size_t off, ByteSpan src) noexcept {
+  assert(off + src.size() <= dst.size());
+  if (!src.empty()) std::memcpy(dst.data() + off, src.data(), src.size());
+}
+
+[[nodiscard]] inline ByteSpan as_bytes(const std::string& s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+[[nodiscard]] inline std::string to_string(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Size literals.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace rhik

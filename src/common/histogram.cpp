@@ -1,0 +1,106 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace rhik {
+
+std::size_t Histogram::bucket_for(std::uint64_t v) noexcept {
+  if (v < kExact) return static_cast<std::size_t>(v);
+  // v >= 128: log2(v) in [7, 63]. Each log2 range gets kSub sub-buckets.
+  const unsigned lg = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const std::uint64_t base = std::uint64_t{1} << lg;
+  const std::uint64_t sub = (v - base) / std::max<std::uint64_t>(1, base / kSub);
+  return kExact + (lg - 7) * kSub + static_cast<std::size_t>(std::min<std::uint64_t>(sub, kSub - 1));
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t b) noexcept {
+  if (b < kExact) return b;
+  const std::size_t rel = b - kExact;
+  const unsigned lg = static_cast<unsigned>(rel / kSub) + 7;
+  const std::uint64_t base = std::uint64_t{1} << lg;
+  return base + (rel % kSub) * (base / kSub);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t b) noexcept {
+  if (b < kExact) return b;
+  const std::size_t rel = b - kExact;
+  const unsigned lg = static_cast<unsigned>(rel / kSub) + 7;
+  const std::uint64_t base = std::uint64_t{1} << lg;
+  return base + ((rel % kSub) + 1) * (base / kSub) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  buckets_[bucket_for(value)] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::min() const noexcept { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(std::max(bucket_lo(b), min_));
+      const double hi = static_cast<double>(std::min(bucket_hi(b), max_));
+      const double frac =
+          buckets_[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+double Histogram::cdf(std::uint64_t value) const noexcept {
+  if (count_ == 0) return 0.0;
+  const std::size_t vb = bucket_for(value);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b <= vb && b < kBuckets; ++b) below += buckets_[b];
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+void Histogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count_), mean(), percentile(50),
+                percentile(99), static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace rhik

@@ -1,0 +1,59 @@
+// Log-bucketed histogram for latency and count distributions.
+//
+// Used by the bench harness to report the percentile series the paper
+// plots (e.g. Fig. 5b: percentile of flash accesses per metadata access).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rhik {
+
+/// Histogram over non-negative 64-bit samples with hybrid buckets:
+/// exact buckets for small values (0..127) and log2 sub-buckets above.
+/// Percentile queries interpolate within a bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::uint64_t value) noexcept;
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Value at percentile `p` in [0, 100]. Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  /// Fraction of samples <= value (empirical CDF).
+  [[nodiscard]] double cdf(std::uint64_t value) const noexcept;
+
+  void reset() noexcept;
+
+  /// One-line summary (count/mean/p50/p99/max) for logging.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  // 128 exact buckets + 57 log2 ranges * 8 sub-buckets.
+  static constexpr std::size_t kExact = 128;
+  static constexpr std::size_t kSub = 8;
+  static constexpr std::size_t kBuckets = kExact + (64 - 7) * kSub;
+
+  static std::size_t bucket_for(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_lo(std::size_t b) noexcept;
+  static std::uint64_t bucket_hi(std::size_t b) noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rhik

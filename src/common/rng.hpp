@@ -1,0 +1,119 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Workload generators must be reproducible across runs and platforms, so
+// we ship our own PRNG (splitmix64 / xoshiro256**) instead of relying on
+// implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rhik {
+
+/// splitmix64 — used for seeding and cheap stateless mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality generator for workload draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x52484948 /* "RHIK" */) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // workload generation does not need exact uniformity at 2^-64 scale.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (YCSB-style).
+///
+/// Uses the Gray et al. rejection-free inverse-CDF approximation so draws
+/// are O(1) after O(1) setup (no harmonic-number table).
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta = 0.99) noexcept
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t next(Rng& rng) const noexcept {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  // Exact zeta is O(n); for large n we use the integral approximation,
+  // which is accurate enough for workload skew purposes.
+  static double zeta(std::uint64_t n, double theta) noexcept {
+    if (n <= 1024 * 1024) {
+      double z = 0;
+      for (std::uint64_t i = 1; i <= n; ++i) z += std::pow(1.0 / static_cast<double>(i), theta);
+      return z;
+    }
+    const double z1m = zeta(1024 * 1024, theta);
+    // integral of x^-theta from 2^20 to n
+    const double a = 1.0 - theta;
+    return z1m + (std::pow(static_cast<double>(n), a) - std::pow(1048576.0, a)) / a;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace rhik

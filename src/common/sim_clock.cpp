@@ -1,0 +1,17 @@
+#include "common/sim_clock.hpp"
+
+namespace rhik {
+
+double mib_per_sec(std::uint64_t bytes, SimTime elapsed) noexcept {
+  if (elapsed == 0) return 0.0;
+  const double secs = static_cast<double>(elapsed) / static_cast<double>(kSecond);
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) / secs;
+}
+
+double ops_per_sec(std::uint64_t ops, SimTime elapsed) noexcept {
+  if (elapsed == 0) return 0.0;
+  const double secs = static_cast<double>(elapsed) / static_cast<double>(kSecond);
+  return static_cast<double>(ops) / secs;
+}
+
+}  // namespace rhik

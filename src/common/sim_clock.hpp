@@ -1,0 +1,71 @@
+// Deterministic simulated clock.
+//
+// All latency in the emulator (flash array timing, command processing
+// overhead, resize stalls) is accounted against a SimClock instead of the
+// wall clock. This keeps benches deterministic and lets a 150 GB device
+// fill run in seconds of host time while still reporting device-accurate
+// bandwidth/latency figures.
+#pragma once
+
+#include <cstdint>
+
+namespace rhik {
+
+/// Nanosecond-resolution virtual time.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Monotonic virtual clock advanced explicitly by device components.
+///
+/// The clock distinguishes *elapsed device time* (advance) from *stall
+/// time* (advance_stall) so experiments like Fig. 7 can report how long
+/// the submission queue was held during an index resize.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current virtual time since device power-on.
+  [[nodiscard]] SimTime now() const noexcept { return now_ns_; }
+
+  /// Advance time by `delta` nanoseconds of useful device work.
+  void advance(SimTime delta) noexcept { now_ns_ += delta; }
+
+  /// Advance time by `delta` nanoseconds during which the submission
+  /// queue was halted (e.g. stop-the-world index migration).
+  void advance_stall(SimTime delta) noexcept {
+    now_ns_ += delta;
+    stall_ns_ += delta;
+  }
+
+  /// Total time spent with the queue halted.
+  [[nodiscard]] SimTime total_stall() const noexcept { return stall_ns_; }
+
+  /// Reclassifies a window of already-advanced time as stall time:
+  /// components that do their work through normal advance() calls (e.g.
+  /// the flash ops of an index migration) bracket it with begin/end.
+  [[nodiscard]] SimTime stall_window_begin() const noexcept { return now_ns_; }
+  void stall_window_end(SimTime begin) noexcept {
+    stall_ns_ += now_ns_ - begin;
+  }
+
+  void reset() noexcept {
+    now_ns_ = 0;
+    stall_ns_ = 0;
+  }
+
+ private:
+  SimTime now_ns_ = 0;
+  SimTime stall_ns_ = 0;
+};
+
+/// Converts a byte count and a duration into MiB/s; returns 0 for zero time.
+double mib_per_sec(std::uint64_t bytes, SimTime elapsed) noexcept;
+
+/// Converts an operation count and a duration into ops/s; 0 for zero time.
+double ops_per_sec(std::uint64_t ops, SimTime elapsed) noexcept;
+
+}  // namespace rhik

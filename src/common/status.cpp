@@ -1,0 +1,22 @@
+#include "common/status.hpp"
+
+namespace rhik {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::kDeviceFull: return "DEVICE_FULL";
+    case Status::kIndexFull: return "INDEX_FULL";
+    case Status::kCollisionAbort: return "COLLISION_ABORT";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kCorruption: return "CORRUPTION";
+    case Status::kIoError: return "IO_ERROR";
+    case Status::kBusy: return "BUSY";
+    case Status::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rhik

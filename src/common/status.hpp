@@ -1,0 +1,80 @@
+// Status and Result types used across the RHIK codebase.
+//
+// The emulator models a storage device: most operations can fail for
+// device-level reasons (device full, key not found, uncorrectable index
+// collision, ...). We follow the C++ Core Guidelines advice of making
+// errors explicit in signatures rather than throwing across module
+// boundaries on expected conditions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace rhik {
+
+/// Device-level status codes, loosely mirroring the SNIA KV API result
+/// codes the paper's host stack uses.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound,            ///< key does not exist
+  kAlreadyExists,       ///< insert of a key that is present (when disallowed)
+  kDeviceFull,          ///< no free flash capacity left
+  kIndexFull,           ///< index cannot accept more records (pre-resize)
+  kCollisionAbort,      ///< hopscotch displacement failed (paper §IV-A1)
+  kInvalidArgument,     ///< malformed key/value/config
+  kCorruption,          ///< on-flash structure failed validation
+  kIoError,             ///< flash-level failure (bad block, rule violation)
+  kBusy,                ///< device is resizing / migrating and queueing halted
+  kUnsupported,         ///< operation not supported by this configuration
+};
+
+/// Human-readable name for a status code (stable, for logs and tests).
+std::string_view to_string(Status s) noexcept;
+
+constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+/// Minimal expected-like carrier: either a value or a non-kOk Status.
+/// (std::expected is C++23; this is the subset we need.)
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), status_(Status::kOk) {}  // NOLINT
+  Result(Status s) : status_(s) { assert(s != Status::kOk); }          // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept { return status_ == Status::kOk; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace rhik

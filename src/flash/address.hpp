@@ -1,0 +1,35 @@
+// Physical page addressing.
+//
+// A Ppa is a flat page index: block * pages_per_block + page. The on-flash
+// encoding is 5 bytes (Eq. 1: ppa = 5 B), giving 2^40 addressable pages —
+// vastly more than any geometry we emulate.
+#pragma once
+
+#include <cstdint>
+
+#include "flash/geometry.hpp"
+
+namespace rhik::flash {
+
+using Ppa = std::uint64_t;
+
+/// Sentinel for "no page". Encodable in 5 bytes (all-ones).
+constexpr Ppa kInvalidPpa = (std::uint64_t{1} << 40) - 1;
+
+constexpr Ppa make_ppa(const Geometry& g, std::uint32_t block, std::uint32_t page) noexcept {
+  return std::uint64_t{block} * g.pages_per_block + page;
+}
+
+constexpr std::uint32_t ppa_block(const Geometry& g, Ppa ppa) noexcept {
+  return static_cast<std::uint32_t>(ppa / g.pages_per_block);
+}
+
+constexpr std::uint32_t ppa_page(const Geometry& g, Ppa ppa) noexcept {
+  return static_cast<std::uint32_t>(ppa % g.pages_per_block);
+}
+
+constexpr bool ppa_in_range(const Geometry& g, Ppa ppa) noexcept {
+  return ppa < g.pages_total();
+}
+
+}  // namespace rhik::flash

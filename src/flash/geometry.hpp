@@ -1,0 +1,51 @@
+// NAND flash geometry.
+//
+// The paper's emulator is configured with "erase blocks consisting of 256
+// flash pages of size 32KB each" (§V-A); each page carries a small spare
+// area, "usually 1/32th of the main page" (§I fn. 1). All sizes here are
+// configurable so tests can use tiny geometries.
+#pragma once
+
+#include <cstdint>
+
+namespace rhik::flash {
+
+struct Geometry {
+  std::uint32_t page_size = 32 * 1024;   ///< main (data) area bytes per page
+  std::uint32_t pages_per_block = 256;   ///< pages per erase block
+  std::uint32_t num_blocks = 1024;       ///< erase blocks in the device
+  std::uint32_t spare_divisor = 32;      ///< spare bytes = page_size / divisor
+
+  [[nodiscard]] constexpr std::uint32_t spare_size() const noexcept {
+    return page_size / spare_divisor;
+  }
+  [[nodiscard]] constexpr std::uint64_t pages_total() const noexcept {
+    return std::uint64_t{num_blocks} * pages_per_block;
+  }
+  [[nodiscard]] constexpr std::uint64_t capacity_bytes() const noexcept {
+    return pages_total() * page_size;
+  }
+  [[nodiscard]] constexpr std::uint64_t block_bytes() const noexcept {
+    return std::uint64_t{pages_per_block} * page_size;
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return page_size > 0 && pages_per_block > 0 && num_blocks > 0 &&
+           spare_divisor > 0 && page_size % spare_divisor == 0;
+  }
+
+  /// Paper-default geometry scaled to a given capacity.
+  static constexpr Geometry with_capacity(std::uint64_t bytes) noexcept {
+    Geometry g;
+    const std::uint64_t blocks = bytes / g.block_bytes();
+    g.num_blocks = blocks == 0 ? 1 : static_cast<std::uint32_t>(blocks);
+    return g;
+  }
+
+  /// Small geometry for unit tests (4 KiB pages, 16 pages/block).
+  static constexpr Geometry tiny(std::uint32_t blocks = 64) noexcept {
+    return Geometry{4096, 16, blocks, 32};
+  }
+};
+
+}  // namespace rhik::flash

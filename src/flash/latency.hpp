@@ -1,0 +1,39 @@
+// NAND operation latency model.
+//
+// The emulator charges every flash array operation against the SimClock.
+// Two presets: `nand_defaults()` uses datasheet-like TLC NAND timings, and
+// `kvemu_defaults()` mirrors the paper's DRAM-backed OpenMPDK emulator,
+// where array ops are cheap and command-level IOPS modelling dominates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+
+namespace rhik::flash {
+
+struct NandLatency {
+  SimTime read_ns = 60 * kMicrosecond;      ///< tR: array -> page register
+  SimTime program_ns = 600 * kMicrosecond;  ///< tPROG
+  SimTime erase_ns = 3 * kMillisecond;      ///< tBERS
+  /// Channel transfer cost per byte (page register <-> controller).
+  SimTime transfer_ns_per_byte = 1;         ///< ~1 GB/s channel
+
+  [[nodiscard]] SimTime read_cost(std::uint32_t bytes) const noexcept {
+    return read_ns + transfer_ns_per_byte * bytes;
+  }
+  [[nodiscard]] SimTime program_cost(std::uint32_t bytes) const noexcept {
+    return program_ns + transfer_ns_per_byte * bytes;
+  }
+  [[nodiscard]] SimTime erase_cost() const noexcept { return erase_ns; }
+
+  static constexpr NandLatency nand_defaults() noexcept { return {}; }
+
+  /// DRAM-backed emulator timings (OpenMPDK KVEMU runs in host memory;
+  /// the IOPS model at the command layer provides the throughput shape).
+  static constexpr NandLatency kvemu_defaults() noexcept {
+    return {2 * kMicrosecond, 4 * kMicrosecond, 20 * kMicrosecond, 0};
+  }
+};
+
+}  // namespace rhik::flash

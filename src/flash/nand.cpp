@@ -1,0 +1,83 @@
+#include "flash/nand.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace rhik::flash {
+
+NandDevice::NandDevice(Geometry geometry, NandLatency latency, SimClock* clock)
+    : geometry_(geometry), latency_(latency), clock_(clock), blocks_(geometry.num_blocks) {
+  assert(geometry_.valid());
+  assert(clock_ != nullptr);
+}
+
+Status NandDevice::read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_out) {
+  if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;
+  if (data_out.size() > geometry_.page_size || spare_out.size() > geometry_.spare_size()) {
+    return Status::kInvalidArgument;
+  }
+  const std::uint32_t blk = ppa_block(geometry_, ppa);
+  const std::uint32_t pg = ppa_page(geometry_, ppa);
+  const Block& b = blocks_[blk];
+  if (pg >= b.write_point || !b.store) return Status::kIoError;  // unwritten page
+
+  const std::uint8_t* src = page_ptr(b, pg);
+  if (!data_out.empty()) std::memcpy(data_out.data(), src, data_out.size());
+  if (!spare_out.empty()) {
+    std::memcpy(spare_out.data(), src + geometry_.page_size, spare_out.size());
+  }
+
+  stats_.page_reads++;
+  stats_.bytes_read += data_out.size() + spare_out.size();
+  clock_->advance(latency_.read_cost(
+      static_cast<std::uint32_t>(data_out.size() + spare_out.size())));
+  return Status::kOk;
+}
+
+Status NandDevice::program_page(Ppa ppa, ByteSpan data, ByteSpan spare) {
+  if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;
+  if (data.size() > geometry_.page_size || spare.size() > geometry_.spare_size()) {
+    return Status::kInvalidArgument;
+  }
+  const std::uint32_t blk = ppa_block(geometry_, ppa);
+  const std::uint32_t pg = ppa_page(geometry_, ppa);
+  Block& b = blocks_[blk];
+  // NAND discipline: in-order programming of erased pages only.
+  if (pg != b.write_point) return Status::kIoError;
+
+  if (!b.store) {
+    const std::size_t bytes = page_stride() * geometry_.pages_per_block;
+    b.store = std::make_unique<std::uint8_t[]>(bytes);
+    std::memset(b.store.get(), 0xFF, bytes);  // erased state
+  }
+  std::uint8_t* dst = page_ptr(b, pg);
+  if (!data.empty()) std::memcpy(dst, data.data(), data.size());
+  if (!spare.empty()) std::memcpy(dst + geometry_.page_size, spare.data(), spare.size());
+  b.write_point = pg + 1;
+
+  stats_.page_programs++;
+  stats_.bytes_programmed += data.size() + spare.size();
+  clock_->advance(latency_.program_cost(
+      static_cast<std::uint32_t>(data.size() + spare.size())));
+  return Status::kOk;
+}
+
+Status NandDevice::erase_block(std::uint32_t block) {
+  if (block >= geometry_.num_blocks) return Status::kInvalidArgument;
+  Block& b = blocks_[block];
+  b.store.reset();
+  b.write_point = 0;
+  b.erase_count++;
+
+  stats_.block_erases++;
+  clock_->advance(latency_.erase_cost());
+  return Status::kOk;
+}
+
+bool NandDevice::is_programmed(Ppa ppa) const {
+  if (!ppa_in_range(geometry_, ppa)) return false;
+  const Block& b = blocks_[ppa_block(geometry_, ppa)];
+  return ppa_page(geometry_, ppa) < b.write_point;
+}
+
+}  // namespace rhik::flash

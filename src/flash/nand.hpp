@@ -1,0 +1,105 @@
+// NAND flash array model.
+//
+// Models the SSD hardware primitives the paper's extended KV emulator
+// imitates (§IV-C): erase blocks of program-once pages with a main data
+// area and a spare (out-of-band) area, erase-before-program discipline,
+// in-order page programming within a block, and per-operation latency
+// charged to a simulated clock. Page storage is allocated lazily on first
+// program and released on erase, so host memory tracks *live* emulated
+// data, not raw device capacity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "flash/address.hpp"
+#include "flash/geometry.hpp"
+#include "flash/latency.hpp"
+
+namespace rhik::flash {
+
+struct NandStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t block_erases = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_programmed = 0;
+};
+
+class NandDevice {
+ public:
+  NandDevice(Geometry geometry, NandLatency latency, SimClock* clock);
+
+  NandDevice(const NandDevice&) = delete;
+  NandDevice& operator=(const NandDevice&) = delete;
+
+  /// Reads the main area (and optionally the spare area) of a page.
+  /// Output spans may be shorter than the areas; reads are prefix reads.
+  /// Reading an unwritten page returns kIoError.
+  Status read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_out = {});
+
+  /// Programs a page. Enforces NAND discipline:
+  ///  - the page must be in the erased state (program-once),
+  ///  - pages within a block must be programmed in order.
+  /// Inputs may be shorter than the areas; the rest stays 0xFF.
+  Status program_page(Ppa ppa, ByteSpan data, ByteSpan spare = {});
+
+  /// Erases a whole block, releasing its page storage.
+  Status erase_block(std::uint32_t block);
+
+  /// True if the page has been programmed since its block's last erase.
+  [[nodiscard]] bool is_programmed(Ppa ppa) const;
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+  [[nodiscard]] const NandLatency& latency() const noexcept { return latency_; }
+  [[nodiscard]] const NandStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] SimClock& clock() noexcept { return *clock_; }
+
+  /// Per-block erase counts (wear), for endurance-oriented tests/benches.
+  [[nodiscard]] std::uint32_t erase_count(std::uint32_t block) const {
+    return blocks_[block].erase_count;
+  }
+
+  /// Pages programmed in `block` since its last erase (recovery scans).
+  [[nodiscard]] std::uint32_t pages_programmed(std::uint32_t block) const {
+    return blocks_[block].write_point;
+  }
+
+  /// Re-points the latency clock; used when a recovered device adopts a
+  /// NAND array from a previous instance.
+  void rebind_clock(SimClock* clock) noexcept { clock_ = clock; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Block {
+    /// Pages programmed so far since last erase (pages must be written
+    /// in order, so this doubles as the programmed-page count).
+    std::uint32_t write_point = 0;
+    std::uint32_t erase_count = 0;
+    /// Lazily allocated page storage: [page][data..spare] contiguous.
+    std::unique_ptr<std::uint8_t[]> store;
+  };
+
+  [[nodiscard]] std::size_t page_stride() const noexcept {
+    return geometry_.page_size + geometry_.spare_size();
+  }
+  std::uint8_t* page_ptr(Block& b, std::uint32_t page) noexcept {
+    return b.store.get() + std::size_t{page} * page_stride();
+  }
+  const std::uint8_t* page_ptr(const Block& b, std::uint32_t page) const noexcept {
+    return b.store.get() + std::size_t{page} * page_stride();
+  }
+
+  Geometry geometry_;
+  NandLatency latency_;
+  SimClock* clock_;
+  std::vector<Block> blocks_;
+  NandStats stats_;
+};
+
+}  // namespace rhik::flash

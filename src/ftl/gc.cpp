@@ -1,0 +1,124 @@
+#include "ftl/gc.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace rhik::ftl {
+
+using flash::Ppa;
+
+GarbageCollector::GarbageCollector(flash::NandDevice* nand, PageAllocator* alloc,
+                                   FlashKvStore* store, GcIndexHooks* hooks)
+    : nand_(nand), alloc_(alloc), store_(store), hooks_(hooks) {
+  assert(nand_ && alloc_ && store_ && hooks_);
+}
+
+Status GarbageCollector::collect(std::uint32_t target_free) {
+  while (alloc_->free_blocks() < target_free) {
+    const std::uint32_t before = alloc_->free_blocks();
+    if (Status s = collect_one(); !ok(s)) return s;
+    if (alloc_->free_blocks() <= before) {
+      // The victim was (almost) fully live: relocation consumed as much
+      // as the erase freed. No net progress is possible — the device is
+      // genuinely out of reclaimable space.
+      return Status::kDeviceFull;
+    }
+  }
+  return Status::kOk;
+}
+
+Status GarbageCollector::collect_one() {
+  const auto victim = alloc_->pick_victim();
+  if (!victim) return Status::kDeviceFull;
+  stats_.runs++;
+  // The store's open write buffer may target the victim block's final
+  // page (a block seals the moment its last page is handed out, possibly
+  // before that page is programmed). Persist it so the scan sees it and
+  // its pairs can be relocated before the erase.
+  if (const auto open = store_->open_page();
+      open && flash::ppa_block(nand_->geometry(), *open) == *victim) {
+    if (Status s = store_->flush(); !ok(s)) return s;
+  }
+  if (Status s = relocate_block(*victim); !ok(s)) return s;
+  if (Status s = alloc_->reclaim_block(*victim); !ok(s)) return s;
+  stats_.blocks_reclaimed++;
+  return Status::kOk;
+}
+
+Status GarbageCollector::relocate_block(std::uint32_t block) {
+  const auto& g = nand_->geometry();
+  const std::uint32_t used = alloc_->pages_used(block);
+  Bytes spare(g.spare_size());
+
+  for (std::uint32_t pg = 0; pg < used; ++pg) {
+    const Ppa ppa = flash::make_ppa(g, block, pg);
+    if (!nand_->is_programmed(ppa)) continue;  // abandoned extent tail
+    if (Status s = nand_->read_page(ppa, {}, spare); !ok(s)) return s;
+    const SpareTag tag = SpareTag::decode(spare);
+    switch (tag.kind) {
+      case PageKind::kDataHead:
+        if (Status s = relocate_data_head(ppa); !ok(s)) return s;
+        break;
+      case PageKind::kDataCont:
+        break;  // moved with its head page
+      case PageKind::kIndexRecord:
+      case PageKind::kIndexDir:
+        if (hooks_->gc_is_live_index_page(ppa)) {
+          if (Status s = hooks_->gc_relocate_index_page(ppa); !ok(s)) return s;
+          stats_.index_pages_relocated++;
+        }
+        break;
+      case PageKind::kFree:
+        break;
+    }
+  }
+  return Status::kOk;
+}
+
+Status GarbageCollector::relocate_data_head(Ppa ppa) {
+  const auto& g = nand_->geometry();
+  Bytes page(g.page_size);
+  if (Status s = nand_->read_page(ppa, page); !ok(s)) return s;
+  const auto pairs = parse_head_page(page, g.page_size);
+  if (!pairs) return Status::kCorruption;
+
+  // A page can hold several versions of the same signature (in-page
+  // update); only the newest can be live, so deduplicate keeping order.
+  std::unordered_set<std::uint64_t> seen;
+  for (auto it = pairs->rbegin(); it != pairs->rend(); ++it) {
+    if (!seen.insert(it->header.sig).second) continue;  // older duplicate
+    const auto mapped = hooks_->gc_lookup(it->header.sig);
+
+    if (it->header.tombstone) {
+      // A deletion record stays durable until a newer version of the
+      // signature exists; only then is it obsolete and droppable.
+      if (mapped) continue;
+      const std::size_t key_off = it->offset + PairHeader::kSize;
+      auto new_ppa = store_->write_tombstone(
+          it->header.sig,
+          ByteSpan{page.data() + key_off, it->header.key_len},
+          /*for_gc=*/true);
+      if (!new_ppa) return new_ppa.status();
+      stats_.pairs_relocated++;
+      stats_.bytes_relocated += it->header.pair_bytes();
+      continue;
+    }
+
+    if (!mapped || *mapped != ppa) continue;  // stale pair
+
+    Bytes key, value;
+    if (Status s = store_->read_pair(ppa, it->header.sig, &key, &value); !ok(s)) {
+      return s;
+    }
+    auto new_ppa = store_->write_pair(it->header.sig, key, value, /*for_gc=*/true);
+    if (!new_ppa) return new_ppa.status();
+    if (Status s = hooks_->gc_update_location(it->header.sig, *new_ppa); !ok(s)) {
+      return s;
+    }
+    stats_.pairs_relocated++;
+    stats_.bytes_relocated += it->header.pair_bytes();
+  }
+  return Status::kOk;
+}
+
+}  // namespace rhik::ftl

@@ -1,0 +1,77 @@
+// Garbage collector (paper §IV-B).
+//
+// Victim blocks are chosen greedily by least live bytes. For KV-zone
+// blocks the collector scans each head page's key-signature information
+// area and validates every pair against the global index: a pair is live
+// iff the index still maps its signature to this extent's starting PPA.
+// Live pairs are relocated through the normal log write path and the
+// index is updated. Index-zone blocks (record pages made stale by a
+// resize, old directory checkpoints) are validated and relocated through
+// the owning index's hooks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.hpp"
+#include "flash/nand.hpp"
+#include "ftl/kv_store.hpp"
+#include "ftl/layout.hpp"
+#include "ftl/page_allocator.hpp"
+
+namespace rhik::ftl {
+
+/// Callbacks the index scheme provides so GC can validate and relocate.
+class GcIndexHooks {
+ public:
+  virtual ~GcIndexHooks() = default;
+
+  /// Current starting PPA for a key signature, or nullopt if unmapped.
+  virtual std::optional<flash::Ppa> gc_lookup(std::uint64_t sig) = 0;
+
+  /// Point the signature's record at the pair's new location.
+  virtual Status gc_update_location(std::uint64_t sig, flash::Ppa new_ppa) = 0;
+
+  /// Liveness of an index-zone page (record table / directory checkpoint).
+  virtual bool gc_is_live_index_page(flash::Ppa ppa) const = 0;
+
+  /// Rewrite a live index-zone page elsewhere and update internal
+  /// pointers. The old page is considered stale afterwards.
+  virtual Status gc_relocate_index_page(flash::Ppa ppa) = 0;
+};
+
+struct GcStats {
+  std::uint64_t blocks_reclaimed = 0;
+  std::uint64_t pairs_relocated = 0;
+  std::uint64_t index_pages_relocated = 0;
+  std::uint64_t bytes_relocated = 0;  ///< write amplification source
+  std::uint64_t runs = 0;
+};
+
+class GarbageCollector {
+ public:
+  GarbageCollector(flash::NandDevice* nand, PageAllocator* alloc,
+                   FlashKvStore* store, GcIndexHooks* hooks);
+
+  /// Reclaims blocks until at least `target_free` blocks are free (or no
+  /// further progress is possible). Returns kDeviceFull when nothing
+  /// reclaimable remains below the target.
+  Status collect(std::uint32_t target_free);
+
+  /// Reclaims exactly one victim block. kDeviceFull if no victim exists.
+  Status collect_one();
+
+  [[nodiscard]] const GcStats& stats() const noexcept { return stats_; }
+
+ private:
+  Status relocate_block(std::uint32_t block);
+  Status relocate_data_head(flash::Ppa ppa);
+
+  flash::NandDevice* nand_;
+  PageAllocator* alloc_;
+  FlashKvStore* store_;
+  GcIndexHooks* hooks_;
+  GcStats stats_;
+};
+
+}  // namespace rhik::ftl

@@ -1,0 +1,218 @@
+#include "ftl/kv_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace rhik::ftl {
+
+using flash::Ppa;
+
+FlashKvStore::FlashKvStore(flash::NandDevice* nand, PageAllocator* alloc)
+    : nand_(nand),
+      alloc_(alloc),
+      builder_(nand->geometry().page_size),
+      page_buf_(nand->geometry().page_size),
+      spare_buf_(nand->geometry().spare_size()) {
+  assert(nand_ != nullptr && alloc_ != nullptr);
+}
+
+std::uint64_t FlashKvStore::max_value_size(std::size_t key_len) const noexcept {
+  const auto& g = nand_->geometry();
+  const std::uint64_t head_cap = g.page_size - PageFooter::size_for(1);
+  const std::uint64_t extent_cap =
+      head_cap + std::uint64_t{g.pages_per_block - 1} * g.page_size;
+  const std::uint64_t overhead = PairHeader::kSize + key_len;
+  return overhead >= extent_cap ? 0 : extent_cap - overhead;
+}
+
+Status FlashKvStore::program_open_page() {
+  assert(open_ppa_.has_value());
+  Bytes spare(nand_->geometry().spare_size(), 0xFF);
+  SpareTag{PageKind::kDataHead, Stream::kData}.encode(spare);
+  DataPageSpare{next_seq_++}.encode(spare);
+  const Status s = nand_->program_page(*open_ppa_, builder_.finalize(), spare);
+  open_ppa_.reset();
+  builder_.reset();
+  return s;
+}
+
+Status FlashKvStore::flush() {
+  if (!open_ppa_) return Status::kOk;
+  return program_open_page();
+}
+
+Result<Ppa> FlashKvStore::write_pair(std::uint64_t sig, ByteSpan key, ByteSpan value,
+                                     bool for_gc) {
+  return write_internal(sig, key, value, /*tombstone=*/false, for_gc);
+}
+
+Result<Ppa> FlashKvStore::write_tombstone(std::uint64_t sig, ByteSpan key,
+                                          bool for_gc) {
+  auto ppa = write_internal(sig, key, {}, /*tombstone=*/true, for_gc);
+  if (ppa) stats_.tombstones_written++;
+  return ppa;
+}
+
+Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
+                                         ByteSpan value, bool tombstone,
+                                         bool for_gc) {
+  const auto& g = nand_->geometry();
+  if (key.empty() || key.size() > UINT16_MAX) return Status::kInvalidArgument;
+  if (value.size() > max_value_size(key.size())) return Status::kInvalidArgument;
+  // The key (plus header) must fit the head page for extent layout.
+  if (PairHeader::kSize + key.size() + PageFooter::size_for(1) > g.page_size) {
+    return Status::kInvalidArgument;
+  }
+
+  const PairHeader hdr{sig, static_cast<std::uint16_t>(key.size()),
+                       static_cast<std::uint32_t>(value.size()), tombstone};
+  const std::uint64_t total = hdr.pair_bytes();
+
+  if (DataPageBuilder::fits_in_empty_page(g.page_size, total)) {
+    // Small pair: pack into the open head page.
+    if (open_ppa_ && !builder_.fits(total)) {
+      if (Status s = program_open_page(); !ok(s)) return s;
+    }
+    if (!open_ppa_) {
+      auto ppa = alloc_->allocate(Stream::kData, for_gc);
+      if (!ppa) return ppa.status();
+      open_ppa_ = *ppa;
+      open_for_gc_ = for_gc;
+      builder_.reset();
+    }
+    builder_.append(hdr, key, value);
+    alloc_->add_live(*open_ppa_, total);
+    stats_.pairs_written++;
+    if (for_gc) stats_.gc_pairs_written++;
+    return *open_ppa_;
+  }
+
+  // Large pair: its own extent of physically contiguous pages.
+  // Flush the open page first so in-block programming stays in order.
+  if (Status s = flush(); !ok(s)) return s;
+
+  const std::uint32_t npages = extent_pages(g, total);
+  auto base = alloc_->allocate_extent(Stream::kData, npages, for_gc);
+  if (!base) return base.status();
+
+  const std::size_t head_cap = g.page_size - PageFooter::size_for(1);
+  const std::size_t prefix_len = head_cap - PairHeader::kSize - key.size();
+  DataPageBuilder head(g.page_size);
+  head.begin_extent(hdr, key, value.subspan(0, prefix_len));
+
+  Bytes spare(g.spare_size(), 0xFF);
+  SpareTag{PageKind::kDataHead, Stream::kData}.encode(spare);
+  DataPageSpare{next_seq_++}.encode(spare);
+  if (Status s = nand_->program_page(*base, head.finalize(), spare); !ok(s)) return s;
+  std::fill(spare.begin(), spare.end(), 0xFF);
+
+  SpareTag{PageKind::kDataCont, Stream::kData}.encode(spare);
+  std::size_t off = prefix_len;
+  for (std::uint32_t p = 1; p < npages; ++p) {
+    const std::size_t chunk = std::min<std::size_t>(g.page_size, value.size() - off);
+    if (Status s = nand_->program_page(*base + p, value.subspan(off, chunk), spare);
+        !ok(s)) {
+      return s;
+    }
+    off += chunk;
+  }
+  assert(off == value.size());
+
+  alloc_->add_live(*base, total);
+  stats_.pairs_written++;
+  stats_.extents_written++;
+  if (for_gc) stats_.gc_pairs_written++;
+  return *base;
+}
+
+Status FlashKvStore::load_head_page(Ppa ppa) {
+  if (open_ppa_ && *open_ppa_ == ppa) {
+    const ByteSpan img = builder_.finalize();
+    std::memcpy(page_buf_.data(), img.data(), img.size());
+    return Status::kOk;
+  }
+  if (Status s = nand_->read_page(ppa, page_buf_, spare_buf_); !ok(s)) return s;
+  const SpareTag tag = SpareTag::decode(spare_buf_);
+  if (tag.kind != PageKind::kDataHead) return Status::kCorruption;
+  return Status::kOk;
+}
+
+namespace {
+
+/// Picks the most recently appended pair matching `sig`, or nullopt.
+std::optional<ParsedPair> find_pair(const std::vector<ParsedPair>& pairs,
+                                    std::uint64_t sig) {
+  std::optional<ParsedPair> found;
+  for (const auto& p : pairs) {
+    if (p.header.sig == sig) found = p;
+  }
+  return found;
+}
+
+}  // namespace
+
+Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
+                               Bytes* value_out) {
+  const auto& g = nand_->geometry();
+  if (Status s = load_head_page(start); !ok(s)) return s;
+  const auto pairs = parse_head_page(page_buf_, g.page_size);
+  if (!pairs) return Status::kCorruption;
+  const auto p = find_pair(*pairs, sig);
+  if (!p) return Status::kNotFound;
+
+  const std::size_t key_off = p->offset + PairHeader::kSize;
+  if (key_out) {
+    key_out->assign(page_buf_.begin() + static_cast<std::ptrdiff_t>(key_off),
+                    page_buf_.begin() +
+                        static_cast<std::ptrdiff_t>(key_off + p->header.key_len));
+  }
+  if (value_out) {
+    value_out->clear();
+    value_out->reserve(p->header.val_len);
+    const std::size_t val_off = key_off + p->header.key_len;
+    const std::size_t in_page_val = p->in_page_bytes - PairHeader::kSize - p->header.key_len;
+    value_out->insert(value_out->end(),
+                      page_buf_.begin() + static_cast<std::ptrdiff_t>(val_off),
+                      page_buf_.begin() + static_cast<std::ptrdiff_t>(val_off + in_page_val));
+    std::size_t remaining = p->header.val_len - in_page_val;
+    Bytes cont(g.page_size);
+    Ppa next = start + 1;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(g.page_size, remaining);
+      if (Status s = nand_->read_page(next, MutByteSpan{cont.data(), chunk}); !ok(s)) {
+        return s;
+      }
+      value_out->insert(value_out->end(), cont.begin(),
+                        cont.begin() + static_cast<std::ptrdiff_t>(chunk));
+      remaining -= chunk;
+      ++next;
+    }
+  }
+  stats_.pairs_read++;
+  return Status::kOk;
+}
+
+Result<PairMeta> FlashKvStore::read_pair_meta(Ppa start, std::uint64_t sig) {
+  if (Status s = load_head_page(start); !ok(s)) return s;
+  const auto pairs = parse_head_page(page_buf_, nand_->geometry().page_size);
+  if (!pairs) return Status::kCorruption;
+  const auto p = find_pair(*pairs, sig);
+  if (!p) return Status::kNotFound;
+
+  PairMeta meta;
+  const std::size_t key_off = p->offset + PairHeader::kSize;
+  meta.key.assign(page_buf_.begin() + static_cast<std::ptrdiff_t>(key_off),
+                  page_buf_.begin() +
+                      static_cast<std::ptrdiff_t>(key_off + p->header.key_len));
+  meta.value_len = p->header.val_len;
+  meta.total_bytes = p->header.pair_bytes();
+  meta.tombstone = p->header.tombstone;
+  return meta;
+}
+
+void FlashKvStore::note_stale(Ppa start, std::uint64_t total_bytes) {
+  alloc_->sub_live(start, total_bytes);
+}
+
+}  // namespace rhik::ftl

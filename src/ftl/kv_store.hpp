@@ -1,0 +1,114 @@
+// Log-structured KV data path over the NAND array.
+//
+// Implements the paper's data layout (§IV-A5, Fig. 4): variable-length KV
+// pairs are appended log-style. Small pairs share head pages through an
+// open write buffer (as the device DRAM write buffer would); a pair too
+// large for one page is written as a physically contiguous extent — head
+// page plus raw continuation pages — inside a single erase block. The
+// index stores only the extent's starting PPA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "flash/nand.hpp"
+#include "ftl/layout.hpp"
+#include "ftl/page_allocator.hpp"
+
+namespace rhik::ftl {
+
+/// Header + key of a stored pair, as needed by update/delete paths to
+/// verify the key and account the stale bytes exactly.
+struct PairMeta {
+  Bytes key;
+  std::uint32_t value_len = 0;
+  std::uint64_t total_bytes = 0;  ///< header + key + value
+  bool tombstone = false;         ///< durable deletion record
+};
+
+struct KvStoreStats {
+  std::uint64_t pairs_written = 0;
+  std::uint64_t pairs_read = 0;
+  std::uint64_t extents_written = 0;   ///< multi-page pairs
+  std::uint64_t gc_pairs_written = 0;  ///< relocations (write amplification)
+  std::uint64_t tombstones_written = 0;
+};
+
+class FlashKvStore {
+ public:
+  FlashKvStore(flash::NandDevice* nand, PageAllocator* alloc);
+
+  FlashKvStore(const FlashKvStore&) = delete;
+  FlashKvStore& operator=(const FlashKvStore&) = delete;
+
+  /// Appends a pair to the log; returns its starting PPA.
+  /// `for_gc` marks relocation writes (may use the GC block reserve).
+  Result<flash::Ppa> write_pair(std::uint64_t sig, ByteSpan key, ByteSpan value,
+                                bool for_gc = false);
+
+  /// Appends a tombstone — the durable deletion record crash recovery
+  /// replays. Not indexed; GC keeps it until a newer version of the
+  /// signature exists.
+  Result<flash::Ppa> write_tombstone(std::uint64_t sig, ByteSpan key,
+                                     bool for_gc = false);
+
+  /// Reads the pair with signature `sig` starting at `start`. When a page
+  /// holds several versions of the same signature, the most recently
+  /// appended one wins.
+  Status read_pair(flash::Ppa start, std::uint64_t sig, Bytes* key_out,
+                   Bytes* value_out);
+
+  /// Reads only the header + key (update/delete verification path).
+  Result<PairMeta> read_pair_meta(flash::Ppa start, std::uint64_t sig);
+
+  /// Marks a previously written pair stale (update/delete) so GC victim
+  /// selection sees the reclaimed bytes.
+  void note_stale(flash::Ppa start, std::uint64_t total_bytes);
+
+  /// Programs the partially filled open page, if any. Reads are served
+  /// from the open buffer transparently, so this is only needed for
+  /// power-cycle persistence.
+  Status flush();
+
+  /// Largest value storable with a key of `key_len` bytes (extent must
+  /// fit one erase block).
+  [[nodiscard]] std::uint64_t max_value_size(std::size_t key_len) const noexcept;
+
+  /// Total bytes (header+key+value) a pair occupies in the log.
+  [[nodiscard]] static std::uint64_t pair_bytes(std::size_t key_len,
+                                                std::size_t value_len) noexcept {
+    return PairHeader::kSize + key_len + value_len;
+  }
+
+  [[nodiscard]] const KvStoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::optional<flash::Ppa> open_page() const noexcept {
+    return open_ppa_;
+  }
+
+  /// Head-page sequence counter (global pair ordering for recovery).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
+
+ private:
+  Result<flash::Ppa> write_internal(std::uint64_t sig, ByteSpan key, ByteSpan value,
+                                    bool tombstone, bool for_gc);
+  /// Loads a head page image into `page_buf_` either from flash or from
+  /// the open write buffer.
+  Status load_head_page(flash::Ppa ppa);
+
+  Status program_open_page();
+
+  flash::NandDevice* nand_;
+  PageAllocator* alloc_;
+  DataPageBuilder builder_;
+  std::optional<flash::Ppa> open_ppa_;
+  bool open_for_gc_ = false;  ///< open page was allocated from GC reserve
+  Bytes page_buf_;            ///< scratch for head-page reads
+  Bytes spare_buf_;
+  std::uint64_t next_seq_ = 1;
+  KvStoreStats stats_;
+};
+
+}  // namespace rhik::ftl

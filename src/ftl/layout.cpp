@@ -1,0 +1,173 @@
+#include "ftl/layout.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace rhik::ftl {
+
+void SpareTag::encode(MutByteSpan spare) const noexcept {
+  assert(spare.size() >= kEncodedSize);
+  spare[0] = static_cast<std::uint8_t>(kind);
+  spare[1] = static_cast<std::uint8_t>(stream);
+}
+
+SpareTag SpareTag::decode(ByteSpan spare) noexcept {
+  SpareTag tag;
+  if (spare.size() >= kEncodedSize) {
+    tag.kind = static_cast<PageKind>(spare[0]);
+    tag.stream = static_cast<Stream>(spare[1]);
+  }
+  return tag;
+}
+
+void PairHeader::encode(MutByteSpan dst, std::size_t off) const noexcept {
+  assert((key_len & kTombstoneBit) == 0);
+  put_u64(dst, off, sig);
+  put_u16(dst, off + 8,
+          static_cast<std::uint16_t>(key_len | (tombstone ? kTombstoneBit : 0)));
+  put_u32(dst, off + 10, val_len);
+}
+
+PairHeader PairHeader::decode(ByteSpan src, std::size_t off) noexcept {
+  PairHeader h;
+  h.sig = get_u64(src, off);
+  const std::uint16_t raw = get_u16(src, off + 8);
+  h.tombstone = (raw & kTombstoneBit) != 0;
+  h.key_len = static_cast<std::uint16_t>(raw & ~kTombstoneBit);
+  h.val_len = get_u32(src, off + 10);
+  return h;
+}
+
+void DataPageSpare::encode(MutByteSpan spare) const noexcept {
+  assert(spare.size() >= kEncodedSize);
+  put_u64(spare, SpareTag::kEncodedSize, seq);
+}
+
+DataPageSpare DataPageSpare::decode(ByteSpan spare) noexcept {
+  DataPageSpare s;
+  if (spare.size() >= kEncodedSize) s.seq = get_u64(spare, SpareTag::kEncodedSize);
+  return s;
+}
+
+void PageFooter::encode(MutByteSpan page, const std::vector<std::uint64_t>& sigs) noexcept {
+  const std::size_t n = sigs.size();
+  assert(size_for(n) <= page.size());
+  put_u16(page, page.size() - kCountSize, static_cast<std::uint16_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    put_u64(page, page.size() - kCountSize - (i + 1) * kSigSize, sigs[i]);
+  }
+}
+
+std::optional<std::vector<std::uint64_t>> PageFooter::decode(ByteSpan page) noexcept {
+  if (page.size() < kCountSize) return std::nullopt;
+  const std::uint16_t n = get_u16(page, page.size() - kCountSize);
+  if (size_for(n) > page.size()) return std::nullopt;
+  std::vector<std::uint64_t> sigs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sigs[i] = get_u64(page, page.size() - kCountSize - (i + 1) * kSigSize);
+  }
+  return sigs;
+}
+
+DataPageBuilder::DataPageBuilder(std::uint32_t page_size)
+    : buf_(page_size, 0xFF), page_size_(page_size) {
+  assert(page_size >= PairHeader::kSize + PageFooter::size_for(1));
+}
+
+std::size_t DataPageBuilder::remaining() const noexcept {
+  const std::size_t footer_after = PageFooter::size_for(sigs_.size() + 1);
+  if (write_off_ + footer_after >= page_size_) return 0;
+  return page_size_ - footer_after - write_off_;
+}
+
+bool DataPageBuilder::fits(std::uint64_t pair_bytes) const noexcept {
+  return pair_bytes <= remaining();
+}
+
+bool DataPageBuilder::fits_in_empty_page(std::uint32_t page_size,
+                                         std::uint64_t pair_bytes) noexcept {
+  return pair_bytes + PageFooter::size_for(1) <= page_size;
+}
+
+std::size_t DataPageBuilder::append(const PairHeader& hdr, ByteSpan key, ByteSpan value) {
+  assert(fits(hdr.pair_bytes()));
+  assert(key.size() == hdr.key_len && value.size() == hdr.val_len);
+  const std::size_t off = write_off_;
+  hdr.encode(buf_, off);
+  put_bytes(buf_, off + PairHeader::kSize, key);
+  put_bytes(buf_, off + PairHeader::kSize + key.size(), value);
+  write_off_ = off + static_cast<std::size_t>(hdr.pair_bytes());
+  sigs_.push_back(hdr.sig);
+  return off;
+}
+
+void DataPageBuilder::begin_extent(const PairHeader& hdr, ByteSpan key,
+                                   ByteSpan value_prefix) {
+  assert(empty() && write_off_ == 0);
+  assert(key.size() == hdr.key_len);
+  const std::size_t cap = page_size_ - PageFooter::size_for(1);
+  assert(PairHeader::kSize + key.size() + value_prefix.size() == cap);
+  hdr.encode(buf_, 0);
+  put_bytes(buf_, PairHeader::kSize, key);
+  put_bytes(buf_, PairHeader::kSize + key.size(), value_prefix);
+  write_off_ = cap;
+  sigs_.push_back(hdr.sig);
+}
+
+ByteSpan DataPageBuilder::finalize() {
+  PageFooter::encode(buf_, sigs_);
+  return buf_;
+}
+
+void DataPageBuilder::reset() {
+  std::fill(buf_.begin(), buf_.end(), 0xFF);
+  sigs_.clear();
+  write_off_ = 0;
+}
+
+std::optional<std::vector<ParsedPair>> parse_head_page(ByteSpan page,
+                                                       std::uint32_t page_size) {
+  if (page.size() < page_size) return std::nullopt;
+  const auto sigs = PageFooter::decode(page.subspan(0, page_size));
+  if (!sigs) return std::nullopt;
+  const std::size_t footer = PageFooter::size_for(sigs->size());
+  const std::size_t data_cap = page_size - footer;
+
+  std::vector<ParsedPair> pairs;
+  pairs.reserve(sigs->size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < sigs->size(); ++i) {
+    if (off + PairHeader::kSize > data_cap) return std::nullopt;
+    ParsedPair p;
+    p.header = PairHeader::decode(page, off);
+    if (p.header.sig != (*sigs)[i]) return std::nullopt;  // footer mismatch
+    p.offset = off;
+    const std::uint64_t total = p.header.pair_bytes();
+    const std::size_t avail = data_cap - off;
+    if (total <= avail) {
+      p.in_page_bytes = static_cast<std::size_t>(total);
+      p.spills = false;
+      off += p.in_page_bytes;
+    } else {
+      // A spilling pair is always alone in its head page.
+      if (i + 1 != sigs->size()) return std::nullopt;
+      p.in_page_bytes = avail;
+      p.spills = true;
+    }
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+std::uint32_t continuation_pages(const flash::Geometry& g, std::uint64_t pair_bytes) {
+  const std::uint64_t head_cap = g.page_size - PageFooter::size_for(1);
+  if (pair_bytes <= head_cap) return 0;
+  const std::uint64_t rest = pair_bytes - head_cap;
+  return static_cast<std::uint32_t>((rest + g.page_size - 1) / g.page_size);
+}
+
+std::uint32_t extent_pages(const flash::Geometry& g, std::uint64_t pair_bytes) {
+  return 1 + continuation_pages(g, pair_bytes);
+}
+
+}  // namespace rhik::ftl

@@ -1,0 +1,128 @@
+#include "ftl/page_allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rhik::ftl {
+
+using flash::Ppa;
+
+PageAllocator::PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks)
+    : nand_(nand),
+      gc_reserve_(gc_reserve_blocks),
+      blocks_(nand->geometry().num_blocks) {
+  assert(nand_ != nullptr);
+  assert(gc_reserve_ < nand_->geometry().num_blocks);
+  for (std::uint32_t b = 0; b < nand_->geometry().num_blocks; ++b) free_.push_back(b);
+}
+
+Result<std::uint32_t> PageAllocator::open_block(Stream stream, bool for_gc) {
+  const std::size_t floor = for_gc ? 0 : gc_reserve_;
+  if (free_.size() <= floor) return Status::kDeviceFull;
+  const std::uint32_t b = free_.front();
+  free_.pop_front();
+  blocks_[b] = {BlockState::kActive, stream, 0, 0};
+  return b;
+}
+
+void PageAllocator::seal(std::uint32_t block) {
+  assert(blocks_[block].state == BlockState::kActive);
+  blocks_[block].state = BlockState::kSealed;
+  const auto s = static_cast<std::size_t>(blocks_[block].stream);
+  if (active_[s] == block) active_[s] = kNoBlock;
+}
+
+Result<Ppa> PageAllocator::allocate(Stream stream, bool for_gc) {
+  const auto s = static_cast<std::size_t>(stream);
+  if (active_[s] == kNoBlock) {
+    auto blk = open_block(stream, for_gc);
+    if (!blk) return blk.status();
+    active_[s] = *blk;
+  }
+  BlockInfo& info = blocks_[active_[s]];
+  const Ppa ppa = flash::make_ppa(nand_->geometry(), active_[s], info.next_page);
+  info.next_page++;
+  if (info.next_page == nand_->geometry().pages_per_block) seal(active_[s]);
+  return ppa;
+}
+
+Result<Ppa> PageAllocator::allocate_extent(Stream stream, std::uint32_t npages,
+                                           bool for_gc) {
+  const auto& g = nand_->geometry();
+  if (npages == 0 || npages > g.pages_per_block) return Status::kInvalidArgument;
+  const auto s = static_cast<std::size_t>(stream);
+  if (active_[s] != kNoBlock &&
+      blocks_[active_[s]].next_page + npages > g.pages_per_block) {
+    // Not enough room in the active block: abandon its unwritten tail.
+    seal(active_[s]);
+  }
+  if (active_[s] == kNoBlock) {
+    auto blk = open_block(stream, for_gc);
+    if (!blk) return blk.status();
+    active_[s] = *blk;
+  }
+  BlockInfo& info = blocks_[active_[s]];
+  const Ppa base = flash::make_ppa(g, active_[s], info.next_page);
+  info.next_page += npages;
+  if (info.next_page == g.pages_per_block) seal(active_[s]);
+  return base;
+}
+
+void PageAllocator::add_live(Ppa ppa, std::uint64_t bytes) {
+  blocks_[flash::ppa_block(nand_->geometry(), ppa)].live_bytes += bytes;
+}
+
+void PageAllocator::sub_live(Ppa ppa, std::uint64_t bytes) {
+  auto& live = blocks_[flash::ppa_block(nand_->geometry(), ppa)].live_bytes;
+  live = bytes > live ? 0 : live - bytes;
+}
+
+std::optional<std::uint32_t> PageAllocator::pick_victim() const {
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_live = UINT64_MAX;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].state != BlockState::kSealed) continue;
+    if (blocks_[b].live_bytes < best_live) {
+      best_live = blocks_[b].live_bytes;
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status PageAllocator::reclaim_block(std::uint32_t block) {
+  if (block >= blocks_.size()) return Status::kInvalidArgument;
+  if (blocks_[block].state != BlockState::kSealed) return Status::kInvalidArgument;
+  if (Status s = nand_->erase_block(block); !ok(s)) return s;
+  blocks_[block] = {};
+  free_.push_back(block);
+  return Status::kOk;
+}
+
+Status PageAllocator::adopt_block(std::uint32_t block, Stream stream,
+                                  std::uint32_t pages_used) {
+  if (block >= blocks_.size() || pages_used == 0 ||
+      pages_used > nand_->geometry().pages_per_block) {
+    return Status::kInvalidArgument;
+  }
+  if (blocks_[block].state != BlockState::kFree) return Status::kInvalidArgument;
+  const auto it = std::find(free_.begin(), free_.end(), block);
+  if (it == free_.end()) return Status::kInvalidArgument;
+  free_.erase(it);
+  blocks_[block] = {BlockState::kSealed, stream, pages_used, 0};
+  return Status::kOk;
+}
+
+std::uint64_t PageAllocator::free_bytes_estimate() const noexcept {
+  const auto& g = nand_->geometry();
+  std::uint64_t pages = std::uint64_t{g.pages_per_block} *
+                        (free_.size() > gc_reserve_ ? free_.size() - gc_reserve_ : 0);
+  for (std::size_t s = 0; s < kNumStreams; ++s) {
+    if (active_[s] != kNoBlock) {
+      pages += g.pages_per_block - blocks_[active_[s]].next_page;
+    }
+  }
+  return pages * g.page_size;
+}
+
+}  // namespace rhik::ftl

@@ -1,0 +1,111 @@
+// Log-structured page allocation over the NAND array.
+//
+// Two append streams (KV data zone, index zone — paper Fig. 3) each own an
+// active erase block and hand out pages strictly in programming order.
+// The allocator also keeps the per-block live-byte accounting that GC uses
+// for victim selection, and reserves a few blocks of headroom so GC
+// relocation can always make progress (standard over-provisioning).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flash/nand.hpp"
+#include "ftl/layout.hpp"
+
+namespace rhik::ftl {
+
+class PageAllocator {
+ public:
+  /// `gc_reserve_blocks` blocks are withheld from normal allocation so
+  /// the garbage collector can always relocate live data.
+  PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks = 4);
+
+  PageAllocator(const PageAllocator&) = delete;
+  PageAllocator& operator=(const PageAllocator&) = delete;
+
+  /// Next page of the stream's active block, opening a fresh block when
+  /// the current one is full. `for_gc` allocations may dip into the GC
+  /// reserve. Fails with kDeviceFull when no block is available.
+  Result<flash::Ppa> allocate(Stream stream, bool for_gc = false);
+
+  /// A physically contiguous run of `npages` pages within one erase
+  /// block, for multi-page extents. Seals the current block (abandoning
+  /// its unwritten tail) if it lacks room. npages must fit in a block.
+  Result<flash::Ppa> allocate_extent(Stream stream, std::uint32_t npages,
+                                     bool for_gc = false);
+
+  // -- Liveness accounting ------------------------------------------------
+  void add_live(flash::Ppa ppa, std::uint64_t bytes);
+  void sub_live(flash::Ppa ppa, std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t block_live_bytes(std::uint32_t block) const {
+    return blocks_[block].live_bytes;
+  }
+
+  // -- GC support ----------------------------------------------------------
+  /// Sealed block with the least live data, if any sealed block exists.
+  [[nodiscard]] std::optional<std::uint32_t> pick_victim() const;
+
+  /// Erases the block and returns it to the free pool. The caller must
+  /// have relocated all live data first.
+  Status reclaim_block(std::uint32_t block);
+
+  /// Recovery path: registers a block that already contains programmed
+  /// pages (adopted NAND). The block is sealed — new writes go to fresh
+  /// blocks; GC reclaims it once its live bytes justify it. Must be
+  /// called before any allocation touches the block.
+  Status adopt_block(std::uint32_t block, Stream stream, std::uint32_t pages_used);
+
+  // -- Introspection --------------------------------------------------------
+  [[nodiscard]] std::uint32_t free_blocks() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  [[nodiscard]] std::uint32_t gc_reserve() const noexcept { return gc_reserve_; }
+  /// True when normal allocation is at (or past) the reserve floor and the
+  /// device should run GC before accepting more writes.
+  [[nodiscard]] bool needs_gc() const noexcept { return free_.size() <= gc_reserve_; }
+
+  [[nodiscard]] Stream block_stream(std::uint32_t block) const {
+    return blocks_[block].stream;
+  }
+  [[nodiscard]] bool is_sealed(std::uint32_t block) const {
+    return blocks_[block].state == BlockState::kSealed;
+  }
+  [[nodiscard]] bool is_free(std::uint32_t block) const {
+    return blocks_[block].state == BlockState::kFree;
+  }
+  /// Pages handed out so far in `block` (valid parse range for GC scans).
+  [[nodiscard]] std::uint32_t pages_used(std::uint32_t block) const {
+    return blocks_[block].next_page;
+  }
+
+  /// Upper bound on bytes still allocatable without reclaiming anything.
+  [[nodiscard]] std::uint64_t free_bytes_estimate() const noexcept;
+
+ private:
+  enum class BlockState : std::uint8_t { kFree, kActive, kSealed };
+
+  struct BlockInfo {
+    BlockState state = BlockState::kFree;
+    Stream stream = Stream::kData;
+    std::uint32_t next_page = 0;
+    std::uint64_t live_bytes = 0;
+  };
+
+  /// Opens a fresh block for the stream; respects the GC reserve.
+  Result<std::uint32_t> open_block(Stream stream, bool for_gc);
+  void seal(std::uint32_t block);
+
+  flash::NandDevice* nand_;
+  std::uint32_t gc_reserve_;
+  std::vector<BlockInfo> blocks_;
+  std::deque<std::uint32_t> free_;
+  /// Active block per stream; kNoBlock until first allocation.
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+  std::uint32_t active_[kNumStreams] = {kNoBlock, kNoBlock};
+};
+
+}  // namespace rhik::ftl

@@ -1,0 +1,169 @@
+#include "hash/hopscotch.hpp"
+
+#include <cassert>
+
+#include "hash/murmur.hpp"
+
+namespace rhik::hash {
+
+HopscotchTable::HopscotchTable(std::uint32_t capacity, std::uint32_t hop_range)
+    : slots_(capacity),
+      used_(capacity, false),
+      hopinfo_(capacity, 0),
+      hop_range_(hop_range) {
+  assert(capacity > 0);
+  assert(hop_range >= 1 && hop_range <= 32);
+  assert(hop_range <= capacity);
+}
+
+std::uint32_t HopscotchTable::home_bucket(std::uint64_t sig) const noexcept {
+  // The directory layer consumes the low D bits of the signature, so the
+  // intra-table hash must draw on independent bits: remix and fold.
+  return static_cast<std::uint32_t>(mix64(sig) % slots_.size());
+}
+
+Status HopscotchTable::insert(std::uint64_t sig, std::uint64_t ppa) {
+  const std::uint32_t home = home_bucket(sig);
+
+  // Update in place if the signature is already present.
+  std::uint32_t info = hopinfo_[home];
+  while (info != 0) {
+    const auto bit = static_cast<std::uint32_t>(__builtin_ctz(info));
+    info &= info - 1;
+    const std::uint32_t idx = wrap(std::uint64_t{home} + bit);
+    if (used_[idx] && slots_[idx].sig == sig) {
+      slots_[idx].ppa = ppa;
+      return Status::kOk;
+    }
+  }
+
+  if (size_ == slots_.size()) return Status::kIndexFull;
+
+  // Linear probe for the nearest empty slot.
+  std::uint32_t free_dist = 0;
+  std::uint32_t free_idx = home;
+  while (free_dist < slots_.size() && used_[free_idx]) {
+    ++free_dist;
+    free_idx = wrap(std::uint64_t{home} + free_dist);
+  }
+  if (free_dist >= slots_.size()) return Status::kIndexFull;
+
+  // Hopscotch displacement: move the empty slot backwards until it lies
+  // inside the home neighbourhood.
+  while (free_dist >= hop_range_) {
+    bool moved = false;
+    // Consider buckets starting hop_range_-1 before the free slot.
+    for (std::uint32_t back = hop_range_ - 1; back >= 1; --back) {
+      const std::uint32_t cand_bucket = wrap(std::uint64_t{free_idx} + slots_.size() - back);
+      std::uint32_t cinfo = hopinfo_[cand_bucket];
+      // Find the earliest occupied slot of cand_bucket closer than back.
+      while (cinfo != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctz(cinfo));
+        cinfo &= cinfo - 1;
+        if (bit >= back) break;  // bits ascend; nothing closer remains
+        const std::uint32_t victim = wrap(std::uint64_t{cand_bucket} + bit);
+        if (!used_[victim]) continue;
+        // Move victim into the free slot.
+        slots_[free_idx] = slots_[victim];
+        used_[free_idx] = true;
+        used_[victim] = false;
+        hopinfo_[cand_bucket] &= ~(1u << bit);
+        hopinfo_[cand_bucket] |= (1u << back);
+        free_idx = victim;
+        free_dist = dist(home, free_idx);
+        moved = true;
+        break;
+      }
+      if (moved) break;
+    }
+    if (!moved) {
+      // Displacement failed: uncorrectable collision, operation aborted
+      // (paper §IV-A1). The caller counts these; Fig. 8 reports the rate.
+      return Status::kCollisionAbort;
+    }
+  }
+
+  slots_[free_idx] = {sig, ppa};
+  used_[free_idx] = true;
+  hopinfo_[home] |= (1u << free_dist);
+  ++size_;
+  return Status::kOk;
+}
+
+std::optional<std::uint64_t> HopscotchTable::find(std::uint64_t sig) const {
+  const std::uint32_t home = home_bucket(sig);
+  std::uint32_t info = hopinfo_[home];
+  while (info != 0) {
+    const auto bit = static_cast<std::uint32_t>(__builtin_ctz(info));
+    info &= info - 1;
+    const std::uint32_t idx = wrap(std::uint64_t{home} + bit);
+    if (used_[idx] && slots_[idx].sig == sig) return slots_[idx].ppa;
+  }
+  return std::nullopt;
+}
+
+bool HopscotchTable::erase(std::uint64_t sig) {
+  const std::uint32_t home = home_bucket(sig);
+  std::uint32_t info = hopinfo_[home];
+  while (info != 0) {
+    const auto bit = static_cast<std::uint32_t>(__builtin_ctz(info));
+    info &= info - 1;
+    const std::uint32_t idx = wrap(std::uint64_t{home} + bit);
+    if (used_[idx] && slots_[idx].sig == sig) {
+      used_[idx] = false;
+      hopinfo_[home] &= ~(1u << bit);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void HopscotchTable::for_each(const std::function<void(const Record&)>& fn) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (used_[i]) fn(slots_[i]);
+  }
+}
+
+void HopscotchTable::clear() {
+  std::fill(used_.begin(), used_.end(), false);
+  std::fill(hopinfo_.begin(), hopinfo_.end(), 0u);
+  size_ = 0;
+}
+
+void HopscotchTable::load_slot(std::uint32_t i, const Record& rec, std::uint32_t bucket) {
+  assert(i < slots_.size());
+  assert(!used_[i]);
+  const std::uint32_t d = dist(bucket, i);
+  assert(d < hop_range_);
+  slots_[i] = rec;
+  used_[i] = true;
+  hopinfo_[bucket] |= (1u << d);
+  ++size_;
+}
+
+bool HopscotchTable::check_invariants() const {
+  std::uint32_t live = 0;
+  std::vector<bool> covered(slots_.size(), false);
+  for (std::uint32_t b = 0; b < slots_.size(); ++b) {
+    std::uint32_t info = hopinfo_[b];
+    while (info != 0) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctz(info));
+      info &= info - 1;
+      if (bit >= hop_range_) return false;
+      const std::uint32_t idx = wrap(std::uint64_t{b} + bit);
+      if (!used_[idx]) return false;          // bitmap points at a dead slot
+      if (covered[idx]) return false;         // slot owned by two buckets
+      covered[idx] = true;
+      if (home_bucket(slots_[idx].sig) != b) return false;  // wrong home
+      ++live;
+    }
+  }
+  if (live != size_) return false;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (used_[i] != covered[i]) return false;  // orphan slot
+  }
+  return true;
+}
+
+}  // namespace rhik::hash

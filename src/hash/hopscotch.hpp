@@ -1,0 +1,102 @@
+// Fixed-capacity hopscotch hash table.
+//
+// This is the record-layer building block (§IV-A1): every record-layer
+// page of RHIK is one independent, fixed-size hopscotch table with a
+// per-bucket neighbourhood bitmap ("hopinfo", default H = 32). The table
+// never grows — when a displacement chain cannot free a slot inside the
+// neighbourhood, the insert fails with kCollisionAbort and the caller
+// (the index) surfaces an uncorrectable-collision abort, exactly as the
+// paper specifies. Global growth happens through the RHIK resize path,
+// not inside a table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace rhik::hash {
+
+/// One record slot: 64-bit key signature + physical page address.
+/// On flash this occupies kh (8 B) + ppa (5 B) per Eq. 1; in DRAM we keep
+/// the ppa in a full word for convenience.
+struct Record {
+  std::uint64_t sig = 0;
+  std::uint64_t ppa = 0;
+};
+
+class HopscotchTable {
+ public:
+  /// `capacity` = R, number of record slots (Eq. 1).
+  /// `hop_range` = H, neighbourhood width in buckets (hopinfo bits).
+  HopscotchTable(std::uint32_t capacity, std::uint32_t hop_range = 32);
+
+  /// Inserts or updates the record for `sig`.
+  /// Returns kCollisionAbort if the displacement search fails and
+  /// kIndexFull if no empty slot exists at all.
+  Status insert(std::uint64_t sig, std::uint64_t ppa);
+
+  /// Looks up the ppa stored for `sig`. O(H) probes, all in this table.
+  [[nodiscard]] std::optional<std::uint64_t> find(std::uint64_t sig) const;
+
+  /// Removes the record for `sig`. Returns false if absent.
+  bool erase(std::uint64_t sig);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] std::uint32_t hop_range() const noexcept { return hop_range_; }
+  [[nodiscard]] double occupancy() const noexcept {
+    return slots_.empty() ? 0.0 : static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+
+  /// Visits every live record (migration path re-uses stored signatures).
+  void for_each(const std::function<void(const Record&)>& fn) const;
+
+  /// Bulk-loads from a snapshot; caller guarantees records fit. Used when
+  /// deserializing a record page read from flash.
+  void clear();
+
+  /// Per-bucket hopinfo bitmap, exposed for serialization and invariant
+  /// checks in tests.
+  [[nodiscard]] std::uint32_t hopinfo(std::uint32_t bucket) const {
+    return hopinfo_[bucket];
+  }
+
+  /// Slot accessor for serialization. A slot is live iff its bit is set
+  /// in some bucket's hopinfo; `slot_used` tracks it directly.
+  [[nodiscard]] const Record& slot(std::uint32_t i) const { return slots_[i]; }
+  [[nodiscard]] bool slot_used(std::uint32_t i) const { return used_[i]; }
+
+  /// Raw slot writer for deserialization; does not run displacement
+  /// logic. `bucket` is the home bucket whose hopinfo bit must cover `i`.
+  void load_slot(std::uint32_t i, const Record& rec, std::uint32_t bucket);
+
+  /// Home bucket for a signature (fixed intra-table hash, §IV-A:
+  /// independent of the directory bits which consume the low bits).
+  [[nodiscard]] std::uint32_t home_bucket(std::uint64_t sig) const noexcept;
+
+  /// Validates hopinfo/slot consistency; used by property tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  [[nodiscard]] std::uint32_t wrap(std::uint64_t i) const noexcept {
+    return static_cast<std::uint32_t>(i % slots_.size());
+  }
+  /// Distance from bucket `from` to slot index `to` going forward.
+  [[nodiscard]] std::uint32_t dist(std::uint32_t from, std::uint32_t to) const noexcept {
+    const auto n = static_cast<std::uint32_t>(slots_.size());
+    return to >= from ? to - from : to + n - from;
+  }
+
+  std::vector<Record> slots_;
+  std::vector<bool> used_;
+  std::vector<std::uint32_t> hopinfo_;
+  std::uint32_t hop_range_;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace rhik::hash

@@ -1,0 +1,131 @@
+#include "hash/murmur.hpp"
+
+#include <cstring>
+
+namespace rhik::hash {
+namespace {
+
+std::uint64_t load64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (asserted by CI targets)
+}
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::uint64_t murmur2_64(ByteSpan key, std::uint64_t seed) noexcept {
+  constexpr std::uint64_t m = 0xc6a4a7935bd1e995ULL;
+  constexpr int r = 47;
+
+  std::uint64_t h = seed ^ (key.size() * m);
+
+  const std::uint8_t* data = key.data();
+  const std::size_t nblocks = key.size() / 8;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k = load64(data + i * 8);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  const std::uint8_t* tail = data + nblocks * 8;
+  switch (key.size() & 7u) {
+    case 7: h ^= std::uint64_t{tail[6]} << 48; [[fallthrough]];
+    case 6: h ^= std::uint64_t{tail[5]} << 40; [[fallthrough]];
+    case 5: h ^= std::uint64_t{tail[4]} << 32; [[fallthrough]];
+    case 4: h ^= std::uint64_t{tail[3]} << 24; [[fallthrough]];
+    case 3: h ^= std::uint64_t{tail[2]} << 16; [[fallthrough]];
+    case 2: h ^= std::uint64_t{tail[1]} << 8; [[fallthrough]];
+    case 1: h ^= std::uint64_t{tail[0]}; h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+U128 murmur3_128(ByteSpan key, std::uint64_t seed) noexcept {
+  const std::uint8_t* data = key.data();
+  const std::size_t nblocks = key.size() / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load64(data + i * 16);
+    std::uint64_t k2 = load64(data + i * 16 + 8);
+
+    k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+    h1 = rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+    h2 = rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const std::uint8_t* tail = data + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (key.size() & 15u) {
+    case 15: k2 ^= std::uint64_t{tail[14]} << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t{tail[13]} << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t{tail[12]} << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t{tail[11]} << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t{tail[10]} << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t{tail[9]} << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t{tail[8]};
+      k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t{tail[7]} << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t{tail[6]} << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t{tail[5]} << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t{tail[4]} << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t{tail[3]} << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t{tail[2]} << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t{tail[1]} << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t{tail[0]};
+      k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+  }
+
+  h1 ^= key.size();
+  h2 ^= key.size();
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+std::uint64_t prefix_signature(ByteSpan key, std::size_t prefix_len) noexcept {
+  const std::size_t plen = key.size() < prefix_len ? key.size() : prefix_len;
+  const ByteSpan prefix = key.subspan(0, plen);
+  const ByteSpan suffix = key.subspan(plen);
+  const auto hi = static_cast<std::uint32_t>(murmur2_64(prefix, 0x9d));
+  const auto lo = static_cast<std::uint32_t>(murmur2_64(suffix, 0x1b));
+  return (std::uint64_t{hi} << 32) | lo;
+}
+
+}  // namespace rhik::hash

@@ -1,0 +1,44 @@
+// Key-signature hash functions.
+//
+// RHIK transforms variable-sized application keys into fixed-size key
+// signatures with "a simple hash function such as MurmurHash2" (§IV-A).
+// We provide MurmurHash2-64A (the paper default, 64-bit signatures) and
+// MurmurHash3-x64-128 for the 128-bit alternative discussed in §IV-A3.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rhik::hash {
+
+/// MurmurHash2, 64-bit version for 64-bit platforms (MurmurHash64A).
+[[nodiscard]] std::uint64_t murmur2_64(ByteSpan key, std::uint64_t seed = 0) noexcept;
+
+/// 128-bit signature (MurmurHash3 x64 variant).
+struct U128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const U128&, const U128&) = default;
+};
+[[nodiscard]] U128 murmur3_128(ByteSpan key, std::uint64_t seed = 0) noexcept;
+
+/// Stateless 64->64 bit finalizer (splitmix-style). Used to derive the
+/// record-layer bucket from a key signature: the directory layer consumes
+/// the low D bits of the signature, so the intra-table hash must depend
+/// on independent bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Iterator-friendly signature (§VI): 4 B prefix hash + 4 B suffix hash of
+/// the original key, so keys sharing a prefix land in adjacent signature
+/// ranges and prefix iteration can bound its scan.
+[[nodiscard]] std::uint64_t prefix_signature(ByteSpan key, std::size_t prefix_len = 4) noexcept;
+
+}  // namespace rhik::hash

@@ -1,0 +1,92 @@
+// Common interface for KVSSD key-to-physical-location index schemes.
+//
+// Both RHIK (the paper's contribution) and the baseline multi-level hash
+// index implement this interface, so the device, GC, benches and tests
+// are index-agnostic. All methods operate on fixed-size key signatures:
+// the device layer hashes application keys (§IV-A) before touching the
+// index, and performs the full-key recheck that defeats signature
+// collisions (§IV-A3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "cache/lru_cache.hpp"
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+#include "flash/address.hpp"
+#include "ftl/gc.hpp"
+
+namespace rhik::index {
+
+struct IndexOpStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t flash_reads = 0;        ///< metadata flash reads
+  std::uint64_t flash_writes = 0;       ///< metadata flash programs
+  std::uint64_t collision_aborts = 0;   ///< uncorrectable hopscotch aborts
+  std::uint64_t resizes = 0;
+  /// Dirty-table write-backs that failed (device wedged full). Always 0
+  /// in a healthy device; tests assert on it.
+  std::uint64_t writeback_failures = 0;
+  /// Records placed in per-bucket overflow pages (hyper-local scaling,
+  /// §VI) instead of being rejected.
+  std::uint64_t overflow_inserts = 0;
+  /// Flash reads needed per individual index lookup (paper Fig. 5b).
+  Histogram reads_per_lookup;
+};
+
+/// One completed resize, for the Fig. 7 analysis.
+struct ResizeEvent {
+  std::uint64_t keys_before = 0;       ///< records migrated
+  std::uint64_t capacity_before = 0;   ///< record capacity before doubling
+  std::uint64_t duration_ns = 0;       ///< submission-queue stall time
+};
+
+class IIndex : public ftl::GcIndexHooks {
+ public:
+  ~IIndex() override = default;
+
+  /// Maps `sig` to the pair's starting PPA (insert or update).
+  virtual Status put(std::uint64_t sig, flash::Ppa ppa) = 0;
+
+  /// Current mapping for `sig`, if any.
+  virtual std::optional<flash::Ppa> get(std::uint64_t sig) = 0;
+
+  /// Removes the mapping. kNotFound if absent.
+  virtual Status erase(std::uint64_t sig) = 0;
+
+  /// Probabilistic membership check by signature only (§IV-A3).
+  virtual bool exists(std::uint64_t sig) { return get(sig).has_value(); }
+
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  /// Total record capacity at the current configuration.
+  [[nodiscard]] virtual std::uint64_t capacity() const = 0;
+  [[nodiscard]] double occupancy() const {
+    const std::uint64_t cap = capacity();
+    return cap == 0 ? 0.0 : static_cast<double>(size()) / static_cast<double>(cap);
+  }
+
+  /// DRAM-resident footprint of the scheme's always-in-memory structures
+  /// (directories), excluding the shared page cache.
+  [[nodiscard]] virtual std::uint64_t dram_bytes() const = 0;
+
+  /// Persists all dirty state (cached tables, directory checkpoint).
+  virtual Status flush() = 0;
+
+  /// Full scan over every (signature, PPA) record. Loads record pages as
+  /// needed (flash reads are charged); used by the iterator extension
+  /// (§VI) and by consistency checks.
+  virtual Status scan(
+      const std::function<void(std::uint64_t sig, flash::Ppa ppa)>& fn) = 0;
+
+  [[nodiscard]] virtual const IndexOpStats& op_stats() const = 0;
+  virtual void reset_op_stats() = 0;
+
+  /// Statistics of the scheme's DRAM page cache (the paper's "FTL cache").
+  [[nodiscard]] virtual const cache::CacheStats& cache_stats() const = 0;
+};
+
+}  // namespace rhik::index

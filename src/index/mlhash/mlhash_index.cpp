@@ -1,0 +1,258 @@
+#include "index/mlhash/mlhash_index.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "hash/murmur.hpp"
+
+namespace rhik::index {
+
+using flash::kInvalidPpa;
+using flash::Ppa;
+
+MlHashConfig MlHashConfig::for_keys(std::uint64_t keys, std::uint32_t page_size,
+                                    std::uint32_t levels) {
+  MlHashConfig cfg;
+  cfg.levels = levels;
+  RhikConfig sizing;  // reuse Eq. 1 record geometry
+  sizing.hop_range = cfg.hop_range;
+  sizing.sig_bytes = cfg.sig_bytes;
+  sizing.ppa_bytes = cfg.ppa_bytes;
+  const std::uint64_t r = sizing.records_per_page(page_size);
+  const std::uint64_t pages = (keys + r - 1) / r;
+  const std::uint64_t denom = (std::uint64_t{1} << levels) - 1;
+  cfg.level0_pages = (pages + denom - 1) / denom;
+  if (cfg.level0_pages == 0) cfg.level0_pages = 1;
+  return cfg;
+}
+
+MlHashIndex::MlHashIndex(flash::NandDevice* nand, ftl::PageAllocator* alloc,
+                         MlHashConfig cfg, std::uint64_t cache_budget_bytes)
+    : nand_(nand),
+      alloc_(alloc),
+      cfg_(cfg),
+      codec_(
+          [&cfg] {
+            RhikConfig rc;
+            rc.hop_range = cfg.hop_range;
+            rc.sig_bytes = cfg.sig_bytes;
+            rc.ppa_bytes = cfg.ppa_bytes;
+            return rc;
+          }(),
+          nand->geometry().page_size),
+      cache_(cache_budget_bytes, nand->geometry().page_size) {
+  assert(nand_ && alloc_);
+  assert(cfg_.levels >= 1 && cfg_.levels <= 24);
+  dirs_.resize(cfg_.levels);
+  salts_.resize(cfg_.levels);
+  std::uint64_t seed = 0x6d6c6861u;  // "mlha"
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    const std::uint64_t pages = cfg_.level0_pages << l;
+    dirs_[l].assign(pages, kInvalidPpa);
+    salts_[l] = splitmix64(seed);
+    capacity_ += pages * codec_.records_per_page();
+  }
+  cache_.set_writeback([this](const std::uint64_t& key, CachedTable& v) {
+    const Status s =
+        write_table(key_level(key), key_page(key), v.table, /*for_gc=*/false);
+    if (!ok(s)) stats_.writeback_failures++;
+  });
+}
+
+std::uint64_t MlHashIndex::page_for(std::uint32_t level, std::uint64_t sig) const {
+  return hash::mix64(sig ^ salts_[level]) % dirs_[level].size();
+}
+
+Result<hash::HopscotchTable*> MlHashIndex::load_table(std::uint32_t level,
+                                                      std::uint64_t page,
+                                                      std::uint64_t* reads) {
+  const std::uint64_t key = make_key(level, page);
+  if (CachedTable* hit = cache_.get(key)) return &hit->table;
+
+  CachedTable fresh{codec_.make_table()};
+  const Ppa ppa = dirs_[level][page];
+  if (ppa != kInvalidPpa) {
+    const auto& g = nand_->geometry();
+    Bytes buf(g.page_size);
+    Bytes spare(g.spare_size());
+    if (Status s = nand_->read_page(ppa, buf, spare); !ok(s)) return s;
+    if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
+      return Status::kCorruption;
+    }
+    if (Status s = codec_.decode(buf, &fresh.table); !ok(s)) return s;
+    stats_.flash_reads++;
+    if (reads) (*reads)++;
+  }
+  CachedTable* ins = cache_.insert(key, std::move(fresh), /*dirty=*/false);
+  return &ins->table;
+}
+
+Status MlHashIndex::write_table(std::uint32_t level, std::uint64_t page,
+                                const hash::HopscotchTable& table, bool for_gc) {
+  const auto& g = nand_->geometry();
+  const Ppa old = dirs_[level][page];
+  const auto retire_old = [&] {
+    if (old != kInvalidPpa) {
+      page_owner_.erase(old);
+      alloc_->sub_live(old, g.page_size);
+    }
+  };
+
+  if (table.size() == 0) {
+    retire_old();
+    dirs_[level][page] = kInvalidPpa;
+    return Status::kOk;
+  }
+
+  Bytes buf(g.page_size);
+  Bytes spare(g.spare_size(), 0xFF);
+  codec_.encode(table, buf);
+  ftl::SpareTag{ftl::PageKind::kIndexRecord, ftl::Stream::kIndex}.encode(spare);
+  IndexPageSpare meta;
+  meta.generation = level;  // levels are static; reuse the field
+  meta.bucket = page;
+  meta.record_count = table.size();
+  meta.encode(spare);
+
+  auto ppa = alloc_->allocate(ftl::Stream::kIndex, for_gc);
+  if (!ppa && ppa.status() == Status::kDeviceFull && !for_gc) {
+    ppa = alloc_->allocate(ftl::Stream::kIndex, /*for_gc=*/true);
+  }
+  if (!ppa) return ppa.status();
+  if (Status s = nand_->program_page(*ppa, buf, spare); !ok(s)) return s;
+  stats_.flash_writes++;
+
+  retire_old();
+  dirs_[level][page] = *ppa;
+  page_owner_[*ppa] = make_key(level, page);
+  alloc_->add_live(*ppa, g.page_size);
+  return Status::kOk;
+}
+
+Result<std::optional<MlHashIndex::Located>> MlHashIndex::locate(
+    std::uint64_t sig, std::uint64_t* reads) {
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    const std::uint64_t page = page_for(l, sig);
+    auto table = load_table(l, page, reads);
+    if (!table) return table.status();
+    if (auto ppa = (*table)->find(sig)) {
+      return std::optional<Located>({l, page, *ppa});
+    }
+  }
+  return std::optional<Located>(std::nullopt);
+}
+
+std::optional<Ppa> MlHashIndex::get(std::uint64_t sig) {
+  stats_.gets++;
+  std::uint64_t reads = 0;
+  auto loc = locate(sig, &reads);
+  stats_.reads_per_lookup.record(reads);
+  if (!loc || !*loc) return std::nullopt;
+  return (*loc)->ppa;
+}
+
+Status MlHashIndex::put(std::uint64_t sig, Ppa ppa) {
+  stats_.puts++;
+  std::uint64_t reads = 0;
+  auto loc = locate(sig, &reads);
+  if (!loc) return loc.status();
+  if (*loc) {
+    // Update in place at the level that already holds the signature.
+    auto table = load_table((*loc)->level, (*loc)->page, &reads);
+    stats_.reads_per_lookup.record(reads);
+    if (!table) return table.status();
+    const Status s = (*table)->insert(sig, ppa);
+    if (ok(s)) cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+    return s;
+  }
+  // Insert at the first level with room.
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    const std::uint64_t page = page_for(l, sig);
+    auto table = load_table(l, page, &reads);
+    if (!table) return table.status();
+    const Status s = (*table)->insert(sig, ppa);
+    if (ok(s)) {
+      num_keys_++;
+      cache_.mark_dirty(make_key(l, page));
+      stats_.reads_per_lookup.record(reads);
+      return Status::kOk;
+    }
+  }
+  // Every level's target page is full: the index cannot accept this key.
+  stats_.collision_aborts++;
+  stats_.reads_per_lookup.record(reads);
+  return Status::kIndexFull;
+}
+
+Status MlHashIndex::erase(std::uint64_t sig) {
+  stats_.erases++;
+  std::uint64_t reads = 0;
+  auto loc = locate(sig, &reads);
+  stats_.reads_per_lookup.record(reads);
+  if (!loc) return loc.status();
+  if (!*loc) return Status::kNotFound;
+  auto table = load_table((*loc)->level, (*loc)->page, &reads);
+  if (!table) return table.status();
+  (*table)->erase(sig);
+  num_keys_--;
+  cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+  return Status::kOk;
+}
+
+std::optional<Ppa> MlHashIndex::gc_lookup(std::uint64_t sig) {
+  std::uint64_t reads = 0;
+  auto loc = locate(sig, &reads);
+  if (!loc || !*loc) return std::nullopt;
+  return (*loc)->ppa;
+}
+
+Status MlHashIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
+  std::uint64_t reads = 0;
+  auto loc = locate(sig, &reads);
+  if (!loc) return loc.status();
+  if (!*loc) return Status::kNotFound;
+  auto table = load_table((*loc)->level, (*loc)->page, &reads);
+  if (!table) return table.status();
+  if (Status s = (*table)->insert(sig, new_ppa); !ok(s)) return s;
+  cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+  return Status::kOk;
+}
+
+bool MlHashIndex::gc_is_live_index_page(Ppa ppa) const {
+  return page_owner_.count(ppa) != 0;
+}
+
+Status MlHashIndex::gc_relocate_index_page(Ppa ppa) {
+  const auto it = page_owner_.find(ppa);
+  if (it == page_owner_.end()) return Status::kOk;
+  const std::uint32_t level = key_level(it->second);
+  const std::uint64_t page = key_page(it->second);
+  auto table = load_table(level, page, nullptr);
+  if (!table) return table.status();
+  return write_table(level, page, **table, /*for_gc=*/true);
+}
+
+Status MlHashIndex::scan(const std::function<void(std::uint64_t, flash::Ppa)>& fn) {
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    for (std::uint64_t p = 0; p < dirs_[l].size(); ++p) {
+      if (dirs_[l][p] == kInvalidPpa && !cache_.contains(make_key(l, p))) continue;
+      auto table = load_table(l, p, nullptr);
+      if (!table) return table.status();
+      (*table)->for_each([&](const hash::Record& r) { fn(r.sig, r.ppa); });
+    }
+  }
+  return Status::kOk;
+}
+
+std::uint64_t MlHashIndex::dram_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& d : dirs_) bytes += d.size() * cfg_.ppa_bytes;
+  return bytes;
+}
+
+Status MlHashIndex::flush() {
+  cache_.flush_all();
+  return Status::kOk;
+}
+
+}  // namespace rhik::index

@@ -1,0 +1,79 @@
+#include "index/rhik/record_page.hpp"
+
+#include <cassert>
+
+namespace rhik::index {
+
+void IndexPageSpare::encode(MutByteSpan spare) const noexcept {
+  assert(spare.size() >= kEncodedSize);
+  std::size_t off = ftl::SpareTag::kEncodedSize;  // tag written separately
+  put_u32(spare, off, generation); off += 4;
+  put_u64(spare, off, bucket); off += 8;
+  put_u32(spare, off, record_count); off += 4;
+  put_u32(spare, off, checkpoint_id); off += 4;
+  put_u16(spare, off, fragment); off += 2;
+  put_u16(spare, off, fragments_total);
+}
+
+IndexPageSpare IndexPageSpare::decode(ByteSpan spare) noexcept {
+  IndexPageSpare s;
+  if (spare.size() < kEncodedSize) return s;
+  std::size_t off = ftl::SpareTag::kEncodedSize;
+  s.generation = get_u32(spare, off); off += 4;
+  s.bucket = get_u64(spare, off); off += 8;
+  s.record_count = get_u32(spare, off); off += 4;
+  s.checkpoint_id = get_u32(spare, off); off += 4;
+  s.fragment = get_u16(spare, off); off += 2;
+  s.fragments_total = get_u16(spare, off);
+  return s;
+}
+
+RecordPageCodec::RecordPageCodec(const RhikConfig& cfg, std::uint32_t page_size)
+    : cfg_(cfg), page_size_(page_size), r_(cfg.records_per_page(page_size)) {
+  assert(r_ >= cfg_.hop_range);
+}
+
+void RecordPageCodec::encode(const hash::HopscotchTable& table, MutByteSpan page) const {
+  assert(table.capacity() == r_);
+  assert(page.size() >= page_size_);
+  std::fill(page.begin(), page.begin() + page_size_, 0);
+  for (std::uint32_t i = 0; i < r_; ++i) {
+    if (table.slot_used(i)) {
+      const auto& rec = table.slot(i);
+      put_u64(page, slot_off(i), rec.sig);
+      put_u40(page, slot_off(i) + cfg_.sig_bytes, rec.ppa);
+    }
+    // hopinfo, little-endian truncated to hopinfo_bytes
+    const std::uint32_t info = table.hopinfo(i);
+    for (std::uint32_t b = 0; b < cfg_.hopinfo_bytes(); ++b) {
+      page[hop_off(i) + b] = static_cast<std::uint8_t>(info >> (8 * b));
+    }
+  }
+}
+
+Status RecordPageCodec::decode(ByteSpan page, hash::HopscotchTable* out) const {
+  assert(out != nullptr);
+  if (page.size() < page_size_) return Status::kInvalidArgument;
+  *out = make_table();
+  for (std::uint32_t bucket = 0; bucket < r_; ++bucket) {
+    std::uint32_t info = 0;
+    for (std::uint32_t b = 0; b < cfg_.hopinfo_bytes(); ++b) {
+      info |= std::uint32_t{page[hop_off(bucket) + b]} << (8 * b);
+    }
+    while (info != 0) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctz(info));
+      info &= info - 1;
+      if (bit >= cfg_.hop_range) return Status::kCorruption;
+      const std::uint32_t idx = (bucket + bit) % r_;
+      hash::Record rec;
+      rec.sig = get_u64(page, slot_off(idx));
+      rec.ppa = get_u40(page, slot_off(idx) + cfg_.sig_bytes);
+      if (out->home_bucket(rec.sig) != bucket) return Status::kCorruption;
+      if (out->slot_used(idx)) return Status::kCorruption;
+      out->load_slot(idx, rec, bucket);
+    }
+  }
+  return Status::kOk;
+}
+
+}  // namespace rhik::index

@@ -1,0 +1,73 @@
+// Serialization of record-layer hash tables to/from flash pages.
+//
+// A record-layer page is one independent hopscotch table (§IV-A): R slots
+// of [key signature | PPA] followed by R hopinfo bitmaps. R follows Eq. 1
+// exactly because the table header lives in the page's spare area, not in
+// the main area. Empty slots are reconstructed from the hopinfo bitmaps,
+// so their main-area bytes are irrelevant (left zeroed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ftl/layout.hpp"
+#include "hash/hopscotch.hpp"
+#include "index/rhik/config.hpp"
+
+namespace rhik::index {
+
+/// Spare-area metadata of an index-zone page, after the generic SpareTag.
+/// Record pages carry their owning directory bucket + index generation so
+/// GC and recovery can re-home them; directory checkpoint pages carry a
+/// checkpoint id and fragment position.
+struct IndexPageSpare {
+  std::uint32_t generation = 0;
+  std::uint64_t bucket = 0;      ///< record pages: directory bucket
+  std::uint32_t record_count = 0;
+  // directory checkpoint fields
+  std::uint32_t checkpoint_id = 0;
+  std::uint16_t fragment = 0;
+  std::uint16_t fragments_total = 0;
+
+  static constexpr std::size_t kEncodedSize =
+      ftl::SpareTag::kEncodedSize + 4 + 8 + 4 + 4 + 2 + 2;
+
+  void encode(MutByteSpan spare) const noexcept;
+  static IndexPageSpare decode(ByteSpan spare) noexcept;
+};
+
+class RecordPageCodec {
+ public:
+  explicit RecordPageCodec(const RhikConfig& cfg, std::uint32_t page_size);
+
+  [[nodiscard]] std::uint32_t records_per_page() const noexcept { return r_; }
+
+  /// Serializes a table into a page-size buffer. The table's capacity
+  /// must equal records_per_page().
+  void encode(const hash::HopscotchTable& table, MutByteSpan page) const;
+
+  /// Rebuilds the table from a page image. Returns kCorruption on
+  /// structurally invalid hopinfo.
+  Status decode(ByteSpan page, hash::HopscotchTable* out) const;
+
+  /// Fresh empty table with this codec's geometry.
+  [[nodiscard]] hash::HopscotchTable make_table() const {
+    return hash::HopscotchTable(r_, cfg_.hop_range);
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_off(std::uint32_t i) const noexcept {
+    return std::size_t{i} * (cfg_.sig_bytes + cfg_.ppa_bytes);
+  }
+  [[nodiscard]] std::size_t hop_off(std::uint32_t i) const noexcept {
+    return std::size_t{r_} * (cfg_.sig_bytes + cfg_.ppa_bytes) +
+           std::size_t{i} * cfg_.hopinfo_bytes();
+  }
+
+  RhikConfig cfg_;
+  std::uint32_t page_size_;
+  std::uint32_t r_;
+};
+
+}  // namespace rhik::index

@@ -1,0 +1,599 @@
+#include "index/rhik/rhik_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rhik::index {
+
+using flash::kInvalidPpa;
+using flash::Ppa;
+
+RhikIndex::RhikIndex(flash::NandDevice* nand, ftl::PageAllocator* alloc,
+                     RhikConfig cfg, std::uint64_t cache_budget_bytes)
+    : nand_(nand),
+      alloc_(alloc),
+      cfg_(cfg),
+      codec_(cfg, nand->geometry().page_size),
+      cache_(cache_budget_bytes, nand->geometry().page_size) {
+  assert(nand_ && alloc_);
+  dir_bits_ = cfg_.initial_dir_bits(nand_->geometry().page_size);
+  assert(dir_bits_ < 39);  // bucket ids must stay below the overflow bit
+  dir_.assign(dir_size(), kInvalidPpa);
+  ov_dir_.assign(dir_size(), kInvalidPpa);
+  cache_.set_writeback([this](const std::uint64_t& key, CachedTable& v) {
+    // Write-back of an evicted dirty table. Failure means the device is
+    // wedged full (GC not keeping up); surfaced via stats since the
+    // eviction path cannot propagate a status.
+    const Status s = write_table(key_gen(key), key_bucket(key), v.table,
+                                 /*for_gc=*/false);
+    if (!ok(s)) stats_.writeback_failures++;
+  });
+}
+
+Ppa& RhikIndex::dir_slot(std::uint32_t gen, std::uint64_t keyed_bucket) {
+  const bool ov = (keyed_bucket & kOvBit) != 0;
+  const std::uint64_t b = keyed_bucket & ~kOvBit;
+  if (gen == gen_) return ov ? ov_dir_[b] : dir_[b];
+  assert(mig_ && gen == mig_->old_gen);
+  return ov ? mig_->old_ov[b] : mig_->old_dir[b];
+}
+
+bool RhikIndex::has_overflow(std::uint32_t gen, std::uint64_t bucket) {
+  if (!cfg_.local_overflow) return false;
+  const std::uint64_t keyed = bucket | kOvBit;
+  return dir_slot(gen, keyed) != kInvalidPpa ||
+         cache_.contains(make_key(gen, keyed));
+}
+
+Result<hash::HopscotchTable*> RhikIndex::load_table(std::uint32_t gen,
+                                                    std::uint64_t bucket,
+                                                    std::uint64_t* reads) {
+  const std::uint64_t key = make_key(gen, bucket);
+  if (CachedTable* hit = cache_.get(key)) return &hit->table;
+
+  CachedTable fresh{codec_.make_table()};
+  const Ppa ppa = dir_slot(gen, bucket);
+  if (ppa != kInvalidPpa) {
+    const auto& g = nand_->geometry();
+    Bytes page(g.page_size);
+    Bytes spare(g.spare_size());
+    if (Status s = nand_->read_page(ppa, page, spare); !ok(s)) return s;
+    const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
+    if (tag.kind != ftl::PageKind::kIndexRecord) return Status::kCorruption;
+    if (Status s = codec_.decode(page, &fresh.table); !ok(s)) return s;
+    stats_.flash_reads++;
+    if (reads) (*reads)++;
+  }
+  CachedTable* ins = cache_.insert(key, std::move(fresh), /*dirty=*/false);
+  return &ins->table;
+}
+
+Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
+                              const hash::HopscotchTable& table, bool for_gc) {
+  const auto& g = nand_->geometry();
+  Ppa& slot = dir_slot(gen, bucket);
+  const Ppa old = slot;
+
+  const auto retire_old = [&] {
+    if (old != kInvalidPpa) {
+      page_owner_.erase(old);
+      alloc_->sub_live(old, g.page_size);
+    }
+  };
+
+  if (table.size() == 0) {
+    // Lazy representation: an empty bucket has no record page at all.
+    retire_old();
+    slot = kInvalidPpa;
+    return Status::kOk;
+  }
+
+  Bytes page(g.page_size);
+  Bytes spare(g.spare_size(), 0xFF);
+  codec_.encode(table, page);
+  ftl::SpareTag{ftl::PageKind::kIndexRecord, ftl::Stream::kIndex}.encode(spare);
+  IndexPageSpare meta;
+  meta.generation = gen;
+  meta.bucket = bucket;
+  meta.record_count = table.size();
+  meta.encode(spare);
+
+  auto ppa = alloc_->allocate(ftl::Stream::kIndex, for_gc);
+  if (!ppa && ppa.status() == Status::kDeviceFull && !for_gc) {
+    // Index write-back must not deadlock behind GC; dip into the reserve.
+    ppa = alloc_->allocate(ftl::Stream::kIndex, /*for_gc=*/true);
+  }
+  if (!ppa) return ppa.status();
+  if (Status s = nand_->program_page(*ppa, page, spare); !ok(s)) return s;
+  stats_.flash_writes++;
+
+  retire_old();
+  slot = *ppa;
+  page_owner_[*ppa] = make_key(gen, bucket);
+  alloc_->add_live(*ppa, g.page_size);
+
+  if (gen == gen_ && !in_maintenance_ && !mig_) {
+    if (++writes_since_checkpoint_ >= cfg_.dir_checkpoint_interval) {
+      return checkpoint_directory();
+    }
+  }
+  return Status::kOk;
+}
+
+Result<std::optional<Ppa>> RhikIndex::lookup_internal(std::uint64_t sig,
+                                                      std::uint64_t* reads) {
+  std::uint32_t gen = gen_;
+  std::uint64_t bucket = sig & dir_mask();
+  if (mig_) {
+    const std::uint64_t ob = sig & ((std::uint64_t{1} << mig_->old_bits) - 1);
+    if (!mig_->migrated[ob]) {
+      gen = mig_->old_gen;
+      bucket = ob;
+    }
+  }
+  auto table = load_table(gen, bucket, reads);
+  if (!table) return table.status();
+  if (auto found = (*table)->find(sig)) return std::optional<Ppa>(found);
+  // Hyper-local overflow (§VI): a second, bucket-private table may hold
+  // the record — costing this lookup a second flash read.
+  if (has_overflow(gen, bucket)) {
+    auto ov = load_table(gen, bucket | kOvBit, reads);
+    if (!ov) return ov.status();
+    return (*ov)->find(sig);
+  }
+  return std::optional<Ppa>(std::nullopt);
+}
+
+std::optional<Ppa> RhikIndex::get(std::uint64_t sig) {
+  stats_.gets++;
+  std::uint64_t reads = 0;
+  auto r = lookup_internal(sig, &reads);
+  stats_.reads_per_lookup.record(reads);
+  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
+  if (!r) return std::nullopt;
+  return *r;
+}
+
+Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
+  stats_.puts++;
+  if (!mig_) {
+    if (Status s = maybe_resize(); !ok(s)) return s;
+  }
+  // A mutation must target the new generation, so its source bucket has
+  // to be migrated first — including when this very put just started an
+  // incremental migration.
+  if (mig_) {
+    if (Status s = ensure_bucket_migrated(
+            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
+        !ok(s)) {
+      return s;
+    }
+  }
+
+  std::uint64_t reads = 0;
+  const std::uint64_t bucket = sig & dir_mask();
+  auto table = load_table(gen_, bucket, &reads);
+  if (!table) return table.status();
+
+  // If an overflow table exists, the record may already live there; an
+  // update must land where the record is (one home per signature).
+  bool via_overflow = false;
+  bool existed = (*table)->find(sig).has_value();
+  if (!existed && has_overflow(gen_, bucket)) {
+    auto ov = load_table(gen_, bucket | kOvBit, &reads);
+    if (!ov) return ov.status();
+    if ((*ov)->find(sig)) {
+      existed = true;
+      via_overflow = true;
+    }
+  }
+
+  Status st;
+  if (via_overflow) {
+    auto ov = load_table(gen_, bucket | kOvBit, &reads);
+    if (!ov) return ov.status();
+    st = (*ov)->insert(sig, ppa);
+    if (ok(st)) cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+  } else {
+    // Re-load: the overflow probe above may have evicted the primary.
+    table = load_table(gen_, bucket, &reads);
+    if (!table) return table.status();
+    st = (*table)->insert(sig, ppa);
+    if (ok(st)) {
+      cache_.mark_dirty(make_key(gen_, bucket));
+    } else if (cfg_.local_overflow) {
+      // Hyper-local scaling (§VI): park the record in a bucket-private
+      // overflow page instead of rejecting it.
+      auto ov = load_table(gen_, bucket | kOvBit, &reads);
+      if (!ov) return ov.status();
+      st = (*ov)->insert(sig, ppa);
+      if (ok(st)) {
+        cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+        stats_.overflow_inserts++;
+      }
+    }
+  }
+  stats_.reads_per_lookup.record(reads);
+  if (!ok(st)) {
+    // Both displacement failure and a full table are surfaced as the
+    // paper's uncorrectable-collision abort (§IV-A1).
+    stats_.collision_aborts++;
+    return Status::kCollisionAbort;
+  }
+  if (!existed) num_keys_++;
+  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
+  return Status::kOk;
+}
+
+Status RhikIndex::erase(std::uint64_t sig) {
+  stats_.erases++;
+  if (mig_) {
+    if (Status s = ensure_bucket_migrated(
+            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
+        !ok(s)) {
+      return s;
+    }
+  }
+  std::uint64_t reads = 0;
+  const std::uint64_t bucket = sig & dir_mask();
+  auto table = load_table(gen_, bucket, &reads);
+  if (!table) return table.status();
+
+  bool had = (*table)->erase(sig);
+  if (had) {
+    cache_.mark_dirty(make_key(gen_, bucket));
+  } else if (has_overflow(gen_, bucket)) {
+    auto ov = load_table(gen_, bucket | kOvBit, &reads);
+    if (!ov) return ov.status();
+    had = (*ov)->erase(sig);
+    if (had) cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+  }
+  stats_.reads_per_lookup.record(reads);
+  if (had) num_keys_--;
+  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
+  return had ? Status::kOk : Status::kNotFound;
+}
+
+Status RhikIndex::maybe_resize() {
+  if (in_maintenance_ || mig_) return Status::kOk;
+  const double threshold = cfg_.resize_threshold * static_cast<double>(capacity());
+  if (static_cast<double>(num_keys_ + 1) <= threshold) return Status::kOk;
+
+  stats_.resizes++;
+  Migration m;
+  m.old_bits = dir_bits_;
+  m.old_gen = gen_;
+  m.old_dir = std::move(dir_);
+  m.old_ov = std::move(ov_dir_);
+  m.migrated.assign(m.old_dir.size(), false);
+  m.pending = m.old_dir.size();
+  m.keys_before = num_keys_;
+  m.capacity_before = capacity();
+  m.start_time = nand_->clock().now();
+  mig_ = std::move(m);
+  gen_++;
+  dir_bits_++;
+  assert(dir_bits_ < 39);
+  dir_.assign(dir_size(), kInvalidPpa);
+  ov_dir_.assign(dir_size(), kInvalidPpa);
+
+  if (cfg_.incremental_resize) return Status::kOk;  // drained by pump_migration
+
+  // Stop-the-world doubling (§IV-A2): the submission queue is held for
+  // the whole migration; the window is accounted as stall time (Fig. 7).
+  in_maintenance_ = true;
+  const SimTime stall_begin = nand_->clock().stall_window_begin();
+  const std::uint64_t n = mig_->old_dir.size();
+  for (std::uint64_t ob = 0; ob < n; ++ob) {
+    if (Status s = migrate_bucket(ob); !ok(s)) {
+      in_maintenance_ = false;
+      return s;
+    }
+  }
+  nand_->clock().stall_window_end(stall_begin);
+  in_maintenance_ = false;
+  assert(!mig_);
+  return Status::kOk;
+}
+
+Status RhikIndex::migrate_bucket(std::uint64_t old_bucket) {
+  assert(mig_);
+  assert(!mig_->migrated[old_bucket]);
+
+  // Gather the source records (primary plus any overflow page), reusing
+  // the signatures stored in them — the KV pairs themselves are never
+  // touched (§IV-A2). Copied out because a second load may evict the
+  // first table.
+  std::uint64_t reads = 0;
+  std::vector<hash::Record> records;
+  {
+    auto src = load_table(mig_->old_gen, old_bucket, &reads);
+    if (!src) return src.status();
+    records.reserve((*src)->size());
+    (*src)->for_each([&](const hash::Record& rec) { records.push_back(rec); });
+  }
+  if (has_overflow(mig_->old_gen, old_bucket)) {
+    auto ov = load_table(mig_->old_gen, old_bucket | kOvBit, &reads);
+    if (!ov) return ov.status();
+    (*ov)->for_each([&](const hash::Record& rec) { records.push_back(rec); });
+  }
+
+  // Re-bucket by the new directory bit. Resizing normally drains
+  // overflow pages back into primaries; a destination overflow is only
+  // re-created if a split target itself collides.
+  hash::HopscotchTable lo = codec_.make_table();
+  hash::HopscotchTable hi = codec_.make_table();
+  std::optional<hash::HopscotchTable> lo_ov, hi_ov;
+  const std::uint64_t split_bit = std::uint64_t{1} << mig_->old_bits;
+  for (const hash::Record& rec : records) {
+    const bool high = (rec.sig & split_bit) != 0;
+    Status s = (high ? hi : lo).insert(rec.sig, rec.ppa);
+    if (!ok(s) && cfg_.local_overflow) {
+      auto& ov = high ? hi_ov : lo_ov;
+      if (!ov) ov.emplace(codec_.make_table());
+      s = ov->insert(rec.sig, rec.ppa);
+      if (ok(s)) stats_.overflow_inserts++;
+    }
+    if (!ok(s)) return s;
+  }
+  nand_->clock().advance(cfg_.migrate_cpu_ns_per_record *
+                         (records.empty() ? 1 : records.size()));
+
+  if (Status s = write_table(gen_, old_bucket, lo, /*for_gc=*/false); !ok(s)) return s;
+  if (Status s = write_table(gen_, old_bucket | split_bit, hi, /*for_gc=*/false);
+      !ok(s)) {
+    return s;
+  }
+  if (lo_ov) {
+    if (Status s = write_table(gen_, old_bucket | kOvBit, *lo_ov, false); !ok(s)) return s;
+  }
+  if (hi_ov) {
+    if (Status s = write_table(gen_, old_bucket | split_bit | kOvBit, *hi_ov, false);
+        !ok(s)) {
+      return s;
+    }
+  }
+
+  // Retire the source bucket: drop cached copies without write-back and
+  // mark the flash pages stale for GC.
+  const auto retire = [&](std::uint64_t keyed) {
+    cache_.erase(make_key(mig_->old_gen, keyed));
+    Ppa& slot = dir_slot(mig_->old_gen, keyed);
+    if (slot != kInvalidPpa) {
+      page_owner_.erase(slot);
+      alloc_->sub_live(slot, nand_->geometry().page_size);
+      slot = kInvalidPpa;
+    }
+  };
+  retire(old_bucket);
+  retire(old_bucket | kOvBit);
+  mig_->migrated[old_bucket] = true;
+  if (--mig_->pending == 0) finish_migration();
+  return Status::kOk;
+}
+
+Status RhikIndex::ensure_bucket_migrated(std::uint64_t old_bucket) {
+  if (!mig_ || mig_->migrated[old_bucket]) return Status::kOk;
+  const bool was = in_maintenance_;
+  in_maintenance_ = true;
+  const Status s = migrate_bucket(old_bucket);
+  in_maintenance_ = was;
+  return s;
+}
+
+Status RhikIndex::pump_migration(std::uint32_t budget) {
+  if (!mig_) return Status::kOk;
+  const bool was = in_maintenance_;
+  in_maintenance_ = true;
+  Status st = Status::kOk;
+  while (budget-- > 0 && mig_) {
+    while (mig_->next_bucket < mig_->migrated.size() &&
+           mig_->migrated[mig_->next_bucket]) {
+      mig_->next_bucket++;
+    }
+    if (!mig_ || mig_->next_bucket >= mig_->migrated.size()) break;
+    st = migrate_bucket(mig_->next_bucket);
+    if (!ok(st)) break;
+  }
+  in_maintenance_ = was;
+  return st;
+}
+
+void RhikIndex::finish_migration() {
+  assert(mig_ && mig_->pending == 0);
+  resize_history_.push_back(ResizeEvent{
+      mig_->keys_before, mig_->capacity_before,
+      nand_->clock().now() - mig_->start_time});
+  mig_.reset();
+  const Status s = checkpoint_directory();
+  assert(ok(s));
+  (void)s;
+}
+
+// -- GC hooks -----------------------------------------------------------------
+
+std::optional<Ppa> RhikIndex::gc_lookup(std::uint64_t sig) {
+  std::uint64_t reads = 0;
+  auto r = lookup_internal(sig, &reads);
+  if (!r) return std::nullopt;
+  return *r;
+}
+
+Status RhikIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
+  if (mig_) {
+    if (Status s = ensure_bucket_migrated(
+            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
+        !ok(s)) {
+      return s;
+    }
+  }
+  const std::uint64_t bucket = sig & dir_mask();
+  auto table = load_table(gen_, bucket, nullptr);
+  if (!table) return table.status();
+  if ((*table)->find(sig)) {
+    if (Status s = (*table)->insert(sig, new_ppa); !ok(s)) return s;
+    cache_.mark_dirty(make_key(gen_, bucket));
+    return Status::kOk;
+  }
+  if (has_overflow(gen_, bucket)) {
+    auto ov = load_table(gen_, bucket | kOvBit, nullptr);
+    if (!ov) return ov.status();
+    if ((*ov)->find(sig)) {
+      if (Status s = (*ov)->insert(sig, new_ppa); !ok(s)) return s;
+      cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+bool RhikIndex::gc_is_live_index_page(Ppa ppa) const {
+  if (page_owner_.count(ppa) != 0) return true;
+  return std::find(checkpoint_pages_.begin(), checkpoint_pages_.end(), ppa) !=
+         checkpoint_pages_.end();
+}
+
+Status RhikIndex::gc_relocate_index_page(Ppa ppa) {
+  if (std::find(checkpoint_pages_.begin(), checkpoint_pages_.end(), ppa) !=
+      checkpoint_pages_.end()) {
+    // Rewrite the whole checkpoint fresh; all old fragments go stale.
+    return checkpoint_directory();
+  }
+  const auto it = page_owner_.find(ppa);
+  if (it == page_owner_.end()) return Status::kOk;  // already stale
+  const std::uint32_t gen = key_gen(it->second);
+  const std::uint64_t bucket = key_bucket(it->second);
+  auto table = load_table(gen, bucket, nullptr);
+  if (!table) return table.status();
+  return write_table(gen, bucket, **table, /*for_gc=*/true);
+}
+
+// -- Persistence ---------------------------------------------------------------
+
+Bytes RhikIndex::serialize_directory() const {
+  // [magic u32][dir_bits u32][gen u32][num_keys u64]
+  // [primary entries: ppa 5B each][overflow entries: ppa 5B each]
+  constexpr std::uint32_t kMagic = 0x52484B44;  // "RHKD"
+  Bytes image(4 + 4 + 4 + 8 + dir_.size() * 5 * 2);
+  put_u32(image, 0, kMagic);
+  put_u32(image, 4, dir_bits_);
+  put_u32(image, 8, gen_);
+  put_u64(image, 12, num_keys_);
+  for (std::size_t i = 0; i < dir_.size(); ++i) {
+    put_u40(image, 20 + i * 5, dir_[i]);
+    put_u40(image, 20 + (dir_.size() + i) * 5, ov_dir_[i]);
+  }
+  return image;
+}
+
+Status RhikIndex::load_directory(ByteSpan image) {
+  if (mig_) return Status::kBusy;
+  if (image.size() < 20) return Status::kCorruption;
+  if (get_u32(image, 0) != 0x52484B44) return Status::kCorruption;
+  const std::uint32_t bits = get_u32(image, 4);
+  if (bits > 40) return Status::kCorruption;
+  const std::uint64_t entries = std::uint64_t{1} << bits;
+  if (image.size() < 20 + entries * 5 * 2) return Status::kCorruption;
+
+  cache_.clear();
+  page_owner_.clear();
+  dir_bits_ = bits;
+  gen_ = get_u32(image, 8);
+  num_keys_ = get_u64(image, 12);
+  dir_.assign(entries, kInvalidPpa);
+  ov_dir_.assign(entries, kInvalidPpa);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    dir_[i] = get_u40(image, 20 + i * 5);
+    if (dir_[i] != kInvalidPpa) page_owner_[dir_[i]] = make_key(gen_, i);
+    ov_dir_[i] = get_u40(image, 20 + (entries + i) * 5);
+    if (ov_dir_[i] != kInvalidPpa) {
+      page_owner_[ov_dir_[i]] = make_key(gen_, i | kOvBit);
+    }
+  }
+  return Status::kOk;
+}
+
+Status RhikIndex::checkpoint_directory() {
+  const auto& g = nand_->geometry();
+  // Retire the previous checkpoint fragments.
+  for (const Ppa p : checkpoint_pages_) alloc_->sub_live(p, g.page_size);
+  checkpoint_pages_.clear();
+  checkpoint_id_++;
+
+  const Bytes image = serialize_directory();
+  const std::uint32_t fragments =
+      static_cast<std::uint32_t>((image.size() + g.page_size - 1) / g.page_size);
+  Bytes spare(g.spare_size(), 0xFF);
+  for (std::uint32_t f = 0; f < fragments; ++f) {
+    ftl::SpareTag{ftl::PageKind::kIndexDir, ftl::Stream::kIndex}.encode(spare);
+    IndexPageSpare meta;
+    meta.generation = gen_;
+    meta.checkpoint_id = checkpoint_id_;
+    meta.fragment = static_cast<std::uint16_t>(f);
+    meta.fragments_total = static_cast<std::uint16_t>(fragments);
+    meta.encode(spare);
+
+    auto ppa = alloc_->allocate(ftl::Stream::kIndex, /*for_gc=*/false);
+    if (!ppa && ppa.status() == Status::kDeviceFull) {
+      ppa = alloc_->allocate(ftl::Stream::kIndex, /*for_gc=*/true);
+    }
+    if (!ppa) return ppa.status();
+    const std::size_t off = std::size_t{f} * g.page_size;
+    const std::size_t len = std::min<std::size_t>(g.page_size, image.size() - off);
+    if (Status s = nand_->program_page(*ppa, ByteSpan{image.data() + off, len}, spare);
+        !ok(s)) {
+      return s;
+    }
+    stats_.flash_writes++;
+    checkpoint_pages_.push_back(*ppa);
+    alloc_->add_live(*ppa, g.page_size);
+  }
+  writes_since_checkpoint_ = 0;
+  return Status::kOk;
+}
+
+Status RhikIndex::scan(const std::function<void(std::uint64_t, flash::Ppa)>& fn) {
+  const auto visit = [&](std::uint32_t gen, std::uint64_t bucket) -> Status {
+    for (const std::uint64_t keyed : {bucket, bucket | kOvBit}) {
+      if (dir_slot(gen, keyed) == kInvalidPpa &&
+          !cache_.contains(make_key(gen, keyed))) {
+        continue;
+      }
+      auto table = load_table(gen, keyed, nullptr);
+      if (!table) return table.status();
+      (*table)->for_each([&](const hash::Record& r) { fn(r.sig, r.ppa); });
+    }
+    return Status::kOk;
+  };
+
+  // Visit migrated/new buckets plus any not-yet-migrated source buckets.
+  for (std::uint64_t b = 0; b < dir_size(); ++b) {
+    if (mig_) {
+      const std::uint64_t ob = b & ((std::uint64_t{1} << mig_->old_bits) - 1);
+      if (!mig_->migrated[ob]) continue;  // records still in the old bucket
+    }
+    if (Status s = visit(gen_, b); !ok(s)) return s;
+  }
+  if (mig_) {
+    for (std::uint64_t ob = 0; ob < mig_->old_dir.size(); ++ob) {
+      if (mig_->migrated[ob]) continue;
+      if (Status s = visit(mig_->old_gen, ob); !ok(s)) return s;
+    }
+  }
+  return Status::kOk;
+}
+
+std::uint64_t RhikIndex::dram_bytes() const {
+  std::uint64_t bytes = (dir_.size() + ov_dir_.size()) * cfg_.ppa_bytes;
+  if (mig_) {
+    bytes += (mig_->old_dir.size() + mig_->old_ov.size()) * cfg_.ppa_bytes;
+  }
+  return bytes;
+}
+
+Status RhikIndex::flush() {
+  cache_.flush_all();
+  return checkpoint_directory();
+}
+
+}  // namespace rhik::index

@@ -1,0 +1,55 @@
+// Emulated KVSSD device configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/sim_clock.hpp"
+#include "flash/geometry.hpp"
+#include "flash/latency.hpp"
+#include "index/mlhash/mlhash_index.hpp"
+#include "index/rhik/config.hpp"
+
+namespace rhik::kvssd {
+
+enum class IndexKind : std::uint8_t {
+  kRhik,    ///< the paper's re-configurable two-level hash index
+  kMlHash,  ///< baseline multi-level hash index (Samsung KVSSD style)
+};
+
+struct DeviceConfig {
+  flash::Geometry geometry{};  ///< paper default: 32 KiB pages, 256/block
+  flash::NandLatency latency = flash::NandLatency::kvemu_defaults();
+
+  IndexKind index_kind = IndexKind::kRhik;
+  index::RhikConfig rhik{};
+  index::MlHashConfig mlhash{};
+
+  /// SSD DRAM budget for the index page cache (Fig. 5 uses 10 MB for a
+  /// 10 GB device — 1 MB per GB).
+  std::uint64_t dram_cache_bytes = 10 * 1024 * 1024;
+
+  /// Blocks withheld for GC relocation headroom.
+  std::uint32_t gc_reserve_blocks = 4;
+  /// Foreground GC runs until this many free blocks exist.
+  std::uint32_t gc_target_free_blocks = 6;
+
+  // -- Command processing model (KVEMU-style IOPS model) ---------------------
+  /// Fixed firmware + NVMe round-trip cost charged per command. In async
+  /// mode this cost is pipelined across the queue depth.
+  SimTime cmd_overhead_ns = 6 * kMicrosecond;
+  /// Queue depth for asynchronous submission.
+  std::uint32_t queue_depth = 64;
+
+  /// SNIA KV API key length cap.
+  std::uint32_t max_key_size = 255;
+
+  /// §VI extension: derive key signatures from a 4 B key-prefix hash plus
+  /// a 4 B suffix hash, enabling prefix iteration.
+  bool prefix_signatures = false;
+  /// §VI alternative: 128-bit signature generation for collision
+  /// analysis (the index still addresses by the low 64 bits).
+  bool wide_signatures = false;
+};
+
+}  // namespace rhik::kvssd

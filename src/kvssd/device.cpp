@@ -1,0 +1,352 @@
+#include "kvssd/device.hpp"
+
+#include <cassert>
+
+#include "hash/murmur.hpp"
+#include "index/mlhash/mlhash_index.hpp"
+#include "index/rhik/rhik_index.hpp"
+#include "kvssd/recovery.hpp"
+
+namespace rhik::kvssd {
+
+using flash::Ppa;
+
+KvssdDevice::KvssdDevice(DeviceConfig cfg)
+    : KvssdDevice(cfg, std::unique_ptr<flash::NandDevice>()) {}
+
+KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand)
+    : cfg_(cfg) {
+  assert(cfg_.geometry.valid());
+  if (nand) {
+    nand_ = std::move(nand);
+    nand_->rebind_clock(&clock_);
+  } else {
+    nand_ = std::make_unique<flash::NandDevice>(cfg_.geometry, cfg_.latency,
+                                                &clock_);
+  }
+  alloc_ = std::make_unique<ftl::PageAllocator>(nand_.get(), cfg_.gc_reserve_blocks);
+  store_ = std::make_unique<ftl::FlashKvStore>(nand_.get(), alloc_.get());
+  switch (cfg_.index_kind) {
+    case IndexKind::kRhik:
+      index_ = std::make_unique<index::RhikIndex>(nand_.get(), alloc_.get(),
+                                                  cfg_.rhik, cfg_.dram_cache_bytes);
+      break;
+    case IndexKind::kMlHash:
+      index_ = std::make_unique<index::MlHashIndex>(
+          nand_.get(), alloc_.get(), cfg_.mlhash, cfg_.dram_cache_bytes);
+      break;
+  }
+  gc_ = std::make_unique<ftl::GarbageCollector>(nand_.get(), alloc_.get(),
+                                                store_.get(), index_.get());
+  iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get());
+}
+
+KvssdDevice::~KvssdDevice() = default;
+
+Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
+    DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand) {
+  if (!nand) return Status::kInvalidArgument;
+  if (nand->geometry().capacity_bytes() != cfg.geometry.capacity_bytes() ||
+      nand->geometry().page_size != cfg.geometry.page_size) {
+    return Status::kInvalidArgument;
+  }
+  std::unique_ptr<KvssdDevice> dev(new KvssdDevice(cfg, std::move(nand)));
+  auto stats = recover_from_flash(*dev->nand_, *dev->alloc_, *dev->store_,
+                                  *dev->index_);
+  if (!stats) return stats.status();
+  dev->live_bytes_ = stats->live_bytes;
+  return dev;
+}
+
+std::unique_ptr<flash::NandDevice> KvssdDevice::release_nand() {
+  return std::move(nand_);
+}
+
+std::uint64_t KvssdDevice::signature(ByteSpan key) const {
+  if (cfg_.prefix_signatures) return hash::prefix_signature(key);
+  if (cfg_.wide_signatures) return hash::murmur3_128(key).lo;
+  return hash::murmur2_64(key);
+}
+
+void KvssdDevice::charge_command(bool async) {
+  const SimTime cost =
+      async ? cfg_.cmd_overhead_ns / std::max<std::uint32_t>(1, cfg_.queue_depth)
+            : cfg_.cmd_overhead_ns;
+  clock_.advance(cost);
+}
+
+Status KvssdDevice::maybe_gc() {
+  if (!alloc_->needs_gc()) return Status::kOk;
+  stats_.gc_invocations++;
+  const Status s = gc_->collect(cfg_.gc_target_free_blocks);
+  // kDeviceFull from GC means nothing reclaimable; the caller decides
+  // whether the foreground operation can still proceed.
+  return s == Status::kDeviceFull ? Status::kOk : s;
+}
+
+Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
+  if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
+  if (value.size() > store_->max_value_size(key.size())) {
+    return Status::kInvalidArgument;
+  }
+  if (Status s = maybe_gc(); !ok(s)) return s;
+
+  const std::uint64_t sig = signature(key);
+
+  // Key-exist check (§IV-A): if the signature maps to a stored pair we
+  // must fetch its key — an update keeps the index entry, while a
+  // different key with the same signature is an uncorrectable collision
+  // the device rejects (§VI "Collision Management").
+  std::optional<Ppa> old_ppa = index_->get(sig);
+  std::uint64_t old_total = 0;
+  if (old_ppa) {
+    auto meta = store_->read_pair_meta(*old_ppa, sig);
+    if (!meta) return meta.status();
+    if (ByteSpan{meta->key} .size() != key.size() ||
+        !std::equal(key.begin(), key.end(), meta->key.begin())) {
+      stats_.collision_rejects++;
+      return Status::kCollisionAbort;
+    }
+    old_total = meta->total_bytes;
+  }
+
+  auto new_ppa = store_->write_pair(sig, key, value);
+  if (!new_ppa && new_ppa.status() == Status::kDeviceFull) {
+    // Out of space mid-write: reclaim and retry once.
+    stats_.gc_invocations++;
+    if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
+        !ok(s) && s != Status::kDeviceFull) {
+      return s;
+    }
+    new_ppa = store_->write_pair(sig, key, value);
+  }
+  if (!new_ppa) {
+    if (new_ppa.status() == Status::kDeviceFull) stats_.device_full++;
+    return new_ppa.status();
+  }
+
+  const Status ist = index_->put(sig, *new_ppa);
+  if (!ok(ist)) {
+    // The pair hit flash but the index rejected the record: undo the
+    // liveness accounting so GC reclaims the orphan bytes.
+    store_->note_stale(*new_ppa,
+                       ftl::FlashKvStore::pair_bytes(key.size(), value.size()));
+    if (ist == Status::kCollisionAbort) stats_.collision_rejects++;
+    return ist;
+  }
+  if (old_ppa) {
+    store_->note_stale(*old_ppa, old_total);
+    live_bytes_ -= old_total;
+  }
+  live_bytes_ += ftl::FlashKvStore::pair_bytes(key.size(), value.size());
+  stats_.puts++;
+  stats_.bytes_put += value.size() + key.size();
+  return Status::kOk;
+}
+
+Status KvssdDevice::get_locked(ByteSpan key, Bytes* value_out) {
+  if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
+  const std::uint64_t sig = signature(key);
+  const std::optional<Ppa> ppa = index_->get(sig);
+  if (!ppa) {
+    stats_.not_found++;
+    return Status::kNotFound;
+  }
+  Bytes stored_key;
+  if (Status s = store_->read_pair(*ppa, sig, &stored_key, value_out); !ok(s)) {
+    return s;
+  }
+  // Full-key recheck defeats signature collisions (§IV-A3).
+  if (stored_key.size() != key.size() ||
+      !std::equal(key.begin(), key.end(), stored_key.begin())) {
+    stats_.not_found++;
+    if (value_out) value_out->clear();
+    return Status::kNotFound;
+  }
+  stats_.gets++;
+  if (value_out) stats_.bytes_got += value_out->size();
+  return Status::kOk;
+}
+
+Status KvssdDevice::del_locked(ByteSpan key) {
+  if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
+  const std::uint64_t sig = signature(key);
+  const std::optional<Ppa> ppa = index_->get(sig);
+  if (!ppa) {
+    stats_.not_found++;
+    return Status::kNotFound;
+  }
+  // Fetch and match the key before deleting (§IV-A), as a signature
+  // collision must not delete a different application's pair.
+  auto meta = store_->read_pair_meta(*ppa, sig);
+  if (!meta) return meta.status();
+  if (ByteSpan{meta->key}.size() != key.size() ||
+      !std::equal(key.begin(), key.end(), meta->key.begin())) {
+    stats_.not_found++;
+    return Status::kNotFound;
+  }
+  if (Status s = index_->erase(sig); !ok(s)) return s;
+  store_->note_stale(*ppa, meta->total_bytes);
+  live_bytes_ -= meta->total_bytes;
+
+  // Durable deletion record (crash recovery replays it). The bytes just
+  // freed make GC productive if the log is out of space; if even GC
+  // cannot help (everything else live), the tiny tombstone may dip into
+  // the GC reserve — deletion must always be possible on a full device.
+  auto ts = store_->write_tombstone(sig, key);
+  if (!ts && ts.status() == Status::kDeviceFull) {
+    stats_.gc_invocations++;
+    if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
+        !ok(s) && s != Status::kDeviceFull) {
+      return s;
+    }
+    ts = store_->write_tombstone(sig, key);
+    if (!ts && ts.status() == Status::kDeviceFull) {
+      ts = store_->write_tombstone(sig, key, /*for_gc=*/true);
+    }
+  }
+  if (!ts) return ts.status();
+  stats_.deletes++;
+  return Status::kOk;
+}
+
+Status KvssdDevice::put(ByteSpan key, ByteSpan value) {
+  const SimTime t0 = clock_.now();
+  charge_command(/*async=*/false);
+  const Status s = put_locked(key, value);
+  stats_.put_latency_ns.record(clock_.now() - t0);
+  return s;
+}
+
+Status KvssdDevice::get(ByteSpan key, Bytes* value_out) {
+  const SimTime t0 = clock_.now();
+  charge_command(/*async=*/false);
+  const Status s = get_locked(key, value_out);
+  stats_.get_latency_ns.record(clock_.now() - t0);
+  return s;
+}
+
+Status KvssdDevice::del(ByteSpan key) {
+  charge_command(/*async=*/false);
+  return del_locked(key);
+}
+
+Status KvssdDevice::exist(ByteSpan key) {
+  if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
+  charge_command(/*async=*/false);
+  stats_.exists++;
+  return index_->exists(signature(key)) ? Status::kOk : Status::kNotFound;
+}
+
+Status KvssdDevice::iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
+                                   std::size_t limit) {
+  if (keys_out == nullptr) return Status::kInvalidArgument;
+  auto handle = open_iterator(prefix);
+  if (!handle) return handle.status();
+  keys_out->clear();
+  std::vector<IteratorEntry> batch;
+  while (keys_out->size() < limit) {
+    const std::size_t want = std::min<std::size_t>(limit - keys_out->size(), 64);
+    const Status s = iterator_next(*handle, want, &batch);
+    if (s == Status::kNotFound) break;
+    if (!ok(s)) {
+      close_iterator(*handle);
+      return s;
+    }
+    for (auto& e : batch) keys_out->push_back(std::move(e.key));
+  }
+  return close_iterator(*handle);
+}
+
+Result<std::uint32_t> KvssdDevice::open_iterator(ByteSpan prefix,
+                                                 IteratorOptions opts) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  charge_command(/*async=*/false);
+  stats_.iterates++;
+  return iter_mgr_->open(prefix, opts);
+}
+
+Status KvssdDevice::iterator_next(std::uint32_t handle, std::size_t max_entries,
+                                  std::vector<IteratorEntry>* out) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  charge_command(/*async=*/false);
+  return iter_mgr_->next(handle, max_entries, out);
+}
+
+Status KvssdDevice::close_iterator(std::uint32_t handle) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  charge_command(/*async=*/false);
+  return iter_mgr_->close(handle);
+}
+
+Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
+  // One NVMe round trip for the whole group (compound command, [8]).
+  charge_command(/*async=*/false);
+  stats_.batches++;
+  for (BatchOp& op : ops) {
+    switch (op.kind) {
+      case BatchOp::Kind::kPut:
+        op.status = put_locked(op.key, op.value);
+        break;
+      case BatchOp::Kind::kGet:
+        op.status = get_locked(op.key, &op.value);
+        break;
+      case BatchOp::Kind::kDel:
+        op.status = del_locked(op.key);
+        break;
+      case BatchOp::Kind::kExist:
+        stats_.exists++;
+        op.status = index_->exists(signature(op.key)) ? Status::kOk
+                                                      : Status::kNotFound;
+        break;
+    }
+  }
+  return Status::kOk;
+}
+
+void KvssdDevice::submit_put(Bytes key, Bytes value, Callback cb) {
+  queue_.push_back({OpType::kPut, std::move(key), std::move(value), std::move(cb)});
+}
+
+void KvssdDevice::submit_get(Bytes key, Callback cb) {
+  queue_.push_back({OpType::kGet, std::move(key), {}, std::move(cb)});
+}
+
+void KvssdDevice::submit_del(Bytes key, Callback cb) {
+  queue_.push_back({OpType::kDel, std::move(key), {}, std::move(cb)});
+}
+
+std::size_t KvssdDevice::drain() {
+  std::size_t completed = 0;
+  Bytes value;
+  while (!queue_.empty()) {
+    QueuedOp op = std::move(queue_.front());
+    queue_.pop_front();
+    const SimTime t0 = clock_.now();
+    charge_command(/*async=*/true);
+    Status s = Status::kOk;
+    switch (op.type) {
+      case OpType::kPut:
+        s = put_locked(op.key, op.value);
+        stats_.put_latency_ns.record(clock_.now() - t0);
+        break;
+      case OpType::kGet:
+        s = get_locked(op.key, &value);
+        stats_.get_latency_ns.record(clock_.now() - t0);
+        break;
+      case OpType::kDel:
+        s = del_locked(op.key);
+        break;
+    }
+    if (op.cb) op.cb(s);
+    ++completed;
+  }
+  return completed;
+}
+
+Status KvssdDevice::flush() {
+  if (Status s = store_->flush(); !ok(s)) return s;
+  return index_->flush();
+}
+
+}  // namespace rhik::kvssd

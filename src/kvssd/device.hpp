@@ -1,0 +1,178 @@
+// Emulated Key-Value SSD (paper §II, §IV-C).
+//
+// Wires the substrates together the way Fig. 3 draws them: NAND array,
+// two allocation streams (KV zone / index zone), the log-structured KV
+// data path, a pluggable index (RHIK or the multi-level baseline) behind
+// a byte-budgeted DRAM cache, and the garbage collector.
+//
+// The command set mirrors the five vendor-specific NVMe commands of the
+// Samsung KVSSD: put, get, delete, exist, iterate (§II-A). Commands can
+// be issued synchronously or through an asynchronous submission queue;
+// async submission pipelines the fixed per-command overhead across the
+// queue depth, which is how the emulator reproduces the sync/async
+// throughput gap of Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "flash/nand.hpp"
+#include "ftl/gc.hpp"
+#include "ftl/kv_store.hpp"
+#include "ftl/page_allocator.hpp"
+#include "index/index.hpp"
+#include "kvssd/config.hpp"
+#include "kvssd/iterator.hpp"
+
+namespace rhik::kvssd {
+
+struct DeviceStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t exists = 0;
+  std::uint64_t iterates = 0;
+  std::uint64_t bytes_put = 0;
+  std::uint64_t bytes_got = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t batches = 0;            ///< compound commands executed
+  std::uint64_t collision_rejects = 0;  ///< index collision aborts (§IV-A1)
+  std::uint64_t device_full = 0;
+  std::uint64_t gc_invocations = 0;
+  Histogram put_latency_ns;
+  Histogram get_latency_ns;
+};
+
+class KvssdDevice {
+ public:
+  explicit KvssdDevice(DeviceConfig cfg);
+  ~KvssdDevice();
+
+  /// Power-loss recovery: rebuilds a device over the NAND array of a
+  /// previous instance (see kvssd/recovery.hpp). The config's geometry
+  /// must match the array's. Anything that was only in the previous
+  /// device's RAM write buffer is lost, as on real hardware.
+  static Result<std::unique_ptr<KvssdDevice>> recover(
+      DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand);
+
+  /// Relinquishes the NAND array (simulating power-off); the device must
+  /// not be used afterwards. Call flush() first for clean shutdown.
+  std::unique_ptr<flash::NandDevice> release_nand();
+
+  KvssdDevice(const KvssdDevice&) = delete;
+  KvssdDevice& operator=(const KvssdDevice&) = delete;
+
+  // -- Synchronous KV command set ---------------------------------------------
+  Status put(ByteSpan key, ByteSpan value);
+  Status get(ByteSpan key, Bytes* value_out);
+  Status del(ByteSpan key);
+  /// Membership by key signature only — probabilistic (§IV-A3): may
+  /// report kOk for an absent key on a signature collision.
+  Status exist(ByteSpan key);
+  /// §VI extension: enumerate stored keys sharing a prefix (one-shot
+  /// convenience over the iterator commands below). Requires
+  /// DeviceConfig::prefix_signatures. Keys are verified against the
+  /// actual prefix (flash reads), so results are exact.
+  Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
+                        std::size_t limit = SIZE_MAX);
+
+  // -- Iterator command set (§II-A; key+value iteration is the §VI
+  // -- extension absent from Samsung KVSSD) ----------------------------------
+  Result<std::uint32_t> open_iterator(ByteSpan prefix, IteratorOptions opts = {});
+  /// kOk with entries while any remain; kNotFound at iterator end.
+  Status iterator_next(std::uint32_t handle, std::size_t max_entries,
+                       std::vector<IteratorEntry>* out);
+  Status close_iterator(std::uint32_t handle);
+
+  /// Compound command (Kim et al., HotStorage'19 [8]): executes a group
+  /// of KV operations under a single NVMe round trip — one fixed command
+  /// overhead for the whole group. Per-op status (and get values) are
+  /// written back into the ops.
+  struct BatchOp {
+    enum class Kind : std::uint8_t { kPut, kGet, kDel, kExist } kind = Kind::kPut;
+    Bytes key;
+    Bytes value;  ///< put input / get output
+    Status status = Status::kOk;
+  };
+  Status execute_batch(std::vector<BatchOp>& ops);
+
+  // -- Asynchronous submission --------------------------------------------------
+  using Callback = std::function<void(Status)>;
+  void submit_put(Bytes key, Bytes value, Callback cb = {});
+  void submit_get(Bytes key, Callback cb = {});
+  void submit_del(Bytes key, Callback cb = {});
+  /// Executes all queued commands; returns how many completed.
+  std::size_t drain();
+
+  /// Persists buffered data and index state.
+  Status flush();
+
+  // -- Introspection ---------------------------------------------------------------
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] flash::NandDevice& nand() noexcept { return *nand_; }
+  [[nodiscard]] index::IIndex& index() noexcept { return *index_; }
+  [[nodiscard]] ftl::PageAllocator& allocator() noexcept { return *alloc_; }
+  [[nodiscard]] ftl::FlashKvStore& store() noexcept { return *store_; }
+  [[nodiscard]] ftl::GarbageCollector& gc() noexcept { return *gc_; }
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Number of live KV pairs (== index size).
+  [[nodiscard]] std::uint64_t key_count() const { return index_->size(); }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return nand_->geometry().capacity_bytes();
+  }
+  /// Bytes of live user data currently stored.
+  [[nodiscard]] std::uint64_t live_bytes() const noexcept { return live_bytes_; }
+
+  /// Key signature exactly as the device computes it (§IV-A).
+  [[nodiscard]] std::uint64_t signature(ByteSpan key) const;
+
+ private:
+  /// Shared wiring; `nand` may be an adopted (recovered) array.
+  KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand);
+
+  enum class OpType : std::uint8_t { kPut, kGet, kDel };
+  struct QueuedOp {
+    OpType type;
+    Bytes key;
+    Bytes value;
+    Callback cb;
+  };
+
+  Status put_locked(ByteSpan key, ByteSpan value);
+  Status get_locked(ByteSpan key, Bytes* value_out);
+  Status del_locked(ByteSpan key);
+
+  /// Charges the per-command cost; async commands amortize it over the
+  /// queue depth.
+  void charge_command(bool async);
+
+  /// Runs foreground GC if free space is low. Returns kDeviceFull only
+  /// when nothing could be reclaimed.
+  Status maybe_gc();
+
+  DeviceConfig cfg_;
+  SimClock clock_;
+  std::unique_ptr<flash::NandDevice> nand_;
+  std::unique_ptr<ftl::PageAllocator> alloc_;
+  std::unique_ptr<ftl::FlashKvStore> store_;
+  std::unique_ptr<index::IIndex> index_;
+  std::unique_ptr<ftl::GarbageCollector> gc_;
+
+  std::deque<QueuedOp> queue_;
+  std::unique_ptr<IteratorManager> iter_mgr_;
+  std::uint64_t live_bytes_ = 0;
+  DeviceStats stats_;
+};
+
+}  // namespace rhik::kvssd

@@ -1,0 +1,73 @@
+#include "kvssd/iterator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hash/murmur.hpp"
+
+namespace rhik::kvssd {
+
+IteratorManager::IteratorManager(index::IIndex* index, ftl::FlashKvStore* store)
+    : index_(index), store_(store) {
+  assert(index_ && store_);
+}
+
+Result<std::uint32_t> IteratorManager::open(ByteSpan prefix, IteratorOptions opts) {
+  if (prefix.empty()) return Status::kInvalidArgument;
+  if (iters_.size() >= kMaxOpenIterators) return Status::kBusy;
+
+  // Keys sharing the first 4 bytes share the high 32 signature bits
+  // (§VI; the device builds signatures over a 4 B prefix window). Longer
+  // user prefixes narrow within the class via the full-key check below.
+  const std::uint64_t want = hash::prefix_signature(prefix) >> 32;
+  OpenIterator it;
+  it.prefix.assign(prefix.begin(), prefix.end());
+  it.opts = opts;
+  if (Status s = index_->scan([&](std::uint64_t sig, flash::Ppa ppa) {
+        if ((sig >> 32) == want) it.candidates.emplace_back(sig, ppa);
+      });
+      !ok(s)) {
+    return s;
+  }
+  // Deterministic enumeration order.
+  std::sort(it.candidates.begin(), it.candidates.end());
+
+  const std::uint32_t handle = next_handle_++;
+  iters_.emplace(handle, std::move(it));
+  return handle;
+}
+
+Status IteratorManager::next(std::uint32_t handle, std::size_t max_entries,
+                             std::vector<IteratorEntry>* out) {
+  if (out == nullptr || max_entries == 0) return Status::kInvalidArgument;
+  const auto found = iters_.find(handle);
+  if (found == iters_.end()) return Status::kInvalidArgument;
+  OpenIterator& it = found->second;
+
+  out->clear();
+  while (out->size() < max_entries && it.pos < it.candidates.size()) {
+    const auto [sig, ppa] = it.candidates[it.pos++];
+    IteratorEntry entry;
+    if (it.opts.include_values) {
+      if (!ok(store_->read_pair(ppa, sig, &entry.key, &entry.value))) continue;
+    } else {
+      auto meta = store_->read_pair_meta(ppa, sig);
+      if (!meta || meta->tombstone) continue;
+      entry.key = std::move(meta->key);
+    }
+    // Weed out hash-class collisions with the real stored prefix.
+    if (entry.key.size() < it.prefix.size() ||
+        !std::equal(it.prefix.begin(), it.prefix.end(), entry.key.begin())) {
+      continue;
+    }
+    out->push_back(std::move(entry));
+  }
+  if (out->empty() && it.pos >= it.candidates.size()) return Status::kNotFound;
+  return Status::kOk;
+}
+
+Status IteratorManager::close(std::uint32_t handle) {
+  return iters_.erase(handle) != 0 ? Status::kOk : Status::kInvalidArgument;
+}
+
+}  // namespace rhik::kvssd

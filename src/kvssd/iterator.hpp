@@ -1,0 +1,73 @@
+// Iterator manager (paper §II-A, §VI).
+//
+// Samsung KVSSD exposes an `iterate` command that enumerates keys (or KV
+// pairs) matching a search prefix, served by a log-structured iterator
+// manager in firmware. RHIK §VI sketches how the same capability falls
+// out of its structure: build signatures from a 4 B prefix hash plus a
+// 4 B suffix hash, so all keys sharing a prefix form one signature class
+// that an index scan can enumerate.
+//
+// This manager implements that design: `open` snapshots the matching
+// (signature, PPA) set from the index; `next` returns batches of keys
+// (optionally with values), verifying the actual stored prefix to weed
+// out hash-class collisions. Like the real device, a bounded number of
+// iterators may be open at once.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ftl/kv_store.hpp"
+#include "index/index.hpp"
+
+namespace rhik::kvssd {
+
+struct IteratorEntry {
+  Bytes key;
+  Bytes value;  ///< filled only for key+value iterators
+};
+
+struct IteratorOptions {
+  bool include_values = false;  ///< KV iterator (absent in Samsung KVSSD, §VI)
+};
+
+class IteratorManager {
+ public:
+  /// Samsung firmware allows a handful of concurrent iterators.
+  static constexpr std::uint32_t kMaxOpenIterators = 16;
+
+  IteratorManager(index::IIndex* index, ftl::FlashKvStore* store);
+
+  /// Opens an iterator over keys starting with `prefix`. Snapshots the
+  /// candidate set (later mutations are not reflected, matching the
+  /// snapshot-ish semantics of the firmware iterator).
+  Result<std::uint32_t> open(ByteSpan prefix, IteratorOptions opts = {});
+
+  /// Fetches up to `max_entries` further entries. Returns kOk while
+  /// entries remain; kNotFound once the iterator is exhausted (the SNIA
+  /// ITERATOR_END condition); kInvalidArgument for a bad handle.
+  Status next(std::uint32_t handle, std::size_t max_entries,
+              std::vector<IteratorEntry>* out);
+
+  Status close(std::uint32_t handle);
+
+  [[nodiscard]] std::size_t open_count() const noexcept { return iters_.size(); }
+
+ private:
+  struct OpenIterator {
+    Bytes prefix;
+    IteratorOptions opts;
+    std::vector<std::pair<std::uint64_t, flash::Ppa>> candidates;
+    std::size_t pos = 0;
+  };
+
+  index::IIndex* index_;
+  ftl::FlashKvStore* store_;
+  std::unordered_map<std::uint32_t, OpenIterator> iters_;
+  std::uint32_t next_handle_ = 1;
+};
+
+}  // namespace rhik::kvssd

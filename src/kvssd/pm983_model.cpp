@@ -1,0 +1,32 @@
+#include "kvssd/pm983_model.hpp"
+
+#include <algorithm>
+
+namespace rhik::kvssd {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}
+
+double Pm983Model::throughput_ops(OpDir dir, bool async,
+                                  std::uint64_t value_size) const {
+  const double size = static_cast<double>(std::max<std::uint64_t>(1, value_size));
+  if (async) {
+    const double iops = dir == OpDir::kWrite ? write_iops_cap : read_iops_cap;
+    const double bw = (dir == OpDir::kWrite ? write_bw_mib : read_bw_mib) * kMiB;
+    return std::min(iops, bw / size);
+  }
+  const double lat_us = dir == OpDir::kWrite ? write_latency_us : read_latency_us;
+  const double bw = (dir == OpDir::kWrite ? write_bw_mib : read_bw_mib) * kMiB;
+  // One outstanding command: fixed round trip plus transfer time.
+  const double per_op_s = lat_us * 1e-6 + size / bw;
+  return 1.0 / per_op_s;
+}
+
+double Pm983Model::throughput_mib(OpDir dir, bool async,
+                                  std::uint64_t value_size) const {
+  return throughput_ops(dir, async, value_size) *
+         static_cast<double>(value_size) / kMiB;
+}
+
+}  // namespace rhik::kvssd

@@ -1,0 +1,38 @@
+// Analytic throughput model of the Samsung PM983 KVSSD.
+//
+// The paper's Fig. 6 compares three systems: the real PM983 KVSSD, the
+// stock OpenMPDK emulator, and RHIK. We do not have the hardware, so the
+// "KVSSD" series is generated from this calibrated analytic model
+// (substitution documented in DESIGN.md). Constants approximate the
+// publicly reported behaviour of the PM983 KV firmware: key-handling
+// dominates small-value ops (tens of kIOPS), large values saturate the
+// channel bandwidth, and sync mode is round-trip-latency bound.
+// Fig. 6 plots *normalized* throughput, so only the shape matters.
+#pragma once
+
+#include <cstdint>
+
+namespace rhik::kvssd {
+
+enum class OpDir : std::uint8_t { kRead, kWrite };
+
+struct Pm983Model {
+  // Async mode: min(IOPS cap, bandwidth cap).
+  double write_iops_cap = 45e3;   ///< small-value KV write ops/s
+  double write_bw_mib = 900.0;    ///< large-value write bandwidth
+  double read_iops_cap = 220e3;   ///< small-value KV read ops/s
+  double read_bw_mib = 2400.0;    ///< large-value read bandwidth
+  // Sync mode: one command in flight; throughput = 1 / latency.
+  double write_latency_us = 110.0;
+  double read_latency_us = 95.0;
+
+  /// Throughput in MiB/s for the given op, mode and value size.
+  [[nodiscard]] double throughput_mib(OpDir dir, bool async,
+                                      std::uint64_t value_size) const;
+
+  /// Throughput in operations per second.
+  [[nodiscard]] double throughput_ops(OpDir dir, bool async,
+                                      std::uint64_t value_size) const;
+};
+
+}  // namespace rhik::kvssd

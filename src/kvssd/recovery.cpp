@@ -1,0 +1,84 @@
+#include "kvssd/recovery.hpp"
+
+#include <unordered_map>
+
+#include "ftl/layout.hpp"
+
+namespace rhik::kvssd {
+
+using flash::Ppa;
+
+Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
+                                         ftl::PageAllocator& alloc,
+                                         ftl::FlashKvStore& store,
+                                         index::IIndex& index) {
+  const auto& g = nand.geometry();
+  RecoveryStats stats;
+
+  // Newest version of each signature seen so far in the log.
+  struct Winner {
+    std::uint64_t seq = 0;
+    std::size_t offset = 0;
+    Ppa ppa = flash::kInvalidPpa;
+    std::uint64_t pair_bytes = 0;
+    bool tombstone = false;
+  };
+  std::unordered_map<std::uint64_t, Winner> winners;
+
+  Bytes page(g.page_size);
+  Bytes spare(g.spare_size());
+
+  for (std::uint32_t block = 0; block < g.num_blocks; ++block) {
+    const std::uint32_t used = nand.pages_programmed(block);
+    if (used == 0) continue;
+
+    // The block's stream comes from its first page's tag.
+    if (Status s = nand.read_page(flash::make_ppa(g, block, 0), {}, spare); !ok(s)) {
+      return s;
+    }
+    const ftl::SpareTag first = ftl::SpareTag::decode(spare);
+    if (Status s = alloc.adopt_block(block, first.stream, used); !ok(s)) return s;
+    stats.blocks_adopted++;
+
+    if (first.stream != ftl::Stream::kData) continue;  // index zone: all stale
+
+    for (std::uint32_t pg = 0; pg < used; ++pg) {
+      const Ppa ppa = flash::make_ppa(g, block, pg);
+      if (Status s = nand.read_page(ppa, page, spare); !ok(s)) return s;
+      const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
+      if (tag.kind != ftl::PageKind::kDataHead) continue;  // continuation
+      stats.data_pages_scanned++;
+
+      const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+      if (seq > stats.max_seq) stats.max_seq = seq;
+
+      const auto pairs = ftl::parse_head_page(page, g.page_size);
+      if (!pairs) return Status::kCorruption;
+      for (const auto& p : *pairs) {
+        stats.pairs_seen++;
+        if (p.header.tombstone) stats.tombstones_seen++;
+        Winner& w = winners[p.header.sig];
+        if (w.ppa == flash::kInvalidPpa || seq > w.seq ||
+            (seq == w.seq && p.offset > w.offset)) {
+          w = Winner{seq, p.offset, ppa, p.header.pair_bytes(),
+                     p.header.tombstone};
+        }
+      }
+    }
+  }
+
+  // Install the winners: live pairs enter the index; tombstones (and
+  // nothing else) keep their liveness so GC preserves them.
+  for (const auto& [sig, w] : winners) {
+    alloc.add_live(w.ppa, w.pair_bytes);
+    if (w.tombstone) continue;
+    if (Status s = index.put(sig, w.ppa); !ok(s)) return s;
+    stats.keys_recovered++;
+    stats.live_bytes += w.pair_bytes;
+  }
+
+  store.set_next_seq(stats.max_seq + 1);
+  return stats;
+}
+
+}  // namespace rhik::kvssd

@@ -1,0 +1,52 @@
+// Crash / power-loss recovery.
+//
+// The paper motivates storing key signatures alongside the data in every
+// flash page precisely so that "efficient garbage collection and crash
+// consistency algorithms" can reconstruct state from flash (§I). This
+// module implements that reconstruction for the emulated device:
+//
+//  1. Allocator state is rebuilt from the spare-area tags: every block
+//     with programmed pages is adopted as sealed; empty blocks are free.
+//  2. The index is rebuilt from the data log alone. Head pages carry a
+//     monotonically increasing sequence number; pairs are globally
+//     ordered by (page seq, in-page offset), so the newest version of
+//     every signature wins, and a newest-version tombstone (durable
+//     deletion record) means the key is absent.
+//  3. Old index-zone pages are deliberately ignored: they carry no live
+//     accounting after recovery, so GC reclaims them wholesale. The
+//     directory-checkpoint fast path (RhikIndex::load_directory) remains
+//     available for clean shutdowns.
+//
+// Whatever sat in the device's RAM write buffer at crash time was never
+// programmed and is — correctly — not recovered.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "flash/nand.hpp"
+#include "ftl/kv_store.hpp"
+#include "ftl/page_allocator.hpp"
+#include "index/index.hpp"
+
+namespace rhik::kvssd {
+
+struct RecoveryStats {
+  std::uint64_t blocks_adopted = 0;
+  std::uint64_t data_pages_scanned = 0;
+  std::uint64_t pairs_seen = 0;
+  std::uint64_t tombstones_seen = 0;
+  std::uint64_t keys_recovered = 0;
+  std::uint64_t live_bytes = 0;  ///< live user data after recovery
+  std::uint64_t max_seq = 0;
+};
+
+/// Scans the adopted NAND and reconstructs allocator, store sequence and
+/// index state. `alloc`, `store` and `index` must be freshly constructed
+/// over `nand` and untouched.
+Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
+                                         ftl::PageAllocator& alloc,
+                                         ftl::FlashKvStore& store,
+                                         index::IIndex& index);
+
+}  // namespace rhik::kvssd

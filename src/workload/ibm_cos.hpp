@@ -1,0 +1,51 @@
+// IBM Cloud Object Store trace synthesis (paper Fig. 5).
+//
+// The paper replays production IBM COS KV traces from eight clusters on a
+// KVSSD whose FTL cache budget is 10 MB. We do not have the traces, so we
+// synthesize per-cluster workloads with the properties Fig. 5 actually
+// depends on (substitution documented in DESIGN.md):
+//   * key cardinality relative to the cache budget — four clusters
+//     (022, 026, 052, 072) need far less index than the cache holds, two
+//     (001, 081) are near the budget, two (083, 096) far exceed it;
+//   * object-storage access skew (zipfian) and a read-heavy mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/keygen.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/trace.hpp"
+
+namespace rhik::workload {
+
+struct CosClusterProfile {
+  std::string name;
+  std::uint64_t num_keys = 0;    ///< working-set cardinality
+  double read_fraction = 0.9;    ///< GET share of the measured phase
+  double zipf_theta = 0.9;
+  std::uint64_t value_lo = 256;  ///< object size range (scaled down)
+  std::uint64_t value_hi = 4096;
+  std::uint64_t measured_ops = 0;  ///< ops in the measured phase
+
+  /// Index pages this cluster's keys need (RHIK record geometry).
+  [[nodiscard]] std::uint64_t index_bytes(std::uint32_t page_size,
+                                          std::uint32_t records_per_page) const {
+    const std::uint64_t pages =
+        (num_keys + records_per_page - 1) / records_per_page;
+    return pages * page_size;
+  }
+};
+
+/// The eight clusters of Fig. 5, scaled by `scale` (1.0 reproduces the
+/// default calibration: cache budget 10 MB <=> ~600 K keys of index).
+std::vector<CosClusterProfile> ibm_cos_profiles(double scale = 1.0);
+
+/// Load phase: one put per key (ids 0..num_keys-1).
+Trace cos_load_trace(const CosClusterProfile& profile, std::uint64_t seed);
+
+/// Measured phase: zipfian gets/puts per the profile's mix.
+Trace cos_measure_trace(const CosClusterProfile& profile, std::uint64_t seed);
+
+}  // namespace rhik::workload

@@ -1,0 +1,46 @@
+#include "workload/keygen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rhik::workload {
+
+Bytes key_for_id(std::uint64_t id, std::uint32_t key_size) {
+  assert(key_size >= 4);
+  Bytes key(key_size);
+  // Leading tag + hex id (fits 16 B keys with "k" + 15 hex digits when
+  // short); deterministic mixed padding beyond.
+  static constexpr char kHex[] = "0123456789abcdef";
+  key[0] = 'k';
+  const std::uint32_t digits = std::min<std::uint32_t>(16, key_size - 1);
+  for (std::uint32_t i = 0; i < digits; ++i) {
+    key[1 + i] = static_cast<std::uint8_t>(
+        kHex[(id >> (4 * (digits - 1 - i))) & 0xF]);
+  }
+  std::uint64_t pad = id ^ 0x70616464ULL;  // "padd"
+  for (std::uint32_t i = 1 + digits; i < key_size; ++i) {
+    key[i] = static_cast<std::uint8_t>('a' + (splitmix64(pad) % 26));
+  }
+  return key;
+}
+
+void fill_value(std::uint64_t id, MutByteSpan out) {
+  std::uint64_t state = id * 0x9e3779b97f4a7c15ULL + 0x76616c75ULL;  // "valu"
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; i < out.size(); ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+  }
+}
+
+bool check_value(std::uint64_t id, ByteSpan value) {
+  Bytes expect(value.size());
+  fill_value(id, expect);
+  return std::equal(value.begin(), value.end(), expect.begin());
+}
+
+}  // namespace rhik::workload

@@ -1,0 +1,84 @@
+#include "workload/replay.hpp"
+
+#include "workload/keygen.hpp"
+
+namespace rhik::workload {
+
+double ReplayResult::throughput_mib() const {
+  return mib_per_sec(bytes_written + bytes_read, elapsed);
+}
+
+double ReplayResult::throughput_ops() const {
+  return ops_per_sec(ops, elapsed);
+}
+
+ReplayResult replay(kvssd::KvssdDevice& device, const Trace& trace,
+                    const ReplayOptions& opts) {
+  ReplayResult result;
+  const SimTime t0 = device.clock().now();
+  Bytes value;
+  std::uint32_t in_flight = 0;
+
+  const auto note = [&result](Status s) {
+    if (s == Status::kNotFound) {
+      result.not_found++;
+    } else if (!ok(s)) {
+      result.failed_ops++;
+    }
+  };
+
+  for (const TraceOp& op : trace) {
+    const Bytes key = key_for_id(op.key_id, opts.key_size);
+    switch (op.type) {
+      case OpType::kPut: {
+        value.resize(op.value_size);
+        fill_value(op.key_id, value);
+        result.bytes_written += value.size();
+        if (opts.async) {
+          device.submit_put(key, value, note);
+          in_flight++;
+        } else {
+          note(device.put(key, value));
+        }
+        break;
+      }
+      case OpType::kGet: {
+        if (opts.async) {
+          device.submit_get(key, note);
+          in_flight++;
+        } else {
+          const Status s = device.get(key, &value);
+          note(s);
+          if (ok(s)) {
+            result.bytes_read += value.size();
+            if (opts.verify_values && !check_value(op.key_id, value)) {
+              result.failed_ops++;
+            }
+          }
+        }
+        break;
+      }
+      case OpType::kDel:
+        if (opts.async) {
+          device.submit_del(key, note);
+          in_flight++;
+        } else {
+          note(device.del(key));
+        }
+        break;
+      case OpType::kExist:
+        note(device.exist(key));
+        break;
+    }
+    result.ops++;
+    if (opts.async && in_flight >= opts.async_batch) {
+      device.drain();
+      in_flight = 0;
+    }
+  }
+  if (opts.async) device.drain();
+  result.elapsed = device.clock().now() - t0;
+  return result;
+}
+
+}  // namespace rhik::workload

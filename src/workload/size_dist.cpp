@@ -1,0 +1,99 @@
+#include "workload/size_dist.hpp"
+
+#include <cassert>
+
+namespace rhik::workload {
+
+SizeDistribution::SizeDistribution(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets)) {
+  assert(!buckets_.empty());
+  double total = 0;
+  for (const auto& b : buckets_) {
+    assert(b.lo >= 1 && b.lo <= b.hi && b.weight > 0);
+    total += b.weight;
+  }
+  double acc = 0;
+  cdf_.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    acc += b.weight / total;
+    cdf_.push_back(acc);
+    mean_ += (b.weight / total) *
+             (static_cast<double>(b.lo) + static_cast<double>(b.hi)) / 2.0;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::uint64_t SizeDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  std::size_t i = 0;
+  while (i + 1 < cdf_.size() && u >= cdf_[i]) ++i;
+  return rng.next_range(buckets_[i].lo, buckets_[i].hi);
+}
+
+SizeDistribution::PairRange SizeDistribution::pair_count_range(
+    std::uint64_t capacity_bytes) const {
+  double smallest_mean = 0;
+  double largest_mean = 0;
+  std::uint64_t smallest_lo = UINT64_MAX;
+  std::uint64_t largest_hi = 0;
+  for (const auto& b : buckets_) {
+    const double m = (static_cast<double>(b.lo) + static_cast<double>(b.hi)) / 2.0;
+    if (b.lo < smallest_lo) {
+      smallest_lo = b.lo;
+      smallest_mean = m;
+    }
+    if (b.hi > largest_hi) {
+      largest_hi = b.hi;
+      largest_mean = m;
+    }
+  }
+  return {static_cast<double>(capacity_bytes) / largest_mean,
+          static_cast<double>(capacity_bytes) / smallest_mean};
+}
+
+SizeDistribution SizeDistribution::atlas_write() {
+  constexpr std::uint64_t KB = 1024;
+  return SizeDistribution({
+      {1, 4 * KB, 1.2},
+      {4 * KB + 1, 16 * KB, 1.0},
+      {16 * KB + 1, 32 * KB, 0.8},
+      {32 * KB + 1, 64 * KB, 1.2},
+      {64 * KB + 1, 128 * KB, 1.7},
+      {128 * KB + 1, 256 * KB, 94.1},
+  });
+}
+
+SizeDistribution SizeDistribution::fb_memcached_etc() {
+  constexpr std::uint64_t KB = 1024;
+  return SizeDistribution({
+      {1, 11, 40.0},
+      {12, 100, 10.0},
+      {101, KB, 45.0},
+      {KB + 1, 1024 * KB, 5.0},
+  });
+}
+
+SizeDistribution SizeDistribution::rocksdb_udb() {
+  // UDB: avg key 27.1 B, avg value 126.7 B -> ~153 B pairs.
+  return SizeDistribution({{64, 242, 1.0}});
+}
+
+SizeDistribution SizeDistribution::rocksdb_zippydb() {
+  // ZippyDB: avg pair ~ 90 B.
+  return SizeDistribution({{40, 140, 1.0}});
+}
+
+SizeDistribution SizeDistribution::rocksdb_up2x() {
+  // UP2X: avg key 10.45 B, avg value 46.8 B -> ~57 B pairs.
+  return SizeDistribution({{24, 90, 1.0}});
+}
+
+SizeDistribution SizeDistribution::fixed(std::uint64_t size) {
+  return SizeDistribution({{size, size, 1.0}});
+}
+
+SizeDistribution SizeDistribution::uniform(std::uint64_t lo, std::uint64_t hi) {
+  return SizeDistribution({{lo, hi, 1.0}});
+}
+
+}  // namespace rhik::workload

@@ -1,0 +1,73 @@
+// Request-size distributions (paper Table I).
+//
+// Piecewise-uniform buckets with relative weights, plus the presets the
+// paper analyses: Baidu Atlas write sizes, Facebook Memcached ETC sizes,
+// and the FAST'20 RocksDB deployment averages (UDB / ZippyDB / UP2X).
+// The key-count projection methods reproduce the Table I analysis of how
+// many KV pairs a 4 TB device must index for each workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rhik::workload {
+
+class SizeDistribution {
+ public:
+  struct Bucket {
+    std::uint64_t lo = 1;  ///< inclusive
+    std::uint64_t hi = 1;  ///< inclusive
+    double weight = 1.0;   ///< relative probability mass
+  };
+
+  explicit SizeDistribution(std::vector<Bucket> buckets);
+
+  /// Draws a size: bucket by weight, uniform within the bucket.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  /// Expected request size.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Table I projection: number of pairs if a device of `capacity_bytes`
+  /// were filled entirely with requests of the mean size.
+  [[nodiscard]] double expected_pairs(std::uint64_t capacity_bytes) const {
+    return static_cast<double>(capacity_bytes) / mean_;
+  }
+
+  /// Table I range: [capacity / mean(largest bucket),
+  ///                 capacity / mean(smallest bucket)] — the spread of
+  /// key counts between a workload of only-large and only-small requests.
+  struct PairRange {
+    double min_pairs = 0;
+    double max_pairs = 0;
+  };
+  [[nodiscard]] PairRange pair_count_range(std::uint64_t capacity_bytes) const;
+
+  [[nodiscard]] const std::vector<Bucket>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  // -- Presets -----------------------------------------------------------------
+  /// Baidu Atlas write request sizes (Table I, left).
+  static SizeDistribution atlas_write();
+  /// Facebook Memcached ETC request sizes (Table I, right).
+  static SizeDistribution fb_memcached_etc();
+  /// RocksDB at Facebook (FAST'20): average pair sizes 57–153 B.
+  static SizeDistribution rocksdb_udb();
+  static SizeDistribution rocksdb_zippydb();
+  static SizeDistribution rocksdb_up2x();
+  /// Degenerate single size.
+  static SizeDistribution fixed(std::uint64_t size);
+  /// Uniform in [lo, hi].
+  static SizeDistribution uniform(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<double> cdf_;
+  double mean_ = 0;
+};
+
+}  // namespace rhik::workload

@@ -1,0 +1,70 @@
+#include "workload/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace rhik::workload {
+
+namespace {
+
+const char* op_name(OpType t) {
+  switch (t) {
+    case OpType::kPut: return "put";
+    case OpType::kGet: return "get";
+    case OpType::kDel: return "del";
+    case OpType::kExist: return "exist";
+  }
+  return "?";
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status save_trace(const Trace& trace, const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::kIoError;
+  for (const auto& op : trace) {
+    if (std::fprintf(f.get(), "%s,%" PRIu64 ",%u\n", op_name(op.type), op.key_id,
+                     op.value_size) < 0) {
+      return Status::kIoError;
+    }
+  }
+  return Status::kOk;
+}
+
+Result<Trace> load_trace(const std::string& path) {
+  File f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::kIoError;
+  Trace trace;
+  char opbuf[16];
+  std::uint64_t id = 0;
+  unsigned size = 0;
+  while (std::fscanf(f.get(), "%15[a-z],%" SCNu64 ",%u\n", opbuf, &id, &size) == 3) {
+    TraceOp op;
+    const std::string name(opbuf);
+    if (name == "put") {
+      op.type = OpType::kPut;
+    } else if (name == "get") {
+      op.type = OpType::kGet;
+    } else if (name == "del") {
+      op.type = OpType::kDel;
+    } else if (name == "exist") {
+      op.type = OpType::kExist;
+    } else {
+      return Status::kCorruption;
+    }
+    op.key_id = id;
+    op.value_size = size;
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace rhik::workload

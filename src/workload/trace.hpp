@@ -1,0 +1,29 @@
+// Trace representation: an ordered list of KV operations on key ids.
+//
+// Traces are synthesized (IBM COS profiles, KVBench patterns) or loaded
+// from a simple CSV so users can replay their own (examples/trace_replay).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace rhik::workload {
+
+enum class OpType : std::uint8_t { kPut, kGet, kDel, kExist };
+
+struct TraceOp {
+  OpType type = OpType::kPut;
+  std::uint64_t key_id = 0;
+  std::uint32_t value_size = 0;  ///< puts only
+};
+
+using Trace = std::vector<TraceOp>;
+
+/// CSV format, one op per line: `put|get|del|exist,<key_id>,<value_size>`.
+Status save_trace(const Trace& trace, const std::string& path);
+Result<Trace> load_trace(const std::string& path);
+
+}  // namespace rhik::workload

@@ -1,0 +1,98 @@
+// Tests for the SNIA-style host API wrapper.
+#include <gtest/gtest.h>
+
+#include "api/kvs.hpp"
+
+namespace rhik::api {
+namespace {
+
+KvsDeviceOptions small_opts() {
+  KvsDeviceOptions opts;
+  opts.capacity_bytes = 64ull << 20;  // 64 MiB emulated device
+  opts.dram_cache_bytes = 1 << 20;
+  return opts;
+}
+
+TEST(KvsApi, StatusMapping) {
+  EXPECT_EQ(from_status(Status::kOk), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(from_status(Status::kNotFound), KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  EXPECT_EQ(from_status(Status::kDeviceFull), KvsResult::KVS_ERR_CONT_FULL);
+  EXPECT_EQ(from_status(Status::kCollisionAbort),
+            KvsResult::KVS_ERR_UNCORRECTIBLE);
+  EXPECT_EQ(from_status(Status::kUnsupported),
+            KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED);
+}
+
+TEST(KvsApi, ResultStrings) {
+  EXPECT_STREQ(to_string(KvsResult::KVS_SUCCESS), "KVS_SUCCESS");
+  EXPECT_STREQ(to_string(KvsResult::KVS_ERR_KEY_NOT_EXIST),
+               "KVS_ERR_KEY_NOT_EXIST");
+}
+
+TEST(KvsApi, StoreRetrieveRemove) {
+  KvsDevice dev(small_opts());
+  EXPECT_EQ(dev.store("user:1", "alice"), KvsResult::KVS_SUCCESS);
+  Bytes value;
+  EXPECT_EQ(dev.retrieve("user:1", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "alice");
+  EXPECT_EQ(dev.exist("user:1"), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(dev.remove("user:1"), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(dev.retrieve("user:1", &value), KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  EXPECT_EQ(dev.exist("user:1"), KvsResult::KVS_ERR_KEY_NOT_EXIST);
+}
+
+TEST(KvsApi, InvalidKeyRejected) {
+  KvsDevice dev(small_opts());
+  EXPECT_EQ(dev.store("", "v"), KvsResult::KVS_ERR_KEY_LENGTH_INVALID);
+}
+
+TEST(KvsApi, IteratorDisabledByDefault) {
+  KvsDevice dev(small_opts());
+  std::vector<std::string> keys;
+  EXPECT_EQ(dev.iterate("user", &keys),
+            KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED);
+}
+
+TEST(KvsApi, IteratorEnumeratesPrefix) {
+  KvsDeviceOptions opts = small_opts();
+  opts.enable_iterator = true;
+  KvsDevice dev(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(dev.store("sess:" + std::to_string(i), "s"), KvsResult::KVS_SUCCESS);
+    ASSERT_EQ(dev.store("blob:" + std::to_string(i), "b"), KvsResult::KVS_SUCCESS);
+  }
+  std::vector<std::string> keys;
+  ASSERT_EQ(dev.iterate("sess", &keys), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(keys.size(), 10u);
+  for (const auto& k : keys) EXPECT_EQ(k.substr(0, 5), "sess:");
+}
+
+TEST(KvsApi, MlHashBackendSelectable) {
+  KvsDeviceOptions opts = small_opts();
+  opts.use_rhik = false;
+  opts.anticipated_keys = 10000;
+  KvsDevice dev(opts);
+  EXPECT_EQ(dev.store("a", "1"), KvsResult::KVS_SUCCESS);
+  Bytes value;
+  EXPECT_EQ(dev.retrieve("a", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "1");
+}
+
+TEST(KvsApi, AnticipatedKeysSizesRhik) {
+  KvsDeviceOptions opts = small_opts();
+  opts.anticipated_keys = 100000;
+  KvsDevice dev(opts);
+  // Eq. 2: 100000 keys / (32768/17 = 1927 records per 32 KiB page) ->
+  // 52 pages -> 64 directory entries.
+  EXPECT_GE(dev.device().index().capacity(), 100000u);
+}
+
+TEST(KvsApi, UnderlyingDeviceAccessible) {
+  KvsDevice dev(small_opts());
+  ASSERT_EQ(dev.store("x", "y"), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(dev.device().key_count(), 1u);
+  EXPECT_GT(dev.device().clock().now(), 0u);
+}
+
+}  // namespace
+}  // namespace rhik::api

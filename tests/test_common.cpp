@@ -1,0 +1,238 @@
+// Unit tests for src/common: status/result, simulated clock, histogram,
+// RNG/zipfian, and byte encoding helpers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+
+namespace rhik {
+namespace {
+
+TEST(Status, NamesAreStable) {
+  EXPECT_EQ(to_string(Status::kOk), "OK");
+  EXPECT_EQ(to_string(Status::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(to_string(Status::kCollisionAbort), "COLLISION_ABORT");
+  EXPECT_EQ(to_string(Status::kDeviceFull), "DEVICE_FULL");
+}
+
+TEST(Status, OkPredicate) {
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kIoError));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::kOk);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::kNotFound);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status(), Status::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r);
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(5 * kMicrosecond);
+  clock.advance(3 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kMicrosecond + 3 * kMillisecond);
+  EXPECT_EQ(clock.total_stall(), 0u);
+}
+
+TEST(SimClock, StallTracking) {
+  SimClock clock;
+  clock.advance_stall(2 * kMillisecond);
+  clock.advance(kMillisecond);
+  EXPECT_EQ(clock.total_stall(), 2 * kMillisecond);
+  EXPECT_EQ(clock.now(), 3 * kMillisecond);
+}
+
+TEST(SimClock, StallWindowReclassifies) {
+  SimClock clock;
+  clock.advance(kSecond);
+  const SimTime begin = clock.stall_window_begin();
+  clock.advance(7 * kMillisecond);
+  clock.stall_window_end(begin);
+  EXPECT_EQ(clock.total_stall(), 7 * kMillisecond);
+  EXPECT_EQ(clock.now(), kSecond + 7 * kMillisecond);
+}
+
+TEST(SimClock, Reset) {
+  SimClock clock;
+  clock.advance_stall(kSecond);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0u);
+  EXPECT_EQ(clock.total_stall(), 0u);
+}
+
+TEST(SimClock, RateHelpers) {
+  // 1 MiB in 1 second = 1 MiB/s.
+  EXPECT_DOUBLE_EQ(mib_per_sec(1 << 20, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ops_per_sec(1000, kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(mib_per_sec(123, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ops_per_sec(123, 0), 0.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 99u);
+  EXPECT_NEAR(h.mean(), 49.5, 1e-9);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(99), 99.0, 1.0);
+}
+
+TEST(Histogram, LargeValuesApproximate) {
+  Histogram h;
+  h.record(1'000'000);
+  h.record(2'000'000);
+  h.record(4'000'000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 4'000'000u);
+  // p100 lands in the top bucket; bounded relative error.
+  EXPECT_NEAR(h.percentile(100), 4'000'000.0, 4'000'000.0 / 8);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(static_cast<std::uint64_t>(i % 10));
+  EXPECT_DOUBLE_EQ(h.cdf(9), 1.0);
+  EXPECT_NEAR(h.cdf(4), 0.5, 0.01);
+  EXPECT_LE(h.cdf(2), h.cdf(5));
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.record(1);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+}
+
+TEST(Histogram, RecordNWeighted) {
+  Histogram h;
+  h.record_n(5, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> counts{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[rng.next_below(8)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Zipfian, SkewsTowardHead) {
+  Rng rng(5);
+  Zipfian zipf(10000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.next(rng)]++;
+  // Rank 0 should dominate and all draws stay in range.
+  EXPECT_GT(counts[0], n / 20);
+  for (const auto& [k, _] : counts) EXPECT_LT(k, 10000u);
+  EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST(Zipfian, LowThetaFlatter) {
+  Rng r1(5), r2(5);
+  Zipfian skewed(1000, 0.99), flat(1000, 0.2);
+  int head_skewed = 0, head_flat = 0;
+  for (int i = 0; i < 50000; ++i) {
+    head_skewed += (skewed.next(r1) < 10);
+    head_flat += (flat.next(r2) < 10);
+  }
+  EXPECT_GT(head_skewed, head_flat * 2);
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  Bytes buf(32, 0);
+  put_u16(buf, 0, 0xBEEF);
+  put_u32(buf, 2, 0xDEADBEEF);
+  put_u64(buf, 6, 0x0123456789ABCDEFull);
+  put_u40(buf, 14, 0x1234567890ull);
+  EXPECT_EQ(get_u16(buf, 0), 0xBEEF);
+  EXPECT_EQ(get_u32(buf, 2), 0xDEADBEEFu);
+  EXPECT_EQ(get_u64(buf, 6), 0x0123456789ABCDEFull);
+  EXPECT_EQ(get_u40(buf, 14), 0x1234567890ull);
+}
+
+TEST(Bytes, U40MaxValue) {
+  Bytes buf(5, 0);
+  const std::uint64_t max40 = (std::uint64_t{1} << 40) - 1;
+  put_u40(buf, 0, max40);
+  EXPECT_EQ(get_u40(buf, 0), max40);
+}
+
+TEST(Bytes, StringConversion) {
+  const std::string s = "hello";
+  const ByteSpan span = as_bytes(s);
+  EXPECT_EQ(span.size(), 5u);
+  EXPECT_EQ(rhik::to_string(span), s);
+}
+
+TEST(Bytes, SizeLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648ull);
+}
+
+}  // namespace
+}  // namespace rhik

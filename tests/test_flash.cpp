@@ -1,0 +1,174 @@
+// Unit tests for the NAND flash model: geometry, addressing, program/
+// erase discipline, latency accounting, wear tracking.
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hpp"
+#include "flash/address.hpp"
+#include "flash/geometry.hpp"
+#include "flash/latency.hpp"
+#include "flash/nand.hpp"
+
+namespace rhik::flash {
+namespace {
+
+Geometry tiny() { return Geometry::tiny(8); }  // 4 KiB pages, 16/block, 8 blocks
+
+class NandTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  NandDevice nand_{tiny(), NandLatency::kvemu_defaults(), &clock_};
+};
+
+TEST(Geometry, PaperDefaults) {
+  Geometry g;
+  EXPECT_EQ(g.page_size, 32u * 1024);      // §V-A: 32 KB pages
+  EXPECT_EQ(g.pages_per_block, 256u);      // §V-A: 256 pages per erase block
+  EXPECT_EQ(g.spare_size(), 1024u);        // 1/32 of the main area (§I fn 1)
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, CapacityMath) {
+  Geometry g = tiny();
+  EXPECT_EQ(g.pages_total(), 8u * 16);
+  EXPECT_EQ(g.block_bytes(), 16u * 4096);
+  EXPECT_EQ(g.capacity_bytes(), 8u * 16 * 4096);
+}
+
+TEST(Geometry, WithCapacityRounds) {
+  const Geometry g = Geometry::with_capacity(1ull << 30);
+  EXPECT_EQ(std::uint64_t{g.num_blocks} * g.block_bytes(), 1ull << 30);
+}
+
+TEST(Address, PackUnpackRoundTrip) {
+  const Geometry g = tiny();
+  for (std::uint32_t b = 0; b < g.num_blocks; ++b) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      const Ppa ppa = make_ppa(g, b, p);
+      EXPECT_EQ(ppa_block(g, ppa), b);
+      EXPECT_EQ(ppa_page(g, ppa), p);
+      EXPECT_TRUE(ppa_in_range(g, ppa));
+    }
+  }
+  EXPECT_FALSE(ppa_in_range(g, g.pages_total()));
+}
+
+TEST(Address, InvalidPpaIs40Bit) {
+  EXPECT_EQ(kInvalidPpa, (std::uint64_t{1} << 40) - 1);
+}
+
+TEST_F(NandTest, ProgramThenRead) {
+  Bytes data(4096, 0x5A);
+  Bytes spare(128, 0x7B);
+  ASSERT_EQ(nand_.program_page(0, data, spare), Status::kOk);
+
+  Bytes rdata(4096), rspare(128);
+  ASSERT_EQ(nand_.read_page(0, rdata, rspare), Status::kOk);
+  EXPECT_EQ(rdata, data);
+  EXPECT_EQ(rspare, spare);
+}
+
+TEST_F(NandTest, PartialWriteLeavesErasedBytes) {
+  Bytes data(100, 0x11);
+  ASSERT_EQ(nand_.program_page(0, data), Status::kOk);
+  Bytes rdata(4096);
+  ASSERT_EQ(nand_.read_page(0, rdata), Status::kOk);
+  EXPECT_EQ(rdata[0], 0x11);
+  EXPECT_EQ(rdata[99], 0x11);
+  EXPECT_EQ(rdata[100], 0xFF);  // erased state
+  EXPECT_EQ(rdata[4095], 0xFF);
+}
+
+TEST_F(NandTest, ReadUnwrittenPageFails) {
+  Bytes buf(16);
+  EXPECT_EQ(nand_.read_page(0, buf), Status::kIoError);
+  ASSERT_EQ(nand_.program_page(0, buf), Status::kOk);
+  EXPECT_EQ(nand_.read_page(1, buf), Status::kIoError);  // next page still blank
+}
+
+TEST_F(NandTest, OutOfOrderProgramRejected) {
+  Bytes buf(16, 1);
+  // Pages within a block must be programmed in order (NAND discipline).
+  EXPECT_EQ(nand_.program_page(1, buf), Status::kIoError);
+  ASSERT_EQ(nand_.program_page(0, buf), Status::kOk);
+  EXPECT_EQ(nand_.program_page(0, buf), Status::kIoError);  // program-once
+  EXPECT_EQ(nand_.program_page(1, buf), Status::kOk);
+}
+
+TEST_F(NandTest, EraseResetsBlock) {
+  Bytes buf(16, 2);
+  const Geometry g = tiny();
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(nand_.program_page(make_ppa(g, 1, p), buf), Status::kOk);
+  }
+  EXPECT_TRUE(nand_.is_programmed(make_ppa(g, 1, 0)));
+  ASSERT_EQ(nand_.erase_block(1), Status::kOk);
+  EXPECT_FALSE(nand_.is_programmed(make_ppa(g, 1, 0)));
+  Bytes rbuf(16);
+  EXPECT_EQ(nand_.read_page(make_ppa(g, 1, 0), rbuf), Status::kIoError);
+  // After erase, programming restarts from page 0.
+  EXPECT_EQ(nand_.program_page(make_ppa(g, 1, 0), buf), Status::kOk);
+}
+
+TEST_F(NandTest, EraseCountsTrackWear) {
+  EXPECT_EQ(nand_.erase_count(3), 0u);
+  ASSERT_EQ(nand_.erase_block(3), Status::kOk);
+  ASSERT_EQ(nand_.erase_block(3), Status::kOk);
+  EXPECT_EQ(nand_.erase_count(3), 2u);
+  EXPECT_EQ(nand_.erase_count(2), 0u);
+}
+
+TEST_F(NandTest, BoundsChecked) {
+  Bytes buf(16);
+  EXPECT_EQ(nand_.read_page(tiny().pages_total(), buf), Status::kInvalidArgument);
+  EXPECT_EQ(nand_.erase_block(tiny().num_blocks), Status::kInvalidArgument);
+  Bytes too_big(4097);
+  EXPECT_EQ(nand_.program_page(0, too_big), Status::kInvalidArgument);
+  Bytes spare_too_big(200);
+  EXPECT_EQ(nand_.program_page(0, Bytes(16), spare_too_big),
+            Status::kInvalidArgument);
+}
+
+TEST_F(NandTest, StatsAndClockAdvance) {
+  const NandLatency lat = NandLatency::kvemu_defaults();
+  Bytes buf(4096, 3);
+  ASSERT_EQ(nand_.program_page(0, buf), Status::kOk);
+  EXPECT_EQ(nand_.stats().page_programs, 1u);
+  EXPECT_EQ(nand_.stats().bytes_programmed, 4096u);
+  EXPECT_EQ(clock_.now(), lat.program_cost(4096));
+
+  Bytes rbuf(4096);
+  ASSERT_EQ(nand_.read_page(0, rbuf), Status::kOk);
+  EXPECT_EQ(nand_.stats().page_reads, 1u);
+  EXPECT_EQ(clock_.now(), lat.program_cost(4096) + lat.read_cost(4096));
+
+  ASSERT_EQ(nand_.erase_block(0), Status::kOk);
+  EXPECT_EQ(nand_.stats().block_erases, 1u);
+}
+
+TEST(NandLatency, CostModel) {
+  const NandLatency lat = NandLatency::nand_defaults();
+  EXPECT_EQ(lat.read_cost(0), lat.read_ns);
+  EXPECT_EQ(lat.read_cost(1024), lat.read_ns + 1024 * lat.transfer_ns_per_byte);
+  EXPECT_GT(lat.program_cost(0), lat.read_cost(0));
+  EXPECT_GT(lat.erase_cost(), lat.program_cost(0));
+}
+
+TEST(Nand, LazyAllocationReleasesOnErase) {
+  // Erase releases page storage, so host memory tracks live data only.
+  SimClock clock;
+  NandDevice nand(tiny(), NandLatency::kvemu_defaults(), &clock);
+  Bytes buf(4096, 1);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    ASSERT_EQ(nand.program_page(make_ppa(tiny(), 0, p), buf), Status::kOk);
+  }
+  ASSERT_EQ(nand.erase_block(0), Status::kOk);
+  // Re-program works and reads back the new content.
+  Bytes buf2(4096, 9);
+  ASSERT_EQ(nand.program_page(make_ppa(tiny(), 0, 0), buf2), Status::kOk);
+  Bytes r(4096);
+  ASSERT_EQ(nand.read_page(make_ppa(tiny(), 0, 0), r), Status::kOk);
+  EXPECT_EQ(r[0], 9);
+}
+
+}  // namespace
+}  // namespace rhik::flash

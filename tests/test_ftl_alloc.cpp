@@ -1,0 +1,187 @@
+// Unit tests for the log-structured page allocator (streams, extents,
+// victim selection, liveness accounting, GC reserve).
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.hpp"
+#include "ftl/page_allocator.hpp"
+
+namespace rhik::ftl {
+namespace {
+
+using flash::Geometry;
+using flash::NandLatency;
+
+class AllocTest : public ::testing::Test {
+ protected:
+  AllocTest() : nand_(Geometry::tiny(8), NandLatency::kvemu_defaults(), &clock_) {}
+  SimClock clock_;
+  flash::NandDevice nand_;
+};
+
+TEST_F(AllocTest, SequentialWithinBlock) {
+  PageAllocator alloc(&nand_, 2);
+  auto p0 = alloc.allocate(Stream::kData);
+  auto p1 = alloc.allocate(Stream::kData);
+  ASSERT_TRUE(p0 && p1);
+  EXPECT_EQ(*p1, *p0 + 1);
+  const auto& g = nand_.geometry();
+  EXPECT_EQ(flash::ppa_block(g, *p0), flash::ppa_block(g, *p1));
+}
+
+TEST_F(AllocTest, StreamsUseDistinctBlocks) {
+  PageAllocator alloc(&nand_, 2);
+  auto d = alloc.allocate(Stream::kData);
+  auto i = alloc.allocate(Stream::kIndex);
+  ASSERT_TRUE(d && i);
+  const auto& g = nand_.geometry();
+  EXPECT_NE(flash::ppa_block(g, *d), flash::ppa_block(g, *i));
+  EXPECT_EQ(alloc.block_stream(flash::ppa_block(g, *d)), Stream::kData);
+  EXPECT_EQ(alloc.block_stream(flash::ppa_block(g, *i)), Stream::kIndex);
+}
+
+TEST_F(AllocTest, BlockSealsWhenFull) {
+  PageAllocator alloc(&nand_, 2);
+  const auto& g = nand_.geometry();
+  std::uint32_t first_block = UINT32_MAX;
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    auto ppa = alloc.allocate(Stream::kData);
+    ASSERT_TRUE(ppa);
+    if (first_block == UINT32_MAX) first_block = flash::ppa_block(g, *ppa);
+  }
+  EXPECT_TRUE(alloc.is_sealed(first_block));
+  auto next = alloc.allocate(Stream::kData);
+  ASSERT_TRUE(next);
+  EXPECT_NE(flash::ppa_block(g, *next), first_block);
+}
+
+TEST_F(AllocTest, ExtentContiguousWithinOneBlock) {
+  PageAllocator alloc(&nand_, 2);
+  const auto& g = nand_.geometry();
+  // Consume most of the active block, then ask for an extent that cannot
+  // fit: the tail is abandoned and the extent starts a fresh block.
+  for (std::uint32_t p = 0; p < g.pages_per_block - 2; ++p) {
+    ASSERT_TRUE(alloc.allocate(Stream::kData));
+  }
+  auto base = alloc.allocate_extent(Stream::kData, 5);
+  ASSERT_TRUE(base);
+  EXPECT_EQ(flash::ppa_page(g, *base), 0u);  // fresh block
+  // The 5 pages are physically consecutive and inside one block.
+  EXPECT_EQ(flash::ppa_block(g, *base), flash::ppa_block(g, *base + 4));
+}
+
+TEST_F(AllocTest, ExtentLargerThanBlockRejected) {
+  PageAllocator alloc(&nand_, 2);
+  EXPECT_EQ(alloc.allocate_extent(Stream::kData, nand_.geometry().pages_per_block + 1)
+                .status(),
+            Status::kInvalidArgument);
+  EXPECT_EQ(alloc.allocate_extent(Stream::kData, 0).status(),
+            Status::kInvalidArgument);
+}
+
+TEST_F(AllocTest, GcReserveEnforced) {
+  PageAllocator alloc(&nand_, 4);  // 8 blocks total, 4 reserved
+  const auto& g = nand_.geometry();
+  // Normal allocation can open only 4 blocks.
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      ASSERT_TRUE(alloc.allocate(Stream::kData)) << b << ":" << p;
+    }
+  }
+  EXPECT_EQ(alloc.allocate(Stream::kData).status(), Status::kDeviceFull);
+  // GC-mode allocation can dip into the reserve.
+  EXPECT_TRUE(alloc.allocate(Stream::kData, /*for_gc=*/true));
+}
+
+TEST_F(AllocTest, LiveAccounting) {
+  PageAllocator alloc(&nand_, 2);
+  auto ppa = alloc.allocate(Stream::kData);
+  ASSERT_TRUE(ppa);
+  const std::uint32_t blk = flash::ppa_block(nand_.geometry(), *ppa);
+  alloc.add_live(*ppa, 500);
+  alloc.add_live(*ppa, 300);
+  EXPECT_EQ(alloc.block_live_bytes(blk), 800u);
+  alloc.sub_live(*ppa, 300);
+  EXPECT_EQ(alloc.block_live_bytes(blk), 500u);
+  alloc.sub_live(*ppa, 10000);  // clamps at zero
+  EXPECT_EQ(alloc.block_live_bytes(blk), 0u);
+}
+
+TEST_F(AllocTest, VictimIsSealedBlockWithLeastLive) {
+  PageAllocator alloc(&nand_, 2);
+  const auto& g = nand_.geometry();
+  EXPECT_FALSE(alloc.pick_victim().has_value());  // nothing sealed yet
+
+  // Fill two blocks with different live amounts.
+  std::uint32_t blocks[2];
+  for (int b = 0; b < 2; ++b) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      auto ppa = alloc.allocate(Stream::kData);
+      ASSERT_TRUE(ppa);
+      blocks[b] = flash::ppa_block(g, *ppa);
+      alloc.add_live(*ppa, b == 0 ? 10 : 1000);
+    }
+  }
+  const auto victim = alloc.pick_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, blocks[0]);
+}
+
+TEST_F(AllocTest, ReclaimReturnsBlockToPool) {
+  PageAllocator alloc(&nand_, 2);
+  const auto& g = nand_.geometry();
+  const std::uint32_t before = alloc.free_blocks();
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    Bytes buf(8, 1);
+    auto ppa = alloc.allocate(Stream::kData);
+    ASSERT_TRUE(ppa);
+    ASSERT_EQ(nand_.program_page(*ppa, buf), Status::kOk);
+  }
+  const auto victim = alloc.pick_victim();
+  ASSERT_TRUE(victim);
+  ASSERT_EQ(alloc.reclaim_block(*victim), Status::kOk);
+  EXPECT_EQ(alloc.free_blocks(), before);  // block returned
+  EXPECT_TRUE(alloc.is_free(*victim));
+  EXPECT_EQ(nand_.erase_count(*victim), 1u);
+}
+
+TEST_F(AllocTest, ReclaimRejectsNonSealed) {
+  PageAllocator alloc(&nand_, 2);
+  auto ppa = alloc.allocate(Stream::kData);
+  ASSERT_TRUE(ppa);
+  const std::uint32_t blk = flash::ppa_block(nand_.geometry(), *ppa);
+  EXPECT_EQ(alloc.reclaim_block(blk), Status::kInvalidArgument);  // active
+  EXPECT_EQ(alloc.reclaim_block(999), Status::kInvalidArgument);
+}
+
+TEST_F(AllocTest, PagesUsedTracksHandout) {
+  PageAllocator alloc(&nand_, 2);
+  auto ppa = alloc.allocate(Stream::kData);
+  ASSERT_TRUE(ppa);
+  const std::uint32_t blk = flash::ppa_block(nand_.geometry(), *ppa);
+  EXPECT_EQ(alloc.pages_used(blk), 1u);
+  ASSERT_TRUE(alloc.allocate_extent(Stream::kData, 3));
+  EXPECT_EQ(alloc.pages_used(blk), 4u);
+}
+
+TEST_F(AllocTest, NeedsGcSignal) {
+  PageAllocator alloc(&nand_, 4);
+  EXPECT_FALSE(alloc.needs_gc());
+  const auto& g = nand_.geometry();
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      ASSERT_TRUE(alloc.allocate(Stream::kData));
+    }
+  }
+  EXPECT_TRUE(alloc.needs_gc());
+}
+
+TEST_F(AllocTest, FreeBytesEstimateDecreases) {
+  PageAllocator alloc(&nand_, 2);
+  const std::uint64_t e0 = alloc.free_bytes_estimate();
+  ASSERT_TRUE(alloc.allocate(Stream::kData));
+  const std::uint64_t e1 = alloc.free_bytes_estimate();
+  EXPECT_LT(e1, e0);
+}
+
+}  // namespace
+}  // namespace rhik::ftl

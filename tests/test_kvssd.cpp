@@ -1,0 +1,310 @@
+// Integration tests for the emulated KVSSD device: the five-command set,
+// key verification, GC under churn, async submission, capacity limits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "hash/murmur.hpp"
+#include "kvssd/device.hpp"
+#include "kvssd/pm983_model.hpp"
+
+namespace rhik::kvssd {
+namespace {
+
+DeviceConfig small_config(IndexKind kind = IndexKind::kRhik) {
+  DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::tiny(128);  // 8 MiB device
+  cfg.dram_cache_bytes = 64 * 1024;
+  cfg.index_kind = kind;
+  if (kind == IndexKind::kMlHash) {
+    cfg.mlhash = index::MlHashConfig::for_keys(20000, cfg.geometry.page_size);
+  }
+  return cfg;
+}
+
+ByteSpan key(const std::string& s) { return as_bytes(s); }
+
+TEST(Kvssd, PutGetDeleteRoundTrip) {
+  KvssdDevice dev(small_config());
+  ASSERT_EQ(dev.put(key("hello"), key("world")), Status::kOk);
+  Bytes value;
+  ASSERT_EQ(dev.get(key("hello"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "world");
+  EXPECT_EQ(dev.key_count(), 1u);
+
+  ASSERT_EQ(dev.del(key("hello")), Status::kOk);
+  EXPECT_EQ(dev.get(key("hello"), &value), Status::kNotFound);
+  EXPECT_EQ(dev.key_count(), 0u);
+}
+
+TEST(Kvssd, GetMissingIsNotFound) {
+  KvssdDevice dev(small_config());
+  Bytes value;
+  EXPECT_EQ(dev.get(key("nope"), &value), Status::kNotFound);
+  EXPECT_EQ(dev.del(key("nope")), Status::kNotFound);
+  EXPECT_EQ(dev.stats().not_found, 2u);
+}
+
+TEST(Kvssd, UpdateReplacesValueAndReclaimsAccounting) {
+  KvssdDevice dev(small_config());
+  ASSERT_EQ(dev.put(key("k"), key("version-1")), Status::kOk);
+  const std::uint64_t live1 = dev.live_bytes();
+  ASSERT_EQ(dev.put(key("k"), key("v2")), Status::kOk);
+  Bytes value;
+  ASSERT_EQ(dev.get(key("k"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "v2");
+  EXPECT_EQ(dev.key_count(), 1u);
+  EXPECT_LT(dev.live_bytes(), live1);  // shorter value, old version stale
+}
+
+TEST(Kvssd, ExistIsIndexOnly) {
+  KvssdDevice dev(small_config());
+  ASSERT_EQ(dev.put(key("present"), key("v")), Status::kOk);
+  const auto data_reads = dev.store().stats().pairs_read;
+  EXPECT_EQ(dev.exist(key("present")), Status::kOk);
+  EXPECT_EQ(dev.exist(key("absent")), Status::kNotFound);
+  // Membership checking never read KV pairs from flash (§IV-A3).
+  EXPECT_EQ(dev.store().stats().pairs_read, data_reads);
+}
+
+TEST(Kvssd, InvalidArgumentsRejected) {
+  KvssdDevice dev(small_config());
+  Bytes value;
+  EXPECT_EQ(dev.put(key(""), key("v")), Status::kInvalidArgument);
+  const std::string long_key(300, 'k');  // > 255 B SNIA cap
+  EXPECT_EQ(dev.put(key(long_key), key("v")), Status::kInvalidArgument);
+  EXPECT_EQ(dev.get(key(""), &value), Status::kInvalidArgument);
+  const std::string huge_value(dev.store().max_value_size(1) + 1, 'v');
+  EXPECT_EQ(dev.put(key("k"), key(huge_value)), Status::kInvalidArgument);
+}
+
+TEST(Kvssd, LargeValuesUpToBlockExtent) {
+  DeviceConfig cfg = small_config();
+  KvssdDevice dev(cfg);
+  // Multi-page extent (tiny geometry: 4 KiB pages, 16 per block).
+  const std::string big(30000, 'B');
+  ASSERT_EQ(dev.put(key("big"), key(big)), Status::kOk);
+  Bytes value;
+  ASSERT_EQ(dev.get(key("big"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), big);
+}
+
+TEST(Kvssd, SignatureOfKeyIsMurmur64ByDefault) {
+  KvssdDevice dev(small_config());
+  EXPECT_EQ(dev.signature(key("abc")), hash::murmur2_64(key("abc")));
+}
+
+TEST(Kvssd, WideSignatureModeWorksEndToEnd) {
+  DeviceConfig cfg = small_config();
+  cfg.wide_signatures = true;  // §IV-A3: 128-bit signature generation
+  KvssdDevice dev(cfg);
+  EXPECT_EQ(dev.signature(key("abc")), hash::murmur3_128(key("abc")).lo);
+  ASSERT_EQ(dev.put(key("wide"), key("sig")), Status::kOk);
+  Bytes value;
+  ASSERT_EQ(dev.get(key("wide"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "sig");
+  EXPECT_EQ(dev.del(key("wide")), Status::kOk);
+}
+
+TEST(Kvssd, FillsManyKeysAcrossResizes) {
+  DeviceConfig cfg = small_config();
+  cfg.dram_cache_bytes = 16 * 4096;
+  KvssdDevice dev(cfg);
+  std::unordered_map<std::string, std::string> ref;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    const std::string v(rng.next_range(8, 64), static_cast<char>('a' + i % 26));
+    const Status s = dev.put(key(k), key(v));
+    if (s == Status::kDeviceFull) break;
+    ASSERT_EQ(s, Status::kOk) << i;
+    ref[k] = v;
+  }
+  EXPECT_GT(dev.index().op_stats().resizes, 0u);  // grew past initial size
+  EXPECT_EQ(dev.key_count(), ref.size());
+  for (const auto& [k, v] : ref) {
+    Bytes value;
+    ASSERT_EQ(dev.get(key(k), &value), Status::kOk) << k;
+    EXPECT_EQ(rhik::to_string(value), v);
+  }
+}
+
+TEST(Kvssd, GcReclaimsChurnedSpace) {
+  DeviceConfig cfg = small_config();
+  KvssdDevice dev(cfg);
+  Rng rng(9);
+  // Overwrite a small working set far past device capacity: without GC
+  // this is ~3x the raw flash.
+  const std::string v(2000, 'x');
+  for (int i = 0; i < 12000; ++i) {
+    const std::string k = "churn-" + std::to_string(rng.next_below(100));
+    ASSERT_EQ(dev.put(key(k), key(v)), Status::kOk) << i;
+  }
+  EXPECT_GT(dev.gc().stats().blocks_reclaimed, 0u);
+  EXPECT_GT(dev.stats().gc_invocations, 0u);
+  // Working set still fully readable.
+  for (int i = 0; i < 100; ++i) {
+    Bytes value;
+    const std::string k = "churn-" + std::to_string(i);
+    if (dev.get(key(k), &value) == Status::kOk) {
+      EXPECT_EQ(value.size(), v.size());
+    }
+  }
+}
+
+TEST(Kvssd, DeviceFullSurfacesWhenNoReclaimableSpace) {
+  DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::tiny(16);  // 1 MiB device
+  KvssdDevice dev(cfg);
+  Status last = Status::kOk;
+  int stored = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::string k = "fill-" + std::to_string(i);
+    last = dev.put(key(k), key(std::string(900, 'f')));
+    if (!ok(last)) break;
+    ++stored;
+  }
+  EXPECT_EQ(last, Status::kDeviceFull);
+  EXPECT_GT(stored, 0);
+  // Already-stored data is unaffected.
+  Bytes value;
+  EXPECT_EQ(dev.get(key("fill-0"), &value), Status::kOk);
+  // Deleting makes room again.
+  for (int i = 0; i < stored / 2; ++i) {
+    ASSERT_EQ(dev.del(key("fill-" + std::to_string(i))), Status::kOk);
+  }
+  EXPECT_EQ(dev.put(key("again"), key("fits-now")), Status::kOk);
+}
+
+TEST(Kvssd, AsyncDrainsAndPipelinesOverhead) {
+  DeviceConfig cfg = small_config();
+  cfg.cmd_overhead_ns = 10 * kMicrosecond;
+  cfg.queue_depth = 32;
+
+  // Sync run.
+  KvssdDevice sync_dev(cfg);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(sync_dev.put(key("k" + std::to_string(i)), key("v")), Status::kOk);
+  }
+  const SimTime sync_time = sync_dev.clock().now();
+
+  // Async run of the same workload.
+  const auto owned = [](const std::string& s) { return Bytes(s.begin(), s.end()); };
+  KvssdDevice async_dev(cfg);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    async_dev.submit_put(owned("k" + std::to_string(i)), owned("v"),
+                         [&](Status s) {
+                           EXPECT_EQ(s, Status::kOk);
+                           ++completed;
+                         });
+  }
+  EXPECT_EQ(async_dev.drain(), 200u);
+  EXPECT_EQ(completed, 200);
+  // Async amortizes the fixed command overhead across the queue depth.
+  EXPECT_LT(async_dev.clock().now(), sync_time);
+
+  Bytes value;
+  EXPECT_EQ(async_dev.get(key("k199"), &value), Status::kOk);
+}
+
+TEST(Kvssd, AsyncDeleteCompletesThroughQueue) {
+  KvssdDevice dev(small_config());
+  ASSERT_EQ(dev.put(key("gone-soon"), key("v")), Status::kOk);
+  Status del_status = Status::kBusy;
+  dev.submit_del(Bytes{'g', 'o', 'n', 'e', '-', 's', 'o', 'o', 'n'},
+                 [&](Status s) { del_status = s; });
+  EXPECT_EQ(dev.drain(), 1u);
+  EXPECT_EQ(del_status, Status::kOk);
+  Bytes value;
+  EXPECT_EQ(dev.get(key("gone-soon"), &value), Status::kNotFound);
+}
+
+TEST(Kvssd, DrainOnEmptyQueueIsNoop) {
+  KvssdDevice dev(small_config());
+  EXPECT_EQ(dev.drain(), 0u);
+  const SimTime t = dev.clock().now();
+  EXPECT_EQ(dev.drain(), 0u);
+  EXPECT_EQ(dev.clock().now(), t);
+}
+
+TEST(Kvssd, IteratePrefixRequiresConfig) {
+  KvssdDevice dev(small_config());
+  std::vector<Bytes> keys;
+  EXPECT_EQ(dev.iterate_prefix(key("user"), &keys), Status::kUnsupported);
+}
+
+TEST(Kvssd, IteratePrefixEnumeratesExactMatches) {
+  DeviceConfig cfg = small_config();
+  cfg.prefix_signatures = true;  // §VI iterator extension
+  KvssdDevice dev(cfg);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(dev.put(key("user:" + std::to_string(i)), key("u")), Status::kOk);
+    ASSERT_EQ(dev.put(key("acct:" + std::to_string(i)), key("a")), Status::kOk);
+  }
+  std::vector<Bytes> keys;
+  ASSERT_EQ(dev.iterate_prefix(key("user"), &keys), Status::kOk);
+  EXPECT_EQ(keys.size(), 20u);
+  for (const auto& k : keys) {
+    EXPECT_EQ(rhik::to_string(ByteSpan{k}.subspan(0, 5)), "user:");
+  }
+  // Limit is honoured.
+  ASSERT_EQ(dev.iterate_prefix(key("acct"), &keys, 5), Status::kOk);
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(Kvssd, MlHashBackendWorksEndToEnd) {
+  KvssdDevice dev(small_config(IndexKind::kMlHash));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(dev.put(key("mk" + std::to_string(i)), key("value")), Status::kOk);
+  }
+  Bytes value;
+  ASSERT_EQ(dev.get(key("mk42"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "value");
+  ASSERT_EQ(dev.del(key("mk42")), Status::kOk);
+  EXPECT_EQ(dev.get(key("mk42"), &value), Status::kNotFound);
+}
+
+TEST(Kvssd, FlushPersistsOpenBuffers) {
+  KvssdDevice dev(small_config());
+  ASSERT_EQ(dev.put(key("durable"), key("bits")), Status::kOk);
+  ASSERT_EQ(dev.flush(), Status::kOk);
+  EXPECT_FALSE(dev.store().open_page().has_value());
+  Bytes value;
+  ASSERT_EQ(dev.get(key("durable"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "bits");
+}
+
+TEST(Kvssd, LatencyHistogramsPopulate) {
+  KvssdDevice dev(small_config());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(dev.put(key("h" + std::to_string(i)), key("v")), Status::kOk);
+  }
+  Bytes value;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(dev.get(key("h" + std::to_string(i)), &value), Status::kOk);
+  }
+  EXPECT_EQ(dev.stats().put_latency_ns.count(), 50u);
+  EXPECT_EQ(dev.stats().get_latency_ns.count(), 50u);
+  EXPECT_GT(dev.stats().get_latency_ns.mean(), 0.0);
+}
+
+TEST(Pm983Model, ShapesMatchThePaper) {
+  const Pm983Model model;
+  // Async large-value throughput approaches the bandwidth cap.
+  EXPECT_NEAR(model.throughput_mib(OpDir::kWrite, true, 2 << 20),
+              model.write_bw_mib, model.write_bw_mib * 0.05);
+  // Small-value throughput is IOPS-bound, far below the bandwidth cap.
+  EXPECT_LT(model.throughput_mib(OpDir::kWrite, true, 4096),
+            model.write_bw_mib / 2);
+  // Reads outpace writes; async outpaces sync at small sizes.
+  EXPECT_GT(model.throughput_ops(OpDir::kRead, true, 4096),
+            model.throughput_ops(OpDir::kWrite, true, 4096));
+  EXPECT_GT(model.throughput_ops(OpDir::kWrite, true, 4096),
+            model.throughput_ops(OpDir::kWrite, false, 4096));
+}
+
+}  // namespace
+}  // namespace rhik::kvssd

@@ -1,0 +1,259 @@
+// Crash/power-loss recovery tests: tombstones, sequence ordering, full
+// log-scan index reconstruction, allocator adoption (kvssd/recovery).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "index/rhik/rhik_index.hpp"
+#include "kvssd/device.hpp"
+#include "kvssd/recovery.hpp"
+#include "workload/keygen.hpp"
+
+namespace rhik::kvssd {
+namespace {
+
+DeviceConfig small_config() {
+  DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::tiny(128);  // 8 MiB
+  cfg.dram_cache_bytes = 64 * 1024;
+  return cfg;
+}
+
+ByteSpan key(const std::string& s) { return as_bytes(s); }
+
+/// Simulates power loss: tears the device down (optionally after a clean
+/// flush) and recovers a fresh one over the same NAND.
+std::unique_ptr<KvssdDevice> power_cycle(std::unique_ptr<KvssdDevice> dev,
+                                         bool clean_shutdown) {
+  if (clean_shutdown) EXPECT_EQ(dev->flush(), Status::kOk);
+  auto nand = dev->release_nand();
+  auto recovered = KvssdDevice::recover(small_config(), std::move(nand));
+  EXPECT_TRUE(recovered.has_value());
+  return std::move(recovered).value();
+}
+
+TEST(Tombstone, HeaderBitRoundTrip) {
+  ftl::PairHeader h{42, 10, 0, true};
+  Bytes buf(32);
+  h.encode(buf, 0);
+  const auto got = ftl::PairHeader::decode(buf, 0);
+  EXPECT_TRUE(got.tombstone);
+  EXPECT_EQ(got.key_len, 10);
+  EXPECT_EQ(got.sig, 42u);
+}
+
+TEST(Tombstone, StoreWritesAndReportsIt) {
+  SimClock clock;
+  flash::NandDevice nand(flash::Geometry::tiny(16),
+                         flash::NandLatency::kvemu_defaults(), &clock);
+  ftl::PageAllocator alloc(&nand, 2);
+  ftl::FlashKvStore store(&nand, &alloc);
+  auto ppa = store.write_tombstone(99, key("dead"));
+  ASSERT_TRUE(ppa);
+  auto meta = store.read_pair_meta(*ppa, 99);
+  ASSERT_TRUE(meta);
+  EXPECT_TRUE(meta->tombstone);
+  EXPECT_EQ(rhik::to_string(ByteSpan{meta->key}), "dead");
+  EXPECT_EQ(store.stats().tombstones_written, 1u);
+}
+
+TEST(Tombstone, SequenceNumbersMonotonicAcrossPages) {
+  SimClock clock;
+  flash::NandDevice nand(flash::Geometry::tiny(16),
+                         flash::NandLatency::kvemu_defaults(), &clock);
+  ftl::PageAllocator alloc(&nand, 2);
+  ftl::FlashKvStore store(&nand, &alloc);
+  // Several pages of pairs plus an extent in the middle.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.write_pair(i + 1, key("k" + std::to_string(i)),
+                                 key(std::string(400, 'v'))));
+  }
+  ASSERT_TRUE(store.write_pair(1000, key("big"), key(std::string(9000, 'B'))));
+  ASSERT_EQ(store.flush(), Status::kOk);
+
+  const auto& g = nand.geometry();
+  Bytes spare(g.spare_size());
+  std::uint64_t last_seq = 0;
+  for (flash::Ppa p = 0; p < g.pages_total(); ++p) {
+    if (!nand.is_programmed(p)) continue;
+    ASSERT_EQ(nand.read_page(p, {}, spare), Status::kOk);
+    if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kDataHead) continue;
+    const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+    EXPECT_GT(seq, last_seq);  // pages are programmed in seq order here
+    last_seq = seq;
+  }
+  EXPECT_GT(last_seq, 0u);
+}
+
+TEST(Recovery, CleanShutdownRestoresEverything) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  std::unordered_map<std::string, std::string> ref;
+  Rng rng(3);
+  for (int i = 0; i < 800; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    const std::string v(rng.next_range(4, 200), static_cast<char>('a' + i % 26));
+    ASSERT_EQ(dev->put(key(k), key(v)), Status::kOk);
+    ref[k] = v;
+  }
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  EXPECT_EQ(dev2->key_count(), ref.size());
+  for (const auto& [k, v] : ref) {
+    Bytes value;
+    ASSERT_EQ(dev2->get(key(k), &value), Status::kOk) << k;
+    EXPECT_EQ(rhik::to_string(value), v);
+  }
+}
+
+TEST(Recovery, TombstonesKeepDeletionsDurable) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->put(key("keep"), key("v1")), Status::kOk);
+  ASSERT_EQ(dev->put(key("drop"), key("v2")), Status::kOk);
+  ASSERT_EQ(dev->del(key("drop")), Status::kOk);
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  Bytes value;
+  EXPECT_EQ(dev2->get(key("keep"), &value), Status::kOk);
+  EXPECT_EQ(dev2->get(key("drop"), &value), Status::kNotFound);
+  EXPECT_EQ(dev2->key_count(), 1u);
+}
+
+TEST(Recovery, NewestVersionWins) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->put(key("k"), key("version-1")), Status::kOk);
+  // Push the first version onto flash and far from the update.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(dev->put(key("filler" + std::to_string(i)), key(std::string(200, 'f'))),
+              Status::kOk);
+  }
+  ASSERT_EQ(dev->put(key("k"), key("version-2")), Status::kOk);
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  Bytes value;
+  ASSERT_EQ(dev2->get(key("k"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "version-2");
+}
+
+TEST(Recovery, DeleteThenReinsertRecoversNewValue) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->put(key("x"), key("old")), Status::kOk);
+  ASSERT_EQ(dev->del(key("x")), Status::kOk);
+  ASSERT_EQ(dev->put(key("x"), key("new")), Status::kOk);
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  Bytes value;
+  ASSERT_EQ(dev2->get(key("x"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "new");
+}
+
+TEST(Recovery, UnflushedWriteBufferIsLost) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->put(key("durable"), key(std::string(300, 'd'))), Status::kOk);
+  ASSERT_EQ(dev->flush(), Status::kOk);
+  // This small pair stays in the RAM write buffer — gone on power loss.
+  ASSERT_EQ(dev->put(key("volatile"), key("ram-only")), Status::kOk);
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/false);
+  Bytes value;
+  EXPECT_EQ(dev2->get(key("durable"), &value), Status::kOk);
+  EXPECT_EQ(dev2->get(key("volatile"), &value), Status::kNotFound);
+}
+
+TEST(Recovery, SurvivesGcBeforeCrash) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  std::unordered_map<std::string, std::string> ref;
+  Rng rng(5);
+  // Churn hard enough to cycle GC several times, with deletions.
+  for (int step = 0; step < 16000; ++step) {
+    const std::string k = "c" + std::to_string(rng.next_below(150));
+    if (rng.next_below(10) < 8) {
+      const std::string v(rng.next_range(100, 1500), static_cast<char>('a' + step % 26));
+      ASSERT_EQ(dev->put(key(k), key(v)), Status::kOk) << step;
+      ref[k] = v;
+    } else if (ref.count(k)) {
+      ASSERT_EQ(dev->del(key(k)), Status::kOk);
+      ref.erase(k);
+    }
+  }
+  ASSERT_GT(dev->gc().stats().blocks_reclaimed, 0u);
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  EXPECT_EQ(dev2->key_count(), ref.size());
+  for (const auto& [k, v] : ref) {
+    Bytes value;
+    ASSERT_EQ(dev2->get(key(k), &value), Status::kOk) << k;
+    EXPECT_EQ(rhik::to_string(value), v);
+  }
+}
+
+TEST(Recovery, DeviceRemainsFullyOperationalAfterRecovery) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(dev->put(key("pre" + std::to_string(i)), key(std::string(100, 'p'))),
+              Status::kOk);
+  }
+  auto dev2 = power_cycle(std::move(dev), /*clean_shutdown=*/true);
+  // Writes, updates, deletes and GC all work on the adopted flash. The
+  // churn exceeds the 8 MiB device several times over, forcing GC.
+  for (int i = 0; i < 12000; ++i) {
+    ASSERT_EQ(dev2->put(key("post" + std::to_string(i % 300)),
+                        key(std::string(800, 'q'))),
+              Status::kOk)
+        << i;
+  }
+  Bytes value;
+  EXPECT_EQ(dev2->get(key("pre42"), &value), Status::kOk);
+  EXPECT_EQ(dev2->del(key("pre42")), Status::kOk);
+  EXPECT_EQ(dev2->get(key("pre42"), &value), Status::kNotFound);
+  EXPECT_GT(dev2->gc().stats().blocks_reclaimed, 0u);
+}
+
+TEST(Recovery, DoublePowerCycle) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->put(key("a"), key("1")), Status::kOk);
+  auto dev2 = power_cycle(std::move(dev), true);
+  ASSERT_EQ(dev2->put(key("b"), key("2")), Status::kOk);
+  ASSERT_EQ(dev2->del(key("a")), Status::kOk);
+  auto dev3 = power_cycle(std::move(dev2), true);
+  Bytes value;
+  EXPECT_EQ(dev3->get(key("a"), &value), Status::kNotFound);
+  ASSERT_EQ(dev3->get(key("b"), &value), Status::kOk);
+  EXPECT_EQ(rhik::to_string(value), "2");
+}
+
+TEST(Recovery, MismatchedGeometryRejected) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  ASSERT_EQ(dev->flush(), Status::kOk);
+  auto nand = dev->release_nand();
+  DeviceConfig other = small_config();
+  other.geometry = flash::Geometry::tiny(64);  // different capacity
+  auto recovered = KvssdDevice::recover(other, std::move(nand));
+  EXPECT_FALSE(recovered.has_value());
+  EXPECT_EQ(recovered.status(), Status::kInvalidArgument);
+  auto null_recover = KvssdDevice::recover(small_config(), nullptr);
+  EXPECT_EQ(null_recover.status(), Status::kInvalidArgument);
+}
+
+TEST(Recovery, StatsReportScanResults) {
+  auto dev = std::make_unique<KvssdDevice>(small_config());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(dev->put(key("s" + std::to_string(i)), key(std::string(50, 's'))),
+              Status::kOk);
+  }
+  ASSERT_EQ(dev->del(key("s0")), Status::kOk);
+  ASSERT_EQ(dev->flush(), Status::kOk);
+  auto nand = dev->release_nand();
+
+  SimClock clock;
+  nand->rebind_clock(&clock);
+  ftl::PageAllocator alloc(nand.get(), 4);
+  ftl::FlashKvStore store(nand.get(), &alloc);
+  index::RhikIndex index(nand.get(), &alloc, {}, 1 << 20);
+  auto stats = recover_from_flash(*nand, alloc, store, index);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->keys_recovered, 299u);
+  EXPECT_GE(stats->tombstones_seen, 1u);
+  EXPECT_GT(stats->blocks_adopted, 0u);
+  EXPECT_GT(stats->max_seq, 0u);
+  EXPECT_EQ(store.next_seq(), stats->max_seq + 1);
+  EXPECT_EQ(index.size(), 299u);
+}
+
+}  // namespace
+}  // namespace rhik::kvssd

@@ -1,0 +1,181 @@
+// Tests for the §VI "hyper-local scaling" extension: per-bucket overflow
+// record pages that absorb uncorrectable local collisions instead of
+// rejecting keys.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "index/rhik/rhik_index.hpp"
+#include "index_test_rig.hpp"
+
+namespace rhik::index {
+namespace {
+
+using Rig = testutil::IndexRig<RhikIndex, RhikConfig>;
+
+RhikConfig overflow_config() {
+  RhikConfig cfg;
+  cfg.local_overflow = true;
+  // Pathologically tight neighbourhood + no resizing: collisions are
+  // frequent, so overflow engages heavily.
+  cfg.hop_range = 2;
+  cfg.resize_threshold = 1.1;
+  return cfg;
+}
+
+TEST(RhikOverflow, AbsorbsCollisionsThatWouldAbort) {
+  // Identical workload, with and without the extension.
+  Rig plain([] {
+    RhikConfig c = overflow_config();
+    c.local_overflow = false;
+    return c;
+  }());
+  Rig extended(overflow_config());
+  Rng rng_a(4), rng_b(4);
+  int plain_aborts = 0, extended_aborts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (plain.index.put(rng_a.next(), i) == Status::kCollisionAbort) ++plain_aborts;
+    if (extended.index.put(rng_b.next(), i) == Status::kCollisionAbort) {
+      ++extended_aborts;
+    }
+  }
+  EXPECT_GT(plain_aborts, 0);
+  // The overflow page absorbs the vast majority; only collisions inside
+  // an H=2 overflow table itself can still abort.
+  EXPECT_LT(extended_aborts, plain_aborts / 3);
+  EXPECT_GT(extended.index.op_stats().overflow_inserts, 0u);
+}
+
+TEST(RhikOverflow, OverflowRecordsFullyFunctional) {
+  Rig rig(overflow_config());
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) ref[sig] = i;
+  }
+  ASSERT_GT(rig.index.op_stats().overflow_inserts, 0u);
+  EXPECT_EQ(rig.index.size(), ref.size());
+  // Every mapping — primary or overflow — resolves, updates and erases.
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_EQ(rig.index.put(sig, ppa + 1), Status::kOk);
+    EXPECT_EQ(*rig.index.get(sig), ppa + 1);
+  }
+  for (const auto& [sig, _] : ref) {
+    ASSERT_EQ(rig.index.erase(sig), Status::kOk);
+  }
+  EXPECT_EQ(rig.index.size(), 0u);
+}
+
+TEST(RhikOverflow, LookupsCostAtMostTwoReads) {
+  RhikConfig cfg = overflow_config();
+  cfg.anticipated_keys = 240 * 8;
+  Rig rig(cfg, /*cache_bytes=*/4096);  // one cached page: everything misses
+  Rng rng(9);
+  std::vector<std::uint64_t> sigs;
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) sigs.push_back(sig);
+    rig.maybe_gc();
+  }
+  ASSERT_GT(rig.index.op_stats().overflow_inserts, 0u);
+  rig.index.reset_op_stats();
+  Rng pick(11);
+  for (int i = 0; i < 500; ++i) {
+    rig.index.get(sigs[pick.next_below(sigs.size())]);
+  }
+  const auto& h = rig.index.op_stats().reads_per_lookup;
+  EXPECT_LE(h.max(), 2u);   // the documented trade-off: <= 2, not <= 1
+  EXPECT_GT(h.max(), 1u);   // and overflowed buckets do pay the 2nd read
+}
+
+TEST(RhikOverflow, ScanCoversOverflowRecords) {
+  Rig rig(overflow_config());
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(13);
+  for (int i = 0; i < 2500; ++i) {
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) ref[sig] = i;
+  }
+  ASSERT_GT(rig.index.op_stats().overflow_inserts, 0u);
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  ASSERT_EQ(rig.index.scan([&](std::uint64_t sig, flash::Ppa ppa) {
+    seen[sig] = ppa;
+  }), Status::kOk);
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(RhikOverflow, ResizeDrainsOverflowPages) {
+  // With the normal threshold, resizing halves occupancy; the split
+  // should land (almost) everything back in primaries.
+  RhikConfig cfg;
+  cfg.local_overflow = true;
+  cfg.hop_range = 8;          // collide occasionally
+  cfg.resize_threshold = 0.8; // and resize normally
+  Rig rig(cfg);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(17);
+  while (rig.index.op_stats().resizes < 3) {
+    rig.maybe_gc();
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, 1))) ref[sig] = 1;
+  }
+  EXPECT_EQ(rig.index.op_stats().collision_aborts, 0u);
+  for (const auto& [sig, _] : ref) {
+    EXPECT_TRUE(rig.index.get(sig).has_value()) << sig;
+  }
+}
+
+TEST(RhikOverflow, SerializationRoundTripsOverflowDirectory) {
+  SimClock clock;
+  flash::NandDevice nand(flash::Geometry::tiny(128),
+                         flash::NandLatency::kvemu_defaults(), &clock);
+  ftl::PageAllocator alloc(&nand, 2);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Bytes image;
+  RhikConfig cfg = overflow_config();
+  {
+    RhikIndex index(&nand, &alloc, cfg, 1 << 20);
+    Rng rng(19);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t sig = rng.next();
+      if (ok(index.put(sig, i))) ref[sig] = i;
+    }
+    ASSERT_GT(index.op_stats().overflow_inserts, 0u);
+    ASSERT_EQ(index.flush(), Status::kOk);
+    EXPECT_GT(index.overflow_pages(), 0u);
+    image = index.serialize_directory();
+  }
+  RhikIndex restored(&nand, &alloc, cfg, 1 << 20);
+  ASSERT_EQ(restored.load_directory(image), Status::kOk);
+  EXPECT_EQ(restored.size(), ref.size());
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(restored.get(sig).has_value()) << sig;
+    EXPECT_EQ(*restored.get(sig), ppa);
+  }
+}
+
+TEST(RhikOverflow, GcRelocatesOverflowPages) {
+  Rig rig(overflow_config(), /*cache_bytes=*/4096, /*blocks=*/64);
+  Rng rng(23);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int i = 0; i < 4000; ++i) {
+    rig.maybe_gc();
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) ref[sig] = i;
+  }
+  ASSERT_GT(rig.gc.stats().blocks_reclaimed, 0u);
+  rig.expect_no_lost_writebacks();
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+}
+
+}  // namespace
+}  // namespace rhik::index

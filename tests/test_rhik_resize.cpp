@@ -1,0 +1,234 @@
+// Tests for RHIK's re-configuration (§IV-A2): occupancy-triggered
+// doubling, signature-reuse migration, stall accounting, and the §VI
+// incremental (real-time) resize extension.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "index/rhik/rhik_index.hpp"
+#include "index_test_rig.hpp"
+
+namespace rhik::index {
+namespace {
+
+using flash::Geometry;
+using flash::NandLatency;
+using flash::Ppa;
+
+struct Rig : testutil::IndexRig<RhikIndex, RhikConfig> {
+  explicit Rig(RhikConfig cfg = {}, std::uint64_t cache_bytes = 1 << 20,
+               std::uint32_t blocks = 512)
+      : testutil::IndexRig<RhikIndex, RhikConfig>(cfg, cache_bytes, blocks) {}
+};
+
+/// Inserts until the index has performed `target` resizes.
+std::unordered_map<std::uint64_t, std::uint64_t> fill_through_resizes(
+    Rig& rig, int target, std::uint64_t seed = 1) {
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(seed);
+  while (rig.index.op_stats().resizes < static_cast<std::uint64_t>(target)) {
+    rig.maybe_gc();
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, ref.size()))) ref[sig] = ref.size();
+  }
+  return ref;
+}
+
+TEST(RhikResize, TriggersAtOccupancyThreshold) {
+  Rig rig;  // dir_bits 0: capacity = 240 (tiny pages)
+  EXPECT_EQ(rig.index.dir_bits(), 0u);
+  Rng rng(1);
+  // Up to 80% of 240 = 192 keys, no resize.
+  while (rig.index.size() < 192) {
+    rig.index.put(rng.next(), 1);
+  }
+  EXPECT_EQ(rig.index.op_stats().resizes, 0u);
+  // The next insert crosses the threshold and doubles the directory.
+  while (rig.index.op_stats().resizes == 0) {
+    rig.index.put(rng.next(), 1);
+  }
+  EXPECT_EQ(rig.index.dir_bits(), 1u);
+  EXPECT_EQ(rig.index.capacity(), 2u * 240);
+  ASSERT_EQ(rig.index.resize_history().size(), 1u);
+  EXPECT_EQ(rig.index.resize_history()[0].capacity_before, 240u);
+}
+
+TEST(RhikResize, CustomThresholdHonored) {
+  RhikConfig cfg;
+  cfg.resize_threshold = 0.5;
+  Rig rig(cfg);
+  Rng rng(2);
+  while (rig.index.op_stats().resizes == 0) rig.index.put(rng.next(), 1);
+  // Triggered at ~50% of 240, not 80%.
+  EXPECT_LE(rig.index.resize_history()[0].keys_before, 125u);
+}
+
+TEST(RhikResize, AllMappingsSurviveManyDoublings) {
+  Rig rig;
+  const auto ref = fill_through_resizes(rig, 6);
+  EXPECT_GE(rig.index.dir_bits(), 6u);
+  EXPECT_EQ(rig.index.size(), ref.size());
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+}
+
+TEST(RhikResize, StallTimeRecordedForStopTheWorld) {
+  Rig rig;
+  fill_through_resizes(rig, 3);
+  EXPECT_GT(rig.clock.total_stall(), 0u);
+  ASSERT_EQ(rig.index.resize_history().size(), 3u);
+  // Each doubling migrates ~2x the keys of the previous one, so the
+  // duration grows; the *rate* of growth stays bounded (~2 per doubling,
+  // i.e. rate-of-change <= ~1 in the paper's Fig. 7 normalization).
+  const auto& h = rig.index.resize_history();
+  EXPECT_GT(h[1].keys_before, h[0].keys_before);
+  EXPECT_GT(h[2].duration_ns, 0u);
+}
+
+TEST(RhikResize, ResizeDurationScalesLinearly) {
+  Rig rig;
+  fill_through_resizes(rig, 7);
+  const auto& h = rig.index.resize_history();
+  ASSERT_GE(h.size(), 7u);
+  // Fig. 7's claim: time-to-double grows proportionally to index size
+  // (rate of change ~<= 1). Compare growth factors of the last doublings.
+  for (std::size_t i = 4; i < h.size(); ++i) {
+    const double key_growth = static_cast<double>(h[i].keys_before) /
+                              static_cast<double>(h[i - 1].keys_before);
+    const double time_growth = static_cast<double>(h[i].duration_ns) /
+                               static_cast<double>(h[i - 1].duration_ns);
+    const double rate = time_growth / key_growth;
+    EXPECT_LE(rate, 1.6) << "resize " << i;
+    EXPECT_GE(rate, 0.4) << "resize " << i;
+  }
+}
+
+TEST(RhikResize, MigrationNeverTouchesKvPairs) {
+  // §IV-A2: migration re-uses stored signatures; KV-zone pages are never
+  // read. All data-zone reads would go through the store, which this rig
+  // does not even have — assert the index only reads index-zone pages.
+  Rig rig;
+  fill_through_resizes(rig, 4);
+  const auto& g = rig.nand.geometry();
+  Bytes spare(g.spare_size());
+  // Every programmed page in this rig is index-zone (no data was ever
+  // written), which proves migration derived everything from the index.
+  for (Ppa p = 0; p < g.pages_total(); ++p) {
+    if (!rig.nand.is_programmed(p)) continue;
+    ASSERT_EQ(rig.nand.read_page(p, {}, spare), Status::kOk);
+    const auto tag = ftl::SpareTag::decode(spare);
+    EXPECT_TRUE(tag.kind == ftl::PageKind::kIndexRecord ||
+                tag.kind == ftl::PageKind::kIndexDir);
+  }
+}
+
+TEST(RhikResize, OldPagesGoStaleAfterMigration) {
+  Rig rig;
+  fill_through_resizes(rig, 3);
+  ASSERT_EQ(rig.index.flush(), Status::kOk);
+  // Count live index pages the index claims vs programmed pages; the
+  // difference is stale garbage awaiting GC.
+  const auto& g = rig.nand.geometry();
+  std::uint64_t programmed = 0, live = 0;
+  for (Ppa p = 0; p < g.pages_total(); ++p) {
+    if (!rig.nand.is_programmed(p)) continue;
+    ++programmed;
+    if (rig.index.gc_is_live_index_page(p)) ++live;
+  }
+  EXPECT_GT(programmed, live);  // resize left stale pages behind
+  EXPECT_GT(live, 0u);
+}
+
+TEST(RhikResize, IncrementalModeAnswersQueriesMidMigration) {
+  RhikConfig cfg;
+  cfg.incremental_resize = true;
+  cfg.incremental_batch = 1;  // migrate slowly so we observe the window
+  Rig rig(cfg);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(5);
+  // Fill until a migration starts.
+  while (!rig.index.migration_active()) {
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, ref.size()))) ref[sig] = ref.size();
+  }
+  ASSERT_TRUE(rig.index.migration_active());
+  // Mid-migration: every existing mapping must be visible.
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+}
+
+TEST(RhikResize, IncrementalModeCompletesAndPreservesAll) {
+  RhikConfig cfg;
+  cfg.incremental_resize = true;
+  cfg.incremental_batch = 2;
+  Rig rig(cfg);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(6);
+  for (int i = 0; i < 3000; ++i) {
+    rig.maybe_gc();
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) ref[sig] = i;
+  }
+  // Drive any in-flight migration to completion with reads.
+  for (int i = 0; i < 10000 && rig.index.migration_active(); ++i) {
+    rig.index.get(rng.next());
+  }
+  EXPECT_FALSE(rig.index.migration_active());
+  EXPECT_GE(rig.index.op_stats().resizes, 1u);
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+}
+
+TEST(RhikResize, IncrementalModeDoesNotStallQueue) {
+  RhikConfig cfg;
+  cfg.incremental_resize = true;
+  Rig rig(cfg);
+  fill_through_resizes(rig, 2);
+  // No stop-the-world window: stall time stays zero.
+  EXPECT_EQ(rig.clock.total_stall(), 0u);
+}
+
+TEST(RhikResize, ErasesDuringMigrationLandCorrectly) {
+  RhikConfig cfg;
+  cfg.incremental_resize = true;
+  cfg.incremental_batch = 1;
+  Rig rig(cfg);
+  std::vector<std::uint64_t> sigs;
+  Rng rng(7);
+  while (!rig.index.migration_active()) {
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, 1))) sigs.push_back(sig);
+  }
+  // Erase half the keys mid-migration.
+  std::uint64_t erased = 0;
+  for (std::size_t i = 0; i < sigs.size(); i += 2) {
+    if (rig.index.erase(sigs[i]) == Status::kOk) ++erased;
+  }
+  EXPECT_EQ(rig.index.size(), sigs.size() - erased);
+  for (std::size_t i = 1; i < sigs.size(); i += 2) {
+    EXPECT_TRUE(rig.index.get(sigs[i]).has_value());
+  }
+  for (std::size_t i = 0; i < sigs.size(); i += 2) {
+    EXPECT_FALSE(rig.index.get(sigs[i]).has_value());
+  }
+}
+
+TEST(RhikResize, CapacityDoublesDirectoryEachTime) {
+  Rig rig;
+  const std::uint64_t cap0 = rig.index.capacity();
+  fill_through_resizes(rig, 1);
+  EXPECT_EQ(rig.index.capacity(), cap0 * 2);
+  fill_through_resizes(rig, 2, /*seed=*/55);
+  EXPECT_EQ(rig.index.capacity(), cap0 * 4);
+}
+
+}  // namespace
+}  // namespace rhik::index
