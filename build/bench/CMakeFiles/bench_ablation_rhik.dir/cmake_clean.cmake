@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rhik.dir/bench_ablation_rhik.cpp.o"
+  "CMakeFiles/bench_ablation_rhik.dir/bench_ablation_rhik.cpp.o.d"
+  "bench_ablation_rhik"
+  "bench_ablation_rhik.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rhik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

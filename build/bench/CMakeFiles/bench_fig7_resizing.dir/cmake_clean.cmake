@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_resizing.dir/bench_fig7_resizing.cpp.o"
+  "CMakeFiles/bench_fig7_resizing.dir/bench_fig7_resizing.cpp.o.d"
+  "bench_fig7_resizing"
+  "bench_fig7_resizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_resizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

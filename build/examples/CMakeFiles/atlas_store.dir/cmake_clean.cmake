@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_store.dir/atlas_store.cpp.o"
+  "CMakeFiles/atlas_store.dir/atlas_store.cpp.o.d"
+  "atlas_store"
+  "atlas_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

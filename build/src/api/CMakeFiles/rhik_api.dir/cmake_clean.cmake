@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_api.dir/kvs.cpp.o"
+  "CMakeFiles/rhik_api.dir/kvs.cpp.o.d"
+  "librhik_api.a"
+  "librhik_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_common.dir/histogram.cpp.o"
+  "CMakeFiles/rhik_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rhik_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/rhik_common.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/rhik_common.dir/status.cpp.o"
+  "CMakeFiles/rhik_common.dir/status.cpp.o.d"
+  "librhik_common.a"
+  "librhik_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_flash.dir/nand.cpp.o"
+  "CMakeFiles/rhik_flash.dir/nand.cpp.o.d"
+  "librhik_flash.a"
+  "librhik_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

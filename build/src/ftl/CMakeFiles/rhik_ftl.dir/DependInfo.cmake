@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/gc.cpp" "src/ftl/CMakeFiles/rhik_ftl.dir/gc.cpp.o" "gcc" "src/ftl/CMakeFiles/rhik_ftl.dir/gc.cpp.o.d"
+  "/root/repo/src/ftl/kv_store.cpp" "src/ftl/CMakeFiles/rhik_ftl.dir/kv_store.cpp.o" "gcc" "src/ftl/CMakeFiles/rhik_ftl.dir/kv_store.cpp.o.d"
+  "/root/repo/src/ftl/layout.cpp" "src/ftl/CMakeFiles/rhik_ftl.dir/layout.cpp.o" "gcc" "src/ftl/CMakeFiles/rhik_ftl.dir/layout.cpp.o.d"
+  "/root/repo/src/ftl/page_allocator.cpp" "src/ftl/CMakeFiles/rhik_ftl.dir/page_allocator.cpp.o" "gcc" "src/ftl/CMakeFiles/rhik_ftl.dir/page_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/rhik_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

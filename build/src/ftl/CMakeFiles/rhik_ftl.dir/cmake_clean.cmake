@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_ftl.dir/gc.cpp.o"
+  "CMakeFiles/rhik_ftl.dir/gc.cpp.o.d"
+  "CMakeFiles/rhik_ftl.dir/kv_store.cpp.o"
+  "CMakeFiles/rhik_ftl.dir/kv_store.cpp.o.d"
+  "CMakeFiles/rhik_ftl.dir/layout.cpp.o"
+  "CMakeFiles/rhik_ftl.dir/layout.cpp.o.d"
+  "CMakeFiles/rhik_ftl.dir/page_allocator.cpp.o"
+  "CMakeFiles/rhik_ftl.dir/page_allocator.cpp.o.d"
+  "librhik_ftl.a"
+  "librhik_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

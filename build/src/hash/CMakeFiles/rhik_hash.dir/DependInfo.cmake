@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hopscotch.cpp" "src/hash/CMakeFiles/rhik_hash.dir/hopscotch.cpp.o" "gcc" "src/hash/CMakeFiles/rhik_hash.dir/hopscotch.cpp.o.d"
+  "/root/repo/src/hash/murmur.cpp" "src/hash/CMakeFiles/rhik_hash.dir/murmur.cpp.o" "gcc" "src/hash/CMakeFiles/rhik_hash.dir/murmur.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_hash.dir/hopscotch.cpp.o"
+  "CMakeFiles/rhik_hash.dir/hopscotch.cpp.o.d"
+  "CMakeFiles/rhik_hash.dir/murmur.cpp.o"
+  "CMakeFiles/rhik_hash.dir/murmur.cpp.o.d"
+  "librhik_hash.a"
+  "librhik_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/mlhash/mlhash_index.cpp" "src/index/CMakeFiles/rhik_index.dir/mlhash/mlhash_index.cpp.o" "gcc" "src/index/CMakeFiles/rhik_index.dir/mlhash/mlhash_index.cpp.o.d"
+  "/root/repo/src/index/rhik/record_page.cpp" "src/index/CMakeFiles/rhik_index.dir/rhik/record_page.cpp.o" "gcc" "src/index/CMakeFiles/rhik_index.dir/rhik/record_page.cpp.o.d"
+  "/root/repo/src/index/rhik/rhik_index.cpp" "src/index/CMakeFiles/rhik_index.dir/rhik/rhik_index.cpp.o" "gcc" "src/index/CMakeFiles/rhik_index.dir/rhik/rhik_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/rhik_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_index.dir/mlhash/mlhash_index.cpp.o"
+  "CMakeFiles/rhik_index.dir/mlhash/mlhash_index.cpp.o.d"
+  "CMakeFiles/rhik_index.dir/rhik/record_page.cpp.o"
+  "CMakeFiles/rhik_index.dir/rhik/record_page.cpp.o.d"
+  "CMakeFiles/rhik_index.dir/rhik/rhik_index.cpp.o"
+  "CMakeFiles/rhik_index.dir/rhik/rhik_index.cpp.o.d"
+  "librhik_index.a"
+  "librhik_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_kvssd.dir/device.cpp.o"
+  "CMakeFiles/rhik_kvssd.dir/device.cpp.o.d"
+  "CMakeFiles/rhik_kvssd.dir/iterator.cpp.o"
+  "CMakeFiles/rhik_kvssd.dir/iterator.cpp.o.d"
+  "CMakeFiles/rhik_kvssd.dir/pm983_model.cpp.o"
+  "CMakeFiles/rhik_kvssd.dir/pm983_model.cpp.o.d"
+  "CMakeFiles/rhik_kvssd.dir/recovery.cpp.o"
+  "CMakeFiles/rhik_kvssd.dir/recovery.cpp.o.d"
+  "librhik_kvssd.a"
+  "librhik_kvssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_kvssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rhik_kvssd.
+# This may be replaced when dependencies are built.

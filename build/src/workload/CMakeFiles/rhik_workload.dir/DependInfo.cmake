@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ibm_cos.cpp" "src/workload/CMakeFiles/rhik_workload.dir/ibm_cos.cpp.o" "gcc" "src/workload/CMakeFiles/rhik_workload.dir/ibm_cos.cpp.o.d"
+  "/root/repo/src/workload/keygen.cpp" "src/workload/CMakeFiles/rhik_workload.dir/keygen.cpp.o" "gcc" "src/workload/CMakeFiles/rhik_workload.dir/keygen.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/rhik_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/rhik_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/workload/size_dist.cpp" "src/workload/CMakeFiles/rhik_workload.dir/size_dist.cpp.o" "gcc" "src/workload/CMakeFiles/rhik_workload.dir/size_dist.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/rhik_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/rhik_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvssd/CMakeFiles/rhik_kvssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rhik_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/rhik_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

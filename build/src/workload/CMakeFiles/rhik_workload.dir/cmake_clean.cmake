@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_workload.dir/ibm_cos.cpp.o"
+  "CMakeFiles/rhik_workload.dir/ibm_cos.cpp.o.d"
+  "CMakeFiles/rhik_workload.dir/keygen.cpp.o"
+  "CMakeFiles/rhik_workload.dir/keygen.cpp.o.d"
+  "CMakeFiles/rhik_workload.dir/replay.cpp.o"
+  "CMakeFiles/rhik_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/rhik_workload.dir/size_dist.cpp.o"
+  "CMakeFiles/rhik_workload.dir/size_dist.cpp.o.d"
+  "CMakeFiles/rhik_workload.dir/trace.cpp.o"
+  "CMakeFiles/rhik_workload.dir/trace.cpp.o.d"
+  "librhik_workload.a"
+  "librhik_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

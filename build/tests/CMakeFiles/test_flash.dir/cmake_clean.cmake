@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash.dir/test_flash.cpp.o"
+  "CMakeFiles/test_flash.dir/test_flash.cpp.o.d"
+  "test_flash"
+  "test_flash.pdb"
+  "test_flash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

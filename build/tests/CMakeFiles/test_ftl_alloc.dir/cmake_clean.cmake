@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl_alloc.dir/test_ftl_alloc.cpp.o"
+  "CMakeFiles/test_ftl_alloc.dir/test_ftl_alloc.cpp.o.d"
+  "test_ftl_alloc"
+  "test_ftl_alloc.pdb"
+  "test_ftl_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl_gc.dir/test_ftl_gc.cpp.o"
+  "CMakeFiles/test_ftl_gc.dir/test_ftl_gc.cpp.o.d"
+  "test_ftl_gc"
+  "test_ftl_gc.pdb"
+  "test_ftl_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

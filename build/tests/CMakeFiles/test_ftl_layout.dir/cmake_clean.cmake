@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl_layout.dir/test_ftl_layout.cpp.o"
+  "CMakeFiles/test_ftl_layout.dir/test_ftl_layout.cpp.o.d"
+  "test_ftl_layout"
+  "test_ftl_layout.pdb"
+  "test_ftl_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

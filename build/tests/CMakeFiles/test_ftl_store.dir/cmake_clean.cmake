@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl_store.dir/test_ftl_store.cpp.o"
+  "CMakeFiles/test_ftl_store.dir/test_ftl_store.cpp.o.d"
+  "test_ftl_store"
+  "test_ftl_store.pdb"
+  "test_ftl_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

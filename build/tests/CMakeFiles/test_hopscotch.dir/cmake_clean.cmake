@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopscotch.dir/test_hopscotch.cpp.o"
+  "CMakeFiles/test_hopscotch.dir/test_hopscotch.cpp.o.d"
+  "test_hopscotch"
+  "test_hopscotch.pdb"
+  "test_hopscotch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopscotch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterator.dir/test_iterator.cpp.o"
+  "CMakeFiles/test_iterator.dir/test_iterator.cpp.o.d"
+  "test_iterator"
+  "test_iterator.pdb"
+  "test_iterator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvssd.dir/test_kvssd.cpp.o"
+  "CMakeFiles/test_kvssd.dir/test_kvssd.cpp.o.d"
+  "test_kvssd"
+  "test_kvssd.pdb"
+  "test_kvssd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

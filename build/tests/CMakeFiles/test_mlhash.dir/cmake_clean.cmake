@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlhash.dir/test_mlhash.cpp.o"
+  "CMakeFiles/test_mlhash.dir/test_mlhash.cpp.o.d"
+  "test_mlhash"
+  "test_mlhash.pdb"
+  "test_mlhash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_page.dir/test_record_page.cpp.o"
+  "CMakeFiles/test_record_page.dir/test_record_page.cpp.o.d"
+  "test_record_page"
+  "test_record_page.pdb"
+  "test_record_page[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhik.dir/test_rhik.cpp.o"
+  "CMakeFiles/test_rhik.dir/test_rhik.cpp.o.d"
+  "test_rhik"
+  "test_rhik.pdb"
+  "test_rhik[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhik_resize.dir/test_rhik_resize.cpp.o"
+  "CMakeFiles/test_rhik_resize.dir/test_rhik_resize.cpp.o.d"
+  "test_rhik_resize"
+  "test_rhik_resize.pdb"
+  "test_rhik_resize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhik_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_hopscotch[1]_include.cmake")
+include("/root/repo/build/tests/test_flash[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl_store[1]_include.cmake")
+include("/root/repo/build/tests/test_ftl_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_record_page[1]_include.cmake")
+include("/root/repo/build/tests/test_rhik[1]_include.cmake")
+include("/root/repo/build/tests/test_rhik_resize[1]_include.cmake")
+include("/root/repo/build/tests/test_mlhash[1]_include.cmake")
+include("/root/repo/build/tests/test_kvssd[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_iterator[1]_include.cmake")
+include("/root/repo/build/tests/test_rhik_overflow[1]_include.cmake")
