@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharded_throughput.dir/bench_sharded_throughput.cpp.o"
+  "CMakeFiles/bench_sharded_throughput.dir/bench_sharded_throughput.cpp.o.d"
+  "bench_sharded_throughput"
+  "bench_sharded_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharded_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

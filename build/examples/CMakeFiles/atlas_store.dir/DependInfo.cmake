@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/api/CMakeFiles/rhik_api.dir/DependInfo.cmake"
   "/root/repo/build/src/kvssd/CMakeFiles/rhik_kvssd.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/rhik_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/rhik_shard.dir/DependInfo.cmake"
   "/root/repo/build/src/index/CMakeFiles/rhik_index.dir/DependInfo.cmake"
   "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
   "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"

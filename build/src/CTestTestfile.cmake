@@ -11,5 +11,6 @@ subdirs("ftl")
 subdirs("cache")
 subdirs("index")
 subdirs("kvssd")
+subdirs("shard")
 subdirs("api")
 subdirs("workload")

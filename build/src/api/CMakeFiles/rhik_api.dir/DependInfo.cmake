@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/kvssd/CMakeFiles/rhik_kvssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/rhik_shard.dir/DependInfo.cmake"
   "/root/repo/build/src/index/CMakeFiles/rhik_index.dir/DependInfo.cmake"
   "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
   "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"

@@ -227,6 +227,10 @@ src/kvssd/CMakeFiles/rhik_kvssd.dir/device.cpp.o: \
  /root/repo/src/index/mlhash/mlhash_index.hpp \
  /root/repo/src/index/rhik/record_page.hpp \
  /root/repo/src/hash/hopscotch.hpp /root/repo/src/index/rhik/config.hpp \
- /root/repo/src/kvssd/iterator.hpp /root/repo/src/hash/murmur.hpp \
- /root/repo/src/index/rhik/rhik_index.hpp \
+ /root/repo/src/kvssd/iterator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/hash/murmur.hpp /root/repo/src/index/rhik/rhik_index.hpp \
  /root/repo/src/kvssd/recovery.hpp

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shard/sharded_kvssd.cpp" "src/shard/CMakeFiles/rhik_shard.dir/sharded_kvssd.cpp.o" "gcc" "src/shard/CMakeFiles/rhik_shard.dir/sharded_kvssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvssd/CMakeFiles/rhik_kvssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rhik_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/rhik_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhik_shard.dir/sharded_kvssd.cpp.o"
+  "CMakeFiles/rhik_shard.dir/sharded_kvssd.cpp.o.d"
+  "librhik_shard.a"
+  "librhik_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhik_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhik_shard.a"
+)

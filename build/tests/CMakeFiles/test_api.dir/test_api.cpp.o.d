@@ -309,4 +309,15 @@ tests/CMakeFiles/test_api.dir/test_api.cpp.o: \
  /root/repo/src/index/mlhash/mlhash_index.hpp \
  /root/repo/src/index/rhik/record_page.hpp \
  /root/repo/src/hash/hopscotch.hpp /root/repo/src/index/rhik/config.hpp \
- /root/repo/src/kvssd/iterator.hpp
+ /root/repo/src/kvssd/iterator.hpp /root/repo/src/shard/sharded_kvssd.hpp \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/shard/submission_ring.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex

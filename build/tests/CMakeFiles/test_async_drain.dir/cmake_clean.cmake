@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_drain.dir/test_async_drain.cpp.o"
+  "CMakeFiles/test_async_drain.dir/test_async_drain.cpp.o.d"
+  "test_async_drain"
+  "test_async_drain.pdb"
+  "test_async_drain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sharded.cpp" "tests/CMakeFiles/test_sharded.dir/test_sharded.cpp.o" "gcc" "tests/CMakeFiles/test_sharded.dir/test_sharded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhik_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/rhik_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/rhik_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rhik_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rhik_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvssd/CMakeFiles/rhik_kvssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/rhik_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rhik_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rhik_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

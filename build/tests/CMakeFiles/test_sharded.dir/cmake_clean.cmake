@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded.dir/test_sharded.cpp.o"
+  "CMakeFiles/test_sharded.dir/test_sharded.cpp.o.d"
+  "test_sharded"
+  "test_sharded.pdb"
+  "test_sharded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

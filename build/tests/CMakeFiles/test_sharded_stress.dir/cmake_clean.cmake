@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_stress.dir/test_sharded_stress.cpp.o"
+  "CMakeFiles/test_sharded_stress.dir/test_sharded_stress.cpp.o.d"
+  "test_sharded_stress"
+  "test_sharded_stress.pdb"
+  "test_sharded_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -24,3 +24,6 @@ include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_recovery[1]_include.cmake")
 include("/root/repo/build/tests/test_iterator[1]_include.cmake")
 include("/root/repo/build/tests/test_rhik_overflow[1]_include.cmake")
+include("/root/repo/build/tests/test_async_drain[1]_include.cmake")
+include("/root/repo/build/tests/test_sharded[1]_include.cmake")
+include("/root/repo/build/tests/test_sharded_stress[1]_include.cmake")

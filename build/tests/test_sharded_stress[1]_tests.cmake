@@ -1,0 +1,3 @@
+add_test([=[ShardedStress.ConcurrentSubmittersAndDrainBarriers]=]  /root/repo/build/tests/test_sharded_stress [==[--gtest_filter=ShardedStress.ConcurrentSubmittersAndDrainBarriers]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ShardedStress.ConcurrentSubmittersAndDrainBarriers]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS stress)
+set(  test_sharded_stress_TESTS ShardedStress.ConcurrentSubmittersAndDrainBarriers)

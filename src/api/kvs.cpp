@@ -1,5 +1,7 @@
 #include "api/kvs.hpp"
 
+#include <algorithm>
+
 namespace rhik::api {
 
 KvsResult from_status(Status s) noexcept {
@@ -38,42 +40,62 @@ const char* to_string(KvsResult r) noexcept {
 }
 
 KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
+  const std::uint32_t shards = std::max<std::uint32_t>(1, opts.num_shards);
   kvssd::DeviceConfig cfg;
-  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes);
-  cfg.dram_cache_bytes = opts.dram_cache_bytes;
+  // With num_shards > 1 each shard gets an even slice of the array's
+  // capacity, DRAM budget and sizing hint.
+  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes / shards);
+  cfg.dram_cache_bytes = opts.dram_cache_bytes / shards;
   cfg.prefix_signatures = opts.enable_iterator;
+  const std::uint64_t keys_hint = opts.anticipated_keys / shards;
   if (opts.use_rhik) {
     cfg.index_kind = kvssd::IndexKind::kRhik;
-    cfg.rhik.anticipated_keys = opts.anticipated_keys;
+    cfg.rhik.anticipated_keys = keys_hint;
     cfg.rhik.incremental_resize = opts.incremental_resize;
   } else {
     cfg.index_kind = kvssd::IndexKind::kMlHash;
-    if (opts.anticipated_keys != 0) {
-      cfg.mlhash = index::MlHashConfig::for_keys(opts.anticipated_keys,
+    if (keys_hint != 0) {
+      cfg.mlhash = index::MlHashConfig::for_keys(keys_hint,
                                                  cfg.geometry.page_size);
     }
   }
-  dev_ = std::make_unique<kvssd::KvssdDevice>(cfg);
+  if (shards == 1) {
+    dev_ = std::make_unique<kvssd::KvssdDevice>(cfg);
+  } else {
+    shard::ShardedConfig sc;
+    sc.device = cfg;
+    sc.num_shards = shards;
+    array_ = std::make_unique<shard::ShardedKvssd>(sc);
+  }
 }
 
 KvsResult KvsDevice::store(std::string_view key, ByteSpan value) {
-  return from_status(dev_->put(key_span(key), value));
+  const Status s = array_ ? array_->put(key_span(key), value)
+                          : dev_->put(key_span(key), value);
+  return from_status(s);
 }
 
 KvsResult KvsDevice::retrieve(std::string_view key, Bytes* value_out) {
-  return from_status(dev_->get(key_span(key), value_out));
+  const Status s = array_ ? array_->get(key_span(key), value_out)
+                          : dev_->get(key_span(key), value_out);
+  return from_status(s);
 }
 
 KvsResult KvsDevice::remove(std::string_view key) {
-  return from_status(dev_->del(key_span(key)));
+  const Status s =
+      array_ ? array_->del(key_span(key)) : dev_->del(key_span(key));
+  return from_status(s);
 }
 
 KvsResult KvsDevice::exist(std::string_view key) {
-  return from_status(dev_->exist(key_span(key)));
+  const Status s =
+      array_ ? array_->exist(key_span(key)) : dev_->exist(key_span(key));
+  return from_status(s);
 }
 
 KvsResult KvsDevice::iterate(std::string_view prefix,
                              std::vector<std::string>* keys_out) {
+  if (array_) return KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED;
   std::vector<Bytes> keys;
   const Status s = dev_->iterate_prefix(key_span(prefix), &keys);
   if (!ok(s)) return from_status(s);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "kvssd/device.hpp"
+#include "shard/sharded_kvssd.hpp"
 
 namespace rhik::api {
 
@@ -39,6 +40,12 @@ struct KvsDeviceOptions {
   std::uint64_t anticipated_keys = 0; ///< Eq. 2 initial sizing hint
   bool enable_iterator = false;       ///< §VI prefix-signature iteration
   bool incremental_resize = false;    ///< §VI real-time scaling
+  /// >1: sharded multi-device front-end — the keyspace is hash-
+  /// partitioned across this many emulated devices, each with its own
+  /// worker thread; capacity_bytes and dram_cache_bytes are split
+  /// evenly. 1 (default) keeps today's single, thread-free device.
+  /// Prefix iteration is not yet supported across shards.
+  std::uint32_t num_shards = 1;
 };
 
 /// An open KVSSD with the SNIA-style verb set.
@@ -56,14 +63,20 @@ class KvsDevice {
   /// Enumerates stored keys with the given prefix (needs enable_iterator).
   KvsResult iterate(std::string_view prefix, std::vector<std::string>* keys_out);
 
+  /// True when opened with num_shards > 1.
+  [[nodiscard]] bool sharded() const noexcept { return array_ != nullptr; }
   /// Access to the underlying emulated device for stats/advanced use.
+  /// Only valid for a non-sharded device (num_shards == 1).
   [[nodiscard]] kvssd::KvssdDevice& device() noexcept { return *dev_; }
+  /// Access to the shard array (only valid when sharded()).
+  [[nodiscard]] shard::ShardedKvssd& shard_array() noexcept { return *array_; }
 
  private:
   static ByteSpan key_span(std::string_view key) noexcept {
     return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};
   }
   std::unique_ptr<kvssd::KvssdDevice> dev_;
+  std::unique_ptr<shard::ShardedKvssd> array_;
 };
 
 }  // namespace rhik::api

@@ -61,6 +61,17 @@ class IIndex : public ftl::GcIndexHooks {
   /// Probabilistic membership check by signature only (§IV-A3).
   virtual bool exists(std::uint64_t sig) { return get(sig).has_value(); }
 
+  /// Locality group of a signature: operations in the same group hit the
+  /// same flash-resident metadata page(s), so executing a batch grouped
+  /// by this value loads each page once per group instead of once per
+  /// op. Schemes without such locality return a constant (grouping then
+  /// degenerates to submission order).
+  [[nodiscard]] virtual std::uint64_t locality_group(
+      std::uint64_t sig) const noexcept {
+    (void)sig;
+    return 0;
+  }
+
   [[nodiscard]] virtual std::uint64_t size() const = 0;
   /// Total record capacity at the current configuration.
   [[nodiscard]] virtual std::uint64_t capacity() const = 0;

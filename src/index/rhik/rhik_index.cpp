@@ -73,6 +73,9 @@ Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
   const auto& g = nand_->geometry();
   Ppa& slot = dir_slot(gen, bucket);
   const Ppa old = slot;
+  // Only current-generation overflow slots feed the overflow_pages()
+  // counter (old-generation slots live in the migration snapshot).
+  const bool count_ov = (bucket & kOvBit) != 0 && gen == gen_;
 
   const auto retire_old = [&] {
     if (old != kInvalidPpa) {
@@ -85,6 +88,7 @@ Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
     // Lazy representation: an empty bucket has no record page at all.
     retire_old();
     slot = kInvalidPpa;
+    if (count_ov && old != kInvalidPpa) ov_pages_--;
     return Status::kOk;
   }
 
@@ -109,6 +113,7 @@ Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
 
   retire_old();
   slot = *ppa;
+  if (count_ov && old == kInvalidPpa) ov_pages_++;
   page_owner_[*ppa] = make_key(gen, bucket);
   alloc_->add_live(*ppa, g.page_size);
 
@@ -276,6 +281,7 @@ Status RhikIndex::maybe_resize() {
   assert(dir_bits_ < 39);
   dir_.assign(dir_size(), kInvalidPpa);
   ov_dir_.assign(dir_size(), kInvalidPpa);
+  ov_pages_ = 0;  // old-generation overflow slots moved into mig_
 
   if (cfg_.incremental_resize) return Status::kOk;  // drained by pump_migration
 
@@ -502,12 +508,14 @@ Status RhikIndex::load_directory(ByteSpan image) {
   num_keys_ = get_u64(image, 12);
   dir_.assign(entries, kInvalidPpa);
   ov_dir_.assign(entries, kInvalidPpa);
+  ov_pages_ = 0;
   for (std::uint64_t i = 0; i < entries; ++i) {
     dir_[i] = get_u40(image, 20 + i * 5);
     if (dir_[i] != kInvalidPpa) page_owner_[dir_[i]] = make_key(gen_, i);
     ov_dir_[i] = get_u40(image, 20 + (entries + i) * 5);
     if (ov_dir_[i] != kInvalidPpa) {
       page_owner_[ov_dir_[i]] = make_key(gen_, i | kOvBit);
+      ov_pages_++;
     }
   }
   return Status::kOk;

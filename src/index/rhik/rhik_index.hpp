@@ -20,6 +20,7 @@
 // number of old buckets per foreground operation instead.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -51,6 +52,11 @@ class RhikIndex final : public IIndex {
   [[nodiscard]] std::uint64_t dram_bytes() const override;
   Status flush() override;
   Status scan(const std::function<void(std::uint64_t, flash::Ppa)>& fn) override;
+  /// Directory bucket: ops on the same bucket share one record page.
+  [[nodiscard]] std::uint64_t locality_group(
+      std::uint64_t sig) const noexcept override {
+    return sig & dir_mask();
+  }
   [[nodiscard]] const IndexOpStats& op_stats() const override { return stats_; }
   void reset_op_stats() override {
     stats_ = {};
@@ -77,10 +83,15 @@ class RhikIndex final : public IIndex {
   }
   [[nodiscard]] bool migration_active() const noexcept { return mig_.has_value(); }
   /// Buckets currently carrying an overflow page (§VI extension).
+  /// Maintained as a counter on overflow create/drop so callers can poll
+  /// it per-op without an O(dir_size) scan.
   [[nodiscard]] std::uint64_t overflow_pages() const noexcept {
+#ifndef NDEBUG
     std::uint64_t n = 0;
     for (const auto p : ov_dir_) n += (p != flash::kInvalidPpa);
-    return n;
+    assert(n == ov_pages_);
+#endif
+    return ov_pages_;
   }
   [[nodiscard]] const cache::CacheStats& cache_stats() const noexcept override {
     return cache_.stats();
@@ -155,6 +166,8 @@ class RhikIndex final : public IIndex {
   /// Per-bucket overflow record pages (all kInvalidPpa unless the
   /// local_overflow extension engages).
   std::vector<flash::Ppa> ov_dir_;
+  /// Count of non-invalid ov_dir_ entries (== overflow_pages()).
+  std::uint64_t ov_pages_ = 0;
 
   struct CachedTable {
     hash::HopscotchTable table;

@@ -40,6 +40,12 @@ struct DeviceConfig {
   SimTime cmd_overhead_ns = 6 * kMicrosecond;
   /// Queue depth for asynchronous submission.
   std::uint32_t queue_depth = 64;
+  /// Index-aware batch drain: execute queued async commands grouped by
+  /// the index's locality bucket (sig & dir_mask for RHIK) so each
+  /// record page is loaded once per group instead of once per op.
+  /// Same-signature commands keep their submission order; per-op status,
+  /// callback and latency semantics are unchanged.
+  bool batch_drain_grouping = true;
 
   /// SNIA KV API key length cap.
   std::uint32_t max_key_size = 255;

@@ -1,6 +1,8 @@
 #include "kvssd/device.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "hash/murmur.hpp"
 #include "index/mlhash/mlhash_index.hpp"
@@ -62,10 +64,14 @@ std::unique_ptr<flash::NandDevice> KvssdDevice::release_nand() {
   return std::move(nand_);
 }
 
-std::uint64_t KvssdDevice::signature(ByteSpan key) const {
-  if (cfg_.prefix_signatures) return hash::prefix_signature(key);
-  if (cfg_.wide_signatures) return hash::murmur3_128(key).lo;
+std::uint64_t KvssdDevice::signature_for(const DeviceConfig& cfg, ByteSpan key) {
+  if (cfg.prefix_signatures) return hash::prefix_signature(key);
+  if (cfg.wide_signatures) return hash::murmur3_128(key).lo;
   return hash::murmur2_64(key);
+}
+
+std::uint64_t KvssdDevice::signature(ByteSpan key) const {
+  return signature_for(cfg_, key);
 }
 
 void KvssdDevice::charge_command(bool async) {
@@ -305,41 +311,79 @@ Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
 }
 
 void KvssdDevice::submit_put(Bytes key, Bytes value, Callback cb) {
-  queue_.push_back({OpType::kPut, std::move(key), std::move(value), std::move(cb)});
+  queue_.push_back(
+      {OpType::kPut, std::move(key), std::move(value), std::move(cb), {}});
 }
 
 void KvssdDevice::submit_get(Bytes key, Callback cb) {
-  queue_.push_back({OpType::kGet, std::move(key), {}, std::move(cb)});
+  queue_.push_back({OpType::kGet, std::move(key), {}, std::move(cb), {}});
+}
+
+void KvssdDevice::submit_get(Bytes key, GetCallback cb) {
+  queue_.push_back({OpType::kGet, std::move(key), {}, {}, std::move(cb)});
 }
 
 void KvssdDevice::submit_del(Bytes key, Callback cb) {
-  queue_.push_back({OpType::kDel, std::move(key), {}, std::move(cb)});
+  queue_.push_back({OpType::kDel, std::move(key), {}, std::move(cb), {}});
 }
 
 std::size_t KvssdDevice::drain() {
   std::size_t completed = 0;
+  std::vector<QueuedOp> ops;
+  std::vector<std::uint32_t> order;
   Bytes value;
+  // Outer loop: callbacks may submit follow-up commands; they drain in
+  // the same call, as with the previous strictly-serial implementation.
   while (!queue_.empty()) {
-    QueuedOp op = std::move(queue_.front());
-    queue_.pop_front();
-    const SimTime t0 = clock_.now();
-    charge_command(/*async=*/true);
-    Status s = Status::kOk;
-    switch (op.type) {
-      case OpType::kPut:
-        s = put_locked(op.key, op.value);
-        stats_.put_latency_ns.record(clock_.now() - t0);
-        break;
-      case OpType::kGet:
-        s = get_locked(op.key, &value);
-        stats_.get_latency_ns.record(clock_.now() - t0);
-        break;
-      case OpType::kDel:
-        s = del_locked(op.key);
-        break;
+    ops.assign(std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.end()));
+    queue_.clear();
+
+    // Index-aware batch drain: execute the snapshot grouped by the
+    // index's locality bucket, so a record page is loaded once per group
+    // instead of once per op under cache pressure. The sort is stable
+    // and same-key ops share a signature (hence a group), so per-key
+    // ordering — the only ordering the async API guarantees — holds.
+    order.resize(ops.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (cfg_.batch_drain_grouping && ops.size() > 1) {
+      std::vector<std::uint64_t> group(ops.size());
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        group[i] = index_->locality_group(signature(ops[i].key));
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&group](std::uint32_t a, std::uint32_t b) {
+                         return group[a] < group[b];
+                       });
     }
-    if (op.cb) op.cb(s);
-    ++completed;
+
+    for (const std::uint32_t i : order) {
+      QueuedOp& op = ops[i];
+      const SimTime t0 = clock_.now();
+      charge_command(/*async=*/true);
+      Status s = Status::kOk;
+      switch (op.type) {
+        case OpType::kPut:
+          s = put_locked(op.key, op.value);
+          stats_.put_latency_ns.record(clock_.now() - t0);
+          break;
+        case OpType::kGet:
+          value.clear();
+          s = get_locked(op.key, &value);
+          stats_.get_latency_ns.record(clock_.now() - t0);
+          break;
+        case OpType::kDel:
+          s = del_locked(op.key);
+          break;
+      }
+      if (op.get_cb) {
+        op.get_cb(s, std::move(value));
+        value.clear();
+      } else if (op.cb) {
+        op.cb(s);
+      }
+      ++completed;
+    }
   }
   return completed;
 }

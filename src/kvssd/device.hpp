@@ -49,6 +49,25 @@ struct DeviceStats {
   std::uint64_t gc_invocations = 0;
   Histogram put_latency_ns;
   Histogram get_latency_ns;
+
+  /// Accumulates another device's stats (used by the sharded front-end
+  /// to report whole-array figures).
+  void merge_from(const DeviceStats& o) {
+    puts += o.puts;
+    gets += o.gets;
+    deletes += o.deletes;
+    exists += o.exists;
+    iterates += o.iterates;
+    bytes_put += o.bytes_put;
+    bytes_got += o.bytes_got;
+    not_found += o.not_found;
+    batches += o.batches;
+    collision_rejects += o.collision_rejects;
+    device_full += o.device_full;
+    gc_invocations += o.gc_invocations;
+    put_latency_ns.merge(o.put_latency_ns);
+    get_latency_ns.merge(o.get_latency_ns);
+  }
 };
 
 class KvssdDevice {
@@ -106,10 +125,17 @@ class KvssdDevice {
 
   // -- Asynchronous submission --------------------------------------------------
   using Callback = std::function<void(Status)>;
+  /// Value-carrying completion for asynchronous gets.
+  using GetCallback = std::function<void(Status, Bytes&&)>;
   void submit_put(Bytes key, Bytes value, Callback cb = {});
   void submit_get(Bytes key, Callback cb = {});
+  /// Get whose completion receives the value read (empty on non-kOk).
+  void submit_get(Bytes key, GetCallback cb);
   void submit_del(Bytes key, Callback cb = {});
-  /// Executes all queued commands; returns how many completed.
+  /// Executes all queued commands; returns how many completed. When
+  /// DeviceConfig::batch_drain_grouping is set, commands are executed
+  /// grouped by the index's locality bucket (stable within a group, so
+  /// same-key commands keep submission order).
   std::size_t drain();
 
   /// Persists buffered data and index state.
@@ -136,6 +162,10 @@ class KvssdDevice {
 
   /// Key signature exactly as the device computes it (§IV-A).
   [[nodiscard]] std::uint64_t signature(ByteSpan key) const;
+  /// Same computation without a device instance (the sharded front-end
+  /// partitions by signature before any shard is consulted).
+  [[nodiscard]] static std::uint64_t signature_for(const DeviceConfig& cfg,
+                                                   ByteSpan key);
 
  private:
   /// Shared wiring; `nand` may be an adopted (recovered) array.
@@ -147,6 +177,7 @@ class KvssdDevice {
     Bytes key;
     Bytes value;
     Callback cb;
+    GetCallback get_cb;
   };
 
   Status put_locked(ByteSpan key, ByteSpan value);

@@ -1,0 +1,383 @@
+#include "shard/sharded_kvssd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+namespace rhik::shard {
+
+namespace {
+
+/// One-shot completion gate for sync verbs and cross-shard barriers.
+class Gate {
+ public:
+  void open() {
+    // Notify under the lock: the gate lives on the waiter's stack and is
+    // destroyed the moment wait() returns, so the waiter must not be able
+    // to re-acquire the mutex (and return) until we are done with cv_.
+    std::lock_guard lk(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+Bytes owned(ByteSpan span) { return Bytes(span.begin(), span.end()); }
+
+}  // namespace
+
+ShardedKvssd::ShardedKvssd(ShardedConfig cfg) : cfg_(std::move(cfg)) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg_.num_shards);
+  cfg_.num_shards = n;
+  shards_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->dev = std::make_unique<kvssd::KvssdDevice>(cfg_.device);
+    s->ring = std::make_unique<SubmissionRing<ShardOp>>(cfg_.ring_capacity);
+    shards_.push_back(std::move(s));
+  }
+  // Workers start after every shard exists, so a fast worker can never
+  // observe a partially built array.
+  for (auto& s : shards_) {
+    s->worker = std::thread([this, sp = s.get()] { worker_loop(*sp); });
+  }
+}
+
+ShardedKvssd::~ShardedKvssd() {
+  for (auto& s : shards_) s->ring->close();
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+}
+
+void ShardedKvssd::worker_loop(Shard& s) {
+  std::vector<ShardOp> batch;
+  bool open = true;
+  while (open) {
+    batch.clear();
+    open = s.ring->pop_all(batch);
+    for (ShardOp& op : batch) {
+      switch (op.kind) {
+        case ShardOp::Kind::kPut:
+          s.dev->submit_put(std::move(op.key), std::move(op.value),
+                            std::move(op.cb));
+          break;
+        case ShardOp::Kind::kGet:
+          if (op.get_cb) {
+            s.dev->submit_get(std::move(op.key), std::move(op.get_cb));
+          } else {
+            s.dev->submit_get(std::move(op.key), std::move(op.cb));
+          }
+          break;
+        case ShardOp::Kind::kDel:
+          s.dev->submit_del(std::move(op.key), std::move(op.cb));
+          break;
+        case ShardOp::Kind::kExist: {
+          // Not queueable on the device; flush queued work first so
+          // command order on this shard is preserved.
+          s.completed += s.dev->drain();
+          const Status st = s.dev->exist(op.key);
+          s.completed += 1;
+          if (op.cb) op.cb(st);
+          break;
+        }
+        case ShardOp::Kind::kBatch: {
+          s.completed += s.dev->drain();
+          s.dev->execute_batch(*op.batch);
+          s.completed += op.batch->size();
+          if (op.done) op.done();
+          break;
+        }
+        case ShardOp::Kind::kFlush: {
+          s.completed += s.dev->drain();
+          const Status st = s.dev->flush();
+          if (op.cb) op.cb(st);
+          break;
+        }
+        case ShardOp::Kind::kSnapshot: {
+          s.completed += s.dev->drain();
+          op.snap_out->stats = s.dev->stats();
+          op.snap_out->now = s.dev->clock().now();
+          op.snap_out->stall = s.dev->clock().total_stall();
+          op.snap_out->keys = s.dev->key_count();
+          if (op.done) op.done();
+          break;
+        }
+        case ShardOp::Kind::kBarrier:
+          s.completed += s.dev->drain();
+          if (op.done) op.done();
+          break;
+      }
+    }
+    // One ring batch ingested: drain the device queue. This is the
+    // window the index-aware grouped drain amortizes record-page loads
+    // over — the deeper the ring backlog, the better the grouping.
+    s.completed += s.dev->drain();
+  }
+  s.completed += s.dev->drain();
+}
+
+void ShardedKvssd::submit_to(std::uint32_t shard, ShardOp op) {
+  const bool pushed = shards_[shard]->ring->push(std::move(op));
+  assert(pushed && "submission after shutdown");
+  (void)pushed;
+}
+
+std::uint64_t ShardedKvssd::signature(ByteSpan key) const {
+  return kvssd::KvssdDevice::signature_for(cfg_.device, key);
+}
+
+std::uint32_t ShardedKvssd::shard_of_sig(std::uint64_t sig) const {
+  if (shards_.size() == 1) return 0;
+  // Fibonacci remix so the shard choice uses different bits than the
+  // per-shard index directory (which partitions on sig & dir_mask).
+  const std::uint64_t h = sig * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::uint32_t>((h >> 32) % shards_.size());
+}
+
+std::uint32_t ShardedKvssd::shard_of(ByteSpan key) const {
+  return shard_of_sig(signature(key));
+}
+
+kvssd::KvssdDevice& ShardedKvssd::shard_device(std::uint32_t shard) {
+  return *shards_[shard]->dev;
+}
+
+// -- Synchronous verbs ---------------------------------------------------------
+
+Status ShardedKvssd::put(ByteSpan key, ByteSpan value) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kPut;
+  op.key = owned(key);
+  op.value = owned(value);
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard_of(key), std::move(op));
+  gate.wait();
+  return st;
+}
+
+Status ShardedKvssd::get(ByteSpan key, Bytes* value_out) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kGet;
+  op.key = owned(key);
+  op.get_cb = [&](Status s, Bytes&& v) {
+    st = s;
+    if (value_out) *value_out = std::move(v);
+    gate.open();
+  };
+  submit_to(shard_of(key), std::move(op));
+  gate.wait();
+  return st;
+}
+
+Status ShardedKvssd::del(ByteSpan key) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kDel;
+  op.key = owned(key);
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard_of(key), std::move(op));
+  gate.wait();
+  return st;
+}
+
+Status ShardedKvssd::exist(ByteSpan key) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kExist;
+  op.key = owned(key);
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard_of(key), std::move(op));
+  gate.wait();
+  return st;
+}
+
+Status ShardedKvssd::execute_batch(std::vector<BatchOp>& ops) {
+  // Partition by shard, keeping relative order within each shard (the
+  // only order a compound command defines between ops on the same key).
+  std::vector<std::vector<BatchOp>> sub(shards_.size());
+  std::vector<std::vector<std::size_t>> origin(shards_.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::uint32_t sh = shard_of(ops[i].key);
+    sub[sh].push_back(std::move(ops[i]));
+    origin[sh].push_back(i);
+  }
+
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{0};
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    if (!sub[sh].empty()) remaining.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (remaining.load(std::memory_order_relaxed) == 0) return Status::kOk;
+
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    if (sub[sh].empty()) continue;
+    ShardOp op;
+    op.kind = ShardOp::Kind::kBatch;
+    op.batch = &sub[sh];
+    op.done = [&] {
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    for (std::size_t j = 0; j < sub[sh].size(); ++j) {
+      ops[origin[sh][j]] = std::move(sub[sh][j]);
+    }
+  }
+  return Status::kOk;
+}
+
+// -- Asynchronous submission ---------------------------------------------------
+
+void ShardedKvssd::submit_put(Bytes key, Bytes value, Callback cb) {
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kPut;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  op.cb = std::move(cb);
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::submit_get(Bytes key, GetCallback cb) {
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kGet;
+  op.key = std::move(key);
+  op.get_cb = std::move(cb);
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::submit_get(Bytes key, Callback cb) {
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kGet;
+  op.key = std::move(key);
+  op.cb = std::move(cb);
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::submit_del(Bytes key, Callback cb) {
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kDel;
+  op.key = std::move(key);
+  op.cb = std::move(cb);
+  submit_to(sh, std::move(op));
+}
+
+// -- Barriers and whole-array introspection ------------------------------------
+
+void ShardedKvssd::control_all(ShardOp::Kind kind,
+                               std::vector<Snapshot>* snaps) {
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(shards_.size())};
+  if (snaps) snaps->assign(shards_.size(), Snapshot{});
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    ShardOp op;
+    op.kind = kind;
+    if (snaps) op.snap_out = &(*snaps)[sh];
+    op.done = [&] {
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+}
+
+std::uint64_t ShardedKvssd::completed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->completed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::size_t ShardedKvssd::drain() {
+  const std::uint64_t before = completed_total();
+  control_all(ShardOp::Kind::kBarrier, nullptr);
+  return static_cast<std::size_t>(completed_total() - before);
+}
+
+Status ShardedKvssd::flush() {
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(shards_.size())};
+  std::vector<Status> statuses(shards_.size(), Status::kOk);
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    ShardOp op;
+    op.kind = ShardOp::Kind::kFlush;
+    op.cb = [&, sh](Status s) {
+      statuses[sh] = s;
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+  for (const Status s : statuses) {
+    if (!ok(s)) return s;
+  }
+  return Status::kOk;
+}
+
+kvssd::DeviceStats ShardedKvssd::stats() {
+  std::vector<Snapshot> snaps;
+  control_all(ShardOp::Kind::kSnapshot, &snaps);
+  kvssd::DeviceStats agg;
+  for (const Snapshot& s : snaps) agg.merge_from(s.stats);
+  return agg;
+}
+
+SimTime ShardedKvssd::sim_time() {
+  std::vector<Snapshot> snaps;
+  control_all(ShardOp::Kind::kSnapshot, &snaps);
+  SimTime t = 0;
+  for (const Snapshot& s : snaps) t = std::max(t, s.now);
+  return t;
+}
+
+SimTime ShardedKvssd::total_stall() {
+  std::vector<Snapshot> snaps;
+  control_all(ShardOp::Kind::kSnapshot, &snaps);
+  SimTime t = 0;
+  for (const Snapshot& s : snaps) t = std::max(t, s.stall);
+  return t;
+}
+
+std::uint64_t ShardedKvssd::key_count() {
+  std::vector<Snapshot> snaps;
+  control_all(ShardOp::Kind::kSnapshot, &snaps);
+  std::uint64_t n = 0;
+  for (const Snapshot& s : snaps) n += s.keys;
+  return n;
+}
+
+}  // namespace rhik::shard

@@ -1,0 +1,147 @@
+// Sharded multi-device front-end.
+//
+// Hash-partitions the keyspace — by the same 64-bit key signature the
+// index uses (§IV-A), remixed so the shard choice is independent of the
+// directory bits — across N KvssdDevice instances. Each shard is owned
+// by a dedicated worker thread fed through a bounded submission ring;
+// only that worker ever touches the shard's device, so the
+// single-threaded emulator needs no internal locking. Completions flow
+// back via callbacks executed on the worker thread.
+//
+// The front-end exposes the device's put/get/del/exist + batch verbs
+// (sync verbs block on their own completion and stay ordered behind
+// previously submitted async commands on the same shard) plus drain()
+// and flush() barriers across all shards. Whole-array figures:
+// DeviceStats are merged (histograms included) and simulated time is
+// the MAX across shard clocks — shards advance their clocks
+// concurrently, so the slowest shard defines array wall-clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kvssd/device.hpp"
+#include "shard/submission_ring.hpp"
+
+namespace rhik::shard {
+
+struct ShardedConfig {
+  /// Per-shard device configuration: geometry and DRAM budget describe
+  /// ONE shard (callers slicing a fixed array budget divide first).
+  kvssd::DeviceConfig device{};
+  std::uint32_t num_shards = 1;
+  /// Bounded submission-ring depth per shard (producer back-pressure).
+  std::size_t ring_capacity = 4096;
+};
+
+class ShardedKvssd {
+ public:
+  using Callback = kvssd::KvssdDevice::Callback;
+  using GetCallback = kvssd::KvssdDevice::GetCallback;
+  using BatchOp = kvssd::KvssdDevice::BatchOp;
+
+  explicit ShardedKvssd(ShardedConfig cfg);
+  ~ShardedKvssd();
+
+  ShardedKvssd(const ShardedKvssd&) = delete;
+  ShardedKvssd& operator=(const ShardedKvssd&) = delete;
+
+  // -- Synchronous verbs (block until the op completes on its shard) ----------
+  Status put(ByteSpan key, ByteSpan value);
+  Status get(ByteSpan key, Bytes* value_out);
+  Status del(ByteSpan key);
+  Status exist(ByteSpan key);
+  /// Compound command across the array: ops are partitioned by shard
+  /// (relative order preserved within each shard), executed as one
+  /// sub-batch per shard, and per-op status/value written back in place.
+  Status execute_batch(std::vector<BatchOp>& ops);
+
+  // -- Asynchronous submission (callbacks run on the shard's worker) ----------
+  void submit_put(Bytes key, Bytes value, Callback cb = {});
+  void submit_get(Bytes key, GetCallback cb);
+  void submit_get(Bytes key, Callback cb = {});
+  void submit_del(Bytes key, Callback cb = {});
+
+  /// Cross-shard barrier: waits until every command submitted before the
+  /// call has completed on its shard. Returns how many commands
+  /// completed since the previous barrier (approximate under concurrent
+  /// submitters).
+  std::size_t drain();
+  /// drain() + persists buffered data and index state on every shard.
+  Status flush();
+
+  // -- Whole-array introspection (each implies a cross-shard barrier) ---------
+  /// Merged DeviceStats (counters summed, histograms merged).
+  kvssd::DeviceStats stats();
+  /// Array time: max across shard clocks (shards advance concurrently).
+  SimTime sim_time();
+  /// Max stall time across shards.
+  SimTime total_stall();
+  /// Live KV pairs across all shards.
+  std::uint64_t key_count();
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const ShardedConfig& config() const noexcept { return cfg_; }
+  /// Key signature (identical to every shard device's computation).
+  [[nodiscard]] std::uint64_t signature(ByteSpan key) const;
+  /// Owning shard for a key.
+  [[nodiscard]] std::uint32_t shard_of(ByteSpan key) const;
+  /// Direct access to a shard's device, for tests and benches. Only safe
+  /// when the array is quiescent (after drain() with no concurrent
+  /// submitters) — the worker thread owns the device otherwise.
+  [[nodiscard]] kvssd::KvssdDevice& shard_device(std::uint32_t shard);
+
+ private:
+  struct Snapshot {
+    kvssd::DeviceStats stats;
+    SimTime now = 0;
+    SimTime stall = 0;
+    std::uint64_t keys = 0;
+  };
+
+  struct ShardOp {
+    enum class Kind : std::uint8_t {
+      kPut,
+      kGet,
+      kDel,
+      kExist,
+      kBatch,
+      kFlush,
+      kSnapshot,
+      kBarrier,
+    };
+    Kind kind = Kind::kBarrier;
+    Bytes key;
+    Bytes value;
+    Callback cb;                          ///< put/del/exist/flush completion
+    GetCallback get_cb;                   ///< get completion
+    std::vector<BatchOp>* batch = nullptr;  ///< sub-batch, owned by waiter
+    Snapshot* snap_out = nullptr;
+    std::function<void()> done;           ///< control-op completion
+  };
+
+  struct Shard {
+    std::unique_ptr<kvssd::KvssdDevice> dev;
+    std::unique_ptr<SubmissionRing<ShardOp>> ring;
+    std::thread worker;
+    std::atomic<std::uint64_t> completed{0};
+  };
+
+  void worker_loop(Shard& s);
+  void submit_to(std::uint32_t shard, ShardOp op);
+  [[nodiscard]] std::uint32_t shard_of_sig(std::uint64_t sig) const;
+  /// Pushes a barrier-like op (kind + done) to every shard and waits.
+  void control_all(ShardOp::Kind kind, std::vector<Snapshot>* snaps);
+  [[nodiscard]] std::uint64_t completed_total() const;
+
+  ShardedConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rhik::shard

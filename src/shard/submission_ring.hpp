@@ -1,0 +1,99 @@
+// Bounded submission ring between the sharded front-end and one shard
+// worker thread.
+//
+// The storage is a fixed circular buffer and the interface is
+// deliberately SPSC-shaped — push one / pop everything, no random
+// access, capacity fixed at construction — so this mutex+condvar
+// implementation can later be swapped for a lock-free single-producer /
+// single-consumer ring without touching callers. The lock additionally
+// makes multi-producer use safe today, which the sharded front-end's
+// concurrent submitters rely on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rhik::shard {
+
+template <typename T>
+class SubmissionRing {
+ public:
+  explicit SubmissionRing(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  SubmissionRing(const SubmissionRing&) = delete;
+  SubmissionRing& operator=(const SubmissionRing&) = delete;
+
+  /// Blocks while the ring is full (back-pressure on the producer).
+  /// Returns false once the ring has been closed; `item` is dropped.
+  bool push(T item) {
+    {
+      std::unique_lock lk(mu_);
+      not_full_.wait(lk, [&] { return size_ < buf_.size() || closed_; });
+      if (closed_) return false;
+      buf_[(head_ + size_) % buf_.size()] = std::move(item);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available or the ring is closed;
+  /// appends everything queued to `out`. Returns false only when the
+  /// ring is closed AND empty (consumer shutdown signal).
+  bool pop_all(std::vector<T>& out) {
+    {
+      std::unique_lock lk(mu_);
+      not_empty_.wait(lk, [&] { return size_ > 0 || closed_; });
+      if (size_ == 0) return false;
+      drain_locked(out);
+    }
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking variant; true if anything was popped.
+  bool try_pop_all(std::vector<T>& out) {
+    {
+      std::unique_lock lk(mu_);
+      if (size_ == 0) return false;
+      drain_locked(out);
+    }
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Unblocks everyone; subsequent pushes fail, pops drain the residue.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+ private:
+  void drain_locked(std::vector<T>& out) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(std::move(buf_[(head_ + i) % buf_.size()]));
+    }
+    head_ = (head_ + size_) % buf_.size();
+    size_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+};
+
+}  // namespace rhik::shard

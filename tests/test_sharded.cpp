@@ -1,0 +1,239 @@
+// ShardedKvssd front-end: routing, sync/async verbs, cross-shard
+// drain/flush barriers, batch partitioning, stats aggregation and
+// single-shard parity with a raw device.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_kvssd.hpp"
+#include "workload/keygen.hpp"
+
+namespace rhik::shard {
+namespace {
+
+using kvssd::KvssdDevice;
+
+ShardedConfig make_config(std::uint32_t shards) {
+  ShardedConfig sc;
+  sc.device.geometry = flash::Geometry::tiny(128);  // 8 MiB per shard
+  sc.device.dram_cache_bytes = 64 * 1024;
+  sc.num_shards = shards;
+  sc.ring_capacity = 256;
+  return sc;
+}
+
+ByteSpan key(const std::string& s) { return as_bytes(s); }
+Bytes owned(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Sharded, SyncRoundTripAcrossShards) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kKeys = 200;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    ASSERT_EQ(arr.put(key(k), key("value-" + std::to_string(i))), Status::kOk);
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    Bytes v;
+    ASSERT_EQ(arr.get(key(k), &v), Status::kOk) << k;
+    EXPECT_EQ(rhik::to_string(v), "value-" + std::to_string(i));
+    EXPECT_EQ(arr.exist(key(k)), Status::kOk);
+  }
+  EXPECT_EQ(arr.key_count(), static_cast<std::uint64_t>(kKeys));
+
+  for (int i = 0; i < kKeys; i += 2) {
+    ASSERT_EQ(arr.del(key("key-" + std::to_string(i))), Status::kOk);
+  }
+  EXPECT_EQ(arr.key_count(), static_cast<std::uint64_t>(kKeys / 2));
+  Bytes v;
+  EXPECT_EQ(arr.get(key("key-0"), &v), Status::kNotFound);
+  EXPECT_EQ(arr.get(key("key-1"), &v), Status::kOk);
+}
+
+TEST(Sharded, KeysSpreadAcrossAllShards) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kKeys = 400;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(arr.put(workload::key_for_id(i, 16), key("v")), Status::kOk);
+  }
+  arr.drain();
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < arr.num_shards(); ++s) {
+    const std::uint64_t n = arr.shard_device(s).key_count();
+    EXPECT_GT(n, 0u) << "shard " << s << " got no keys";
+    total += n;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kKeys));
+
+  // Routing is deterministic and consistent with the stored placement.
+  for (int i = 0; i < kKeys; ++i) {
+    const Bytes k = workload::key_for_id(i, 16);
+    Bytes v;
+    EXPECT_EQ(arr.shard_device(arr.shard_of(k)).get(k, &v), Status::kOk);
+  }
+}
+
+TEST(Sharded, AsyncCallbacksAndDrainBarrier) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kOps = 300;
+  std::atomic<int> acks{0};
+  for (int i = 0; i < kOps; ++i) {
+    arr.submit_put(workload::key_for_id(i, 16), owned("v"),
+                   [&](Status s) {
+                     EXPECT_EQ(s, Status::kOk);
+                     acks.fetch_add(1, std::memory_order_relaxed);
+                   });
+  }
+  arr.drain();
+  EXPECT_EQ(acks.load(), kOps);
+  EXPECT_EQ(arr.key_count(), static_cast<std::uint64_t>(kOps));
+  // Everything already completed: a second barrier completes nothing.
+  EXPECT_EQ(arr.drain(), 0u);
+
+  std::atomic<int> get_acks{0};
+  for (int i = 0; i < kOps; ++i) {
+    arr.submit_get(workload::key_for_id(i, 16), [&](Status s, Bytes&& v) {
+      EXPECT_EQ(s, Status::kOk);
+      EXPECT_EQ(rhik::to_string(v), "v");
+      get_acks.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  arr.drain();
+  EXPECT_EQ(get_acks.load(), kOps);
+}
+
+TEST(Sharded, FlushBarrierCoversAllShards) {
+  ShardedKvssd arr(make_config(3));
+  constexpr int kOps = 150;
+  for (int i = 0; i < kOps; ++i) {
+    arr.submit_put(workload::key_for_id(i, 16), owned("v"));
+  }
+  ASSERT_EQ(arr.flush(), Status::kOk);
+  // flush() implies the drain barrier: every queued put completed on its
+  // shard before the flush, so everything reads back immediately...
+  EXPECT_EQ(arr.stats().puts, static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(arr.key_count(), static_cast<std::uint64_t>(kOps));
+  Bytes v;
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(arr.get(workload::key_for_id(i, 16), &v), Status::kOk) << i;
+  }
+  // ...and every shard persisted index state (directory checkpoint +
+  // dirty record pages hit flash during the flush).
+  arr.drain();
+  for (std::uint32_t s = 0; s < arr.num_shards(); ++s) {
+    EXPECT_GT(arr.shard_device(s).index().op_stats().flash_writes, 0u)
+        << "shard " << s;
+  }
+}
+
+TEST(Sharded, StatsAggregationMergesCountersAndHistograms) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kPuts = 120;
+  constexpr int kGets = 80;
+  for (int i = 0; i < kPuts; ++i) {
+    ASSERT_EQ(arr.put(workload::key_for_id(i, 16), key("value")), Status::kOk);
+  }
+  Bytes v;
+  for (int i = 0; i < kGets; ++i) {
+    ASSERT_EQ(arr.get(workload::key_for_id(i, 16), &v), Status::kOk);
+  }
+  EXPECT_EQ(arr.get(key("absent"), &v), Status::kNotFound);
+
+  const kvssd::DeviceStats agg = arr.stats();
+  EXPECT_EQ(agg.puts, static_cast<std::uint64_t>(kPuts));
+  EXPECT_EQ(agg.gets, static_cast<std::uint64_t>(kGets));
+  EXPECT_EQ(agg.not_found, 1u);
+  // Histograms merge: one latency sample per put/get across the array.
+  EXPECT_EQ(agg.put_latency_ns.count(), static_cast<std::uint64_t>(kPuts));
+  EXPECT_EQ(agg.get_latency_ns.count(), static_cast<std::uint64_t>(kGets + 1));
+
+  // Array time is the max across shard clocks (shards run concurrently).
+  arr.drain();
+  SimTime max_clock = 0;
+  for (std::uint32_t s = 0; s < arr.num_shards(); ++s) {
+    max_clock = std::max(max_clock, arr.shard_device(s).clock().now());
+  }
+  EXPECT_EQ(arr.sim_time(), max_clock);
+}
+
+TEST(Sharded, ExecuteBatchPartitionsAndWritesBack) {
+  ShardedKvssd arr(make_config(4));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(arr.put(workload::key_for_id(i, 16), key("old")), Status::kOk);
+  }
+
+  std::vector<ShardedKvssd::BatchOp> ops;
+  for (int i = 0; i < 50; ++i) {  // gets of present keys
+    ShardedKvssd::BatchOp op;
+    op.kind = ShardedKvssd::BatchOp::Kind::kGet;
+    op.key = workload::key_for_id(i, 16);
+    ops.push_back(std::move(op));
+  }
+  {  // delete one, probe one absent, update one
+    ShardedKvssd::BatchOp op;
+    op.kind = ShardedKvssd::BatchOp::Kind::kDel;
+    op.key = workload::key_for_id(7, 16);
+    ops.push_back(std::move(op));
+    op = {};
+    op.kind = ShardedKvssd::BatchOp::Kind::kExist;
+    op.key = owned("absent-key");
+    ops.push_back(std::move(op));
+    op = {};
+    op.kind = ShardedKvssd::BatchOp::Kind::kPut;
+    op.key = workload::key_for_id(3, 16);
+    op.value = owned("new");
+    ops.push_back(std::move(op));
+  }
+
+  ASSERT_EQ(arr.execute_batch(ops), Status::kOk);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ops[i].status, Status::kOk) << i;
+    EXPECT_EQ(rhik::to_string(ops[i].value), "old") << i;
+  }
+  EXPECT_EQ(ops[50].status, Status::kOk);      // del
+  EXPECT_EQ(ops[51].status, Status::kNotFound);  // exist(absent)
+  EXPECT_EQ(ops[52].status, Status::kOk);      // update
+
+  Bytes v;
+  EXPECT_EQ(arr.get(workload::key_for_id(7, 16), &v), Status::kNotFound);
+  EXPECT_EQ(arr.get(workload::key_for_id(3, 16), &v), Status::kOk);
+  EXPECT_EQ(rhik::to_string(v), "new");
+  // One compound command was charged per shard touched, at most.
+  EXPECT_LE(arr.stats().batches, arr.num_shards());
+}
+
+TEST(Sharded, SingleShardMatchesRawDevice) {
+  const auto cfg = make_config(1);
+  ShardedKvssd arr(cfg);
+  KvssdDevice raw(cfg.device);
+
+  workload::KeyIdStream ids(workload::KeyPattern::kUniform, 60, /*seed=*/5);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t id = ids.next();
+    const Bytes k = workload::key_for_id(id, 16);
+    if (i % 3 == 0) {
+      Bytes va, vb;
+      EXPECT_EQ(arr.get(k, &va), raw.get(k, &vb));
+      EXPECT_EQ(va, vb);
+    } else if (i % 7 == 0) {
+      EXPECT_EQ(arr.del(k), raw.del(k));
+    } else {
+      Bytes v(40);
+      workload::fill_value(id, v);
+      EXPECT_EQ(arr.put(k, v), raw.put(k, v));
+    }
+  }
+  EXPECT_EQ(arr.key_count(), raw.key_count());
+}
+
+TEST(Sharded, SingleShardRoutesEverythingToShardZero) {
+  ShardedKvssd arr(make_config(1));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(arr.shard_of(workload::key_for_id(i, 16)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rhik::shard
