@@ -1,0 +1,68 @@
+#include "common/crc32.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+// The 8-byte fold below loads input words with little-endian semantics.
+static_assert(std::endian::native == std::endian::little,
+              "crc32 slicing-by-8 fold assumes a little-endian host");
+
+namespace rhik {
+
+namespace {
+
+// Eight derived tables; table[0] is the classic byte-at-a-time table and
+// table[k][b] equals the CRC of byte b followed by k zero bytes, which is
+// what lets eight input bytes be folded per iteration.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, ByteSpan data) noexcept {
+  const auto& t = kTables.t;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  while (n >= 8) {
+    // Little-endian load of the first word folded with the running CRC;
+    // memcpy keeps it alignment-safe.
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= state;
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+            t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) state = t[0][(state ^ *p++) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32(ByteSpan data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace rhik

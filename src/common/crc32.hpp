@@ -1,0 +1,29 @@
+// Software CRC-32 (the reflected 0xEDB88320 polynomial used by zlib,
+// Ethernet, SATA), slicing-by-8 so integrity checks stay cheap even on
+// 32 KiB pages. The device uses it to stamp every programmed page; the
+// recovery scan uses it to tell a torn page from a valid one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rhik {
+
+/// One-shot CRC-32 of `data`.
+[[nodiscard]] std::uint32_t crc32(ByteSpan data) noexcept;
+
+/// Streaming interface for checksumming discontiguous buffers (e.g. a
+/// page's data area followed by its spare area):
+///
+///   state = crc32_init();
+///   state = crc32_update(state, a);
+///   state = crc32_update(state, b);
+///   crc    = crc32_final(state);
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, ByteSpan data) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rhik

@@ -1,0 +1,44 @@
+#include "flash/fault_injector.hpp"
+
+#include <cstring>
+
+namespace rhik::flash {
+
+bool FaultInjector::tear_page(MutByteSpan data, MutByteSpan spare) {
+  TornWritePolicy p = policy_;
+  if (p == TornWritePolicy::kRandom) {
+    switch (rng_.next_below(3)) {
+      case 0: p = TornWritePolicy::kNone; break;
+      case 1: p = TornWritePolicy::kPartial; break;
+      default: p = TornWritePolicy::kGarbage; break;
+    }
+  }
+
+  switch (p) {
+    case TornWritePolicy::kNone:
+      stats_.clean_cuts++;
+      return false;
+    case TornWritePolicy::kPartial: {
+      // A prefix [0, cut) of the data area latched; the rest reads
+      // erased. The spare area is left exactly as intended — including
+      // the CRC of the *complete* page — so the page can only be
+      // rejected by actually checking that CRC against the data.
+      const std::uint64_t cut = data.empty() ? 0 : rng_.next_below(data.size());
+      std::memset(data.data() + cut, 0xFF, data.size() - cut);
+      stats_.torn_pages++;
+      return true;
+    }
+    case TornWritePolicy::kGarbage: {
+      for (auto& byte : data) byte = static_cast<std::uint8_t>(rng_.next());
+      for (auto& byte : spare) byte = static_cast<std::uint8_t>(rng_.next());
+      stats_.torn_pages++;
+      return true;
+    }
+    case TornWritePolicy::kRandom:
+      break;  // unreachable: resolved above
+  }
+  stats_.clean_cuts++;
+  return false;
+}
+
+}  // namespace rhik::flash

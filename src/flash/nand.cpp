@@ -3,15 +3,39 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/crc32.hpp"
+
 namespace rhik::flash {
+
+bool page_crc_ok(const Geometry& g, ByteSpan data, ByteSpan spare) noexcept {
+  if (data.size() < g.page_size || spare.size() < g.spare_size()) return false;
+  const std::uint32_t covered = g.spare_size() - 4;
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, data.subspan(0, g.page_size));
+  state = crc32_update(state, spare.subspan(0, covered));
+  return crc32_final(state) == get_u32(spare, covered);
+}
+
+std::uint32_t spare_wear_stamp(const Geometry& g, ByteSpan spare) noexcept {
+  if (spare.size() < g.spare_size()) return 0;
+  return get_u32(spare, g.spare_size() - kSpareReservedTail);
+}
 
 NandDevice::NandDevice(Geometry geometry, NandLatency latency, SimClock* clock)
     : geometry_(geometry), latency_(latency), clock_(clock), blocks_(geometry.num_blocks) {
   assert(geometry_.valid());
+  assert(geometry_.spare_size() >= kSpareReservedTail + 2);  // room for tag + tail
   assert(clock_ != nullptr);
 }
 
+void NandDevice::power_cycle() noexcept {
+  for (auto& b : blocks_) b.erase_count = 0;
+  stats_ = {};
+  if (injector_) injector_->power_on();
+}
+
 Status NandDevice::read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_out) {
+  if (injector_ && injector_->reject_op()) return Status::kIoError;
   if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;
   if (data_out.size() > geometry_.page_size || spare_out.size() > geometry_.spare_size()) {
     return Status::kInvalidArgument;
@@ -35,6 +59,7 @@ Status NandDevice::read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_ou
 }
 
 Status NandDevice::program_page(Ppa ppa, ByteSpan data, ByteSpan spare) {
+  if (injector_ && injector_->reject_op()) return Status::kIoError;
   if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;
   if (data.size() > geometry_.page_size || spare.size() > geometry_.spare_size()) {
     return Status::kInvalidArgument;
@@ -51,8 +76,32 @@ Status NandDevice::program_page(Ppa ppa, ByteSpan data, ByteSpan spare) {
     std::memset(b.store.get(), 0xFF, bytes);  // erased state
   }
   std::uint8_t* dst = page_ptr(b, pg);
+  std::uint8_t* sp = dst + geometry_.page_size;
   if (!data.empty()) std::memcpy(dst, data.data(), data.size());
-  if (!spare.empty()) std::memcpy(dst + geometry_.page_size, spare.data(), spare.size());
+  if (!spare.empty()) std::memcpy(sp, spare.data(), spare.size());
+
+  // Controller stamp in the reserved spare tail: wear (for recovery of
+  // the volatile wear RAM) and a CRC over the stored page image, the
+  // only thing that can tell a torn page from a complete one.
+  const std::uint32_t ssz = geometry_.spare_size();
+  MutByteSpan sps{sp, ssz};
+  put_u32(sps, ssz - kSpareReservedTail, b.erase_count);
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, ByteSpan{dst, geometry_.page_size});
+  state = crc32_update(state, ByteSpan{sp, ssz - 4});
+  put_u32(sps, ssz - 4, crc32_final(state));
+
+  if (injector_ && injector_->cut_now()) {
+    // Power died mid-program: the intended image may be partially or
+    // garbage-latched (policy), the op is never acknowledged, and no
+    // latency/stat accrues — the controller that would report it is off.
+    if (injector_->tear_page(MutByteSpan{dst, geometry_.page_size}, sps)) {
+      b.write_point = pg + 1;
+    } else {
+      std::memset(dst, 0xFF, page_stride());
+    }
+    return Status::kIoError;
+  }
   b.write_point = pg + 1;
 
   stats_.page_programs++;
@@ -63,8 +112,22 @@ Status NandDevice::program_page(Ppa ppa, ByteSpan data, ByteSpan spare) {
 }
 
 Status NandDevice::erase_block(std::uint32_t block) {
+  if (injector_ && injector_->reject_op()) return Status::kIoError;
   if (block >= geometry_.num_blocks) return Status::kInvalidArgument;
   Block& b = blocks_[block];
+
+  if (injector_ && injector_->cut_now()) {
+    // Partial-erase states are not modelled: the pulse either finished
+    // (block reads erased) or never started. Either way the host never
+    // saw an acknowledgement.
+    if (injector_->erase_completed()) {
+      b.store.reset();
+      b.write_point = 0;
+      b.erase_count++;
+    }
+    return Status::kIoError;
+  }
+
   b.store.reset();
   b.write_point = 0;
   b.erase_count++;

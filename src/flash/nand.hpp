@@ -17,10 +17,24 @@
 #include "common/sim_clock.hpp"
 #include "common/status.hpp"
 #include "flash/address.hpp"
+#include "flash/fault_injector.hpp"
 #include "flash/geometry.hpp"
 #include "flash/latency.hpp"
 
 namespace rhik::flash {
+
+/// Last bytes of every spare area are controller-owned: the block's
+/// erase count at program time (u32) followed by a CRC-32 (u32) over the
+/// stored data area plus the spare area up to the CRC slot. Caller spare
+/// bytes that reach into this tail are overwritten by `program_page`.
+constexpr std::uint32_t kSpareReservedTail = 8;
+
+/// Validates the controller CRC of a page image already read from the
+/// device. Both spans must cover the full data / spare areas.
+[[nodiscard]] bool page_crc_ok(const Geometry& g, ByteSpan data, ByteSpan spare) noexcept;
+
+/// The block erase count stamped into a full-size spare image.
+[[nodiscard]] std::uint32_t spare_wear_stamp(const Geometry& g, ByteSpan spare) noexcept;
 
 struct NandStats {
   std::uint64_t page_reads = 0;
@@ -45,7 +59,9 @@ class NandDevice {
   /// Programs a page. Enforces NAND discipline:
   ///  - the page must be in the erased state (program-once),
   ///  - pages within a block must be programmed in order.
-  /// Inputs may be shorter than the areas; the rest stays 0xFF.
+  /// Inputs may be shorter than the areas; the rest stays 0xFF, except
+  /// the reserved spare tail, which the controller stamps with the
+  /// block's erase count and the page CRC (see kSpareReservedTail).
   Status program_page(Ppa ppa, ByteSpan data, ByteSpan spare = {});
 
   /// Erases a whole block, releasing its page storage.
@@ -75,6 +91,23 @@ class NandDevice {
 
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Installs (or removes, with nullptr) a power-cut fault injector. Not
+  /// owned; must outlive the device or be detached first.
+  void set_fault_injector(FaultInjector* injector) noexcept { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// Simulates the power-on after a power loss: volatile controller
+  /// state — the per-block wear RAM and the transfer counters — is
+  /// gone; cell contents and programmed-page counts survive. Re-powers
+  /// an attached fault injector. Recovery re-derives wear from the
+  /// spare stamps via `restore_erase_count`.
+  void power_cycle() noexcept;
+
+  /// Reinstates a block's erase count from a persisted wear stamp.
+  void restore_erase_count(std::uint32_t block, std::uint32_t count) noexcept {
+    if (block < blocks_.size()) blocks_[block].erase_count = count;
+  }
+
  private:
   struct Block {
     /// Pages programmed so far since last erase (pages must be written
@@ -100,6 +133,7 @@ class NandDevice {
   SimClock* clock_;
   std::vector<Block> blocks_;
   NandStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace rhik::flash

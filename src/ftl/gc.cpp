@@ -39,7 +39,17 @@ Status GarbageCollector::collect_one() {
       open && flash::ppa_block(nand_->geometry(), *open) == *victim) {
     if (Status s = store_->flush(); !ok(s)) return s;
   }
+  const std::uint64_t pairs_before = stats_.pairs_relocated;
   if (Status s = relocate_block(*victim); !ok(s)) return s;
+  // Relocated pairs and tombstones may still sit in the store's open
+  // write buffer. Persist them BEFORE erasing the victim: a power cut
+  // between the erase and the eventual flush would otherwise destroy
+  // the only durable copy of data the host was long ago acknowledged
+  // for. Flushing first leaves duplicates across source and destination
+  // at worst, and recovery resolves those by sequence number.
+  if (stats_.pairs_relocated > pairs_before && store_->open_page()) {
+    if (Status s = store_->flush(); !ok(s)) return s;
+  }
   if (Status s = alloc_->reclaim_block(*victim); !ok(s)) return s;
   stats_.blocks_reclaimed++;
   return Status::kOk;

@@ -101,8 +101,12 @@ Status PageAllocator::reclaim_block(std::uint32_t block) {
 
 Status PageAllocator::adopt_block(std::uint32_t block, Stream stream,
                                   std::uint32_t pages_used) {
-  if (block >= blocks_.size() || pages_used == 0 ||
-      pages_used > nand_->geometry().pages_per_block) {
+  // pages_used == 0 is legal: a block whose every programmed page was
+  // torn by a power cut holds nothing parseable, but its write point is
+  // non-zero, so it cannot rejoin the free list (in-order programming
+  // would fail). It is adopted sealed with zero liveness — first in
+  // line for GC.
+  if (block >= blocks_.size() || pages_used > nand_->geometry().pages_per_block) {
     return Status::kInvalidArgument;
   }
   if (blocks_[block].state != BlockState::kFree) return Status::kInvalidArgument;

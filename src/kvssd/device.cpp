@@ -46,17 +46,23 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
 KvssdDevice::~KvssdDevice() = default;
 
 Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
-    DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand) {
+    DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand,
+    RecoveryStats* stats_out) {
   if (!nand) return Status::kInvalidArgument;
   if (nand->geometry().capacity_bytes() != cfg.geometry.capacity_bytes() ||
       nand->geometry().page_size != cfg.geometry.page_size) {
     return Status::kInvalidArgument;
   }
+  // Boot after power loss: volatile controller state (wear RAM, transfer
+  // counters) is gone; the scan below re-derives wear from the spare
+  // stamps. Also re-powers an attached fault injector.
+  nand->power_cycle();
   std::unique_ptr<KvssdDevice> dev(new KvssdDevice(cfg, std::move(nand)));
   auto stats = recover_from_flash(*dev->nand_, *dev->alloc_, *dev->store_,
                                   *dev->index_);
   if (!stats) return stats.status();
   dev->live_bytes_ = stats->live_bytes;
+  if (stats_out) *stats_out = *stats;
   return dev;
 }
 

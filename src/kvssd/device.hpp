@@ -31,6 +31,7 @@
 #include "index/index.hpp"
 #include "kvssd/config.hpp"
 #include "kvssd/iterator.hpp"
+#include "kvssd/recovery.hpp"
 
 namespace rhik::kvssd {
 
@@ -77,10 +78,15 @@ class KvssdDevice {
 
   /// Power-loss recovery: rebuilds a device over the NAND array of a
   /// previous instance (see kvssd/recovery.hpp). The config's geometry
-  /// must match the array's. Anything that was only in the previous
-  /// device's RAM write buffer is lost, as on real hardware.
+  /// must match the array's. The array is power-cycled first (volatile
+  /// wear RAM and stats cleared; an attached fault injector re-powered),
+  /// then the log is scanned — torn pages are detected by CRC and
+  /// truncated. Anything that was only in the previous device's RAM
+  /// write buffer is lost, as on real hardware. Scan details are
+  /// reported through `stats_out` when non-null.
   static Result<std::unique_ptr<KvssdDevice>> recover(
-      DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand);
+      DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand,
+      RecoveryStats* stats_out = nullptr);
 
   /// Relinquishes the NAND array (simulating power-off); the device must
   /// not be used afterwards. Call flush() first for clean shutdown.

@@ -1,5 +1,6 @@
 #include "kvssd/recovery.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "ftl/layout.hpp"
@@ -7,6 +8,36 @@
 namespace rhik::kvssd {
 
 using flash::Ppa;
+
+namespace {
+
+/// A torn page can hold arbitrary spare bytes; only these tag values can
+/// have been written by the store or the index layer.
+bool tag_sane(const ftl::SpareTag& tag) noexcept {
+  const bool kind_ok = tag.kind == ftl::PageKind::kDataHead ||
+                       tag.kind == ftl::PageKind::kDataCont ||
+                       tag.kind == ftl::PageKind::kIndexRecord ||
+                       tag.kind == ftl::PageKind::kIndexDir;
+  const bool stream_ok =
+      tag.stream == ftl::Stream::kData || tag.stream == ftl::Stream::kIndex;
+  return kind_ok && stream_ok;
+}
+
+}  // namespace
+
+void RecoveryStats::merge_from(const RecoveryStats& other) noexcept {
+  blocks_adopted += other.blocks_adopted;
+  data_pages_scanned += other.data_pages_scanned;
+  pairs_seen += other.pairs_seen;
+  tombstones_seen += other.tombstones_seen;
+  keys_recovered += other.keys_recovered;
+  live_bytes += other.live_bytes;
+  max_seq = std::max(max_seq, other.max_seq);
+  torn_pages_dropped += other.torn_pages_dropped;
+  incomplete_extents_dropped += other.incomplete_extents_dropped;
+  wear_blocks_restored += other.wear_blocks_restored;
+  dead_blocks_reclaimed += other.dead_blocks_reclaimed;
+}
 
 Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
                                          ftl::PageAllocator& alloc,
@@ -21,56 +52,152 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
     std::size_t offset = 0;
     Ppa ppa = flash::kInvalidPpa;
     std::uint64_t pair_bytes = 0;
+    std::uint64_t head_bytes = 0;  ///< portion resident in the head page
     bool tombstone = false;
   };
   std::unordered_map<std::uint64_t, Winner> winners;
 
   Bytes page(g.page_size);
   Bytes spare(g.spare_size());
+  std::vector<std::uint32_t> adopted;
 
   for (std::uint32_t block = 0; block < g.num_blocks; ++block) {
-    const std::uint32_t used = nand.pages_programmed(block);
-    if (used == 0) continue;
+    const std::uint32_t programmed = nand.pages_programmed(block);
+    if (programmed == 0) continue;
+    stats.blocks_adopted++;
+    adopted.push_back(block);
 
-    // The block's stream comes from its first page's tag.
-    if (Status s = nand.read_page(flash::make_ppa(g, block, 0), {}, spare); !ok(s)) {
+    // The first page names the block's stream and carries the wear
+    // stamp. If it is torn, the power cut hit the block's very first
+    // program: nothing in the block was ever acknowledged, and it is
+    // adopted with zero valid pages (pure GC fodder — it cannot rejoin
+    // the free list with a non-zero write point).
+    if (Status s = nand.read_page(flash::make_ppa(g, block, 0), page, spare); !ok(s)) {
       return s;
     }
+    if (!flash::page_crc_ok(g, page, spare) || !tag_sane(ftl::SpareTag::decode(spare))) {
+      stats.torn_pages_dropped += programmed;
+      if (Status s = alloc.adopt_block(block, ftl::Stream::kData, 0); !ok(s)) return s;
+      continue;
+    }
     const ftl::SpareTag first = ftl::SpareTag::decode(spare);
-    if (Status s = alloc.adopt_block(block, first.stream, used); !ok(s)) return s;
-    stats.blocks_adopted++;
+    nand.restore_erase_count(block, flash::spare_wear_stamp(g, spare));
+    stats.wear_blocks_restored++;
 
-    if (first.stream != ftl::Stream::kData) continue;  // index zone: all stale
+    if (first.stream != ftl::Stream::kData) {
+      // Index zone: contents are all stale (the index is rebuilt), but
+      // only the leading run of intact pages is adopted so GC never
+      // tries to decode a torn tail.
+      std::uint32_t valid = 1;
+      while (valid < programmed) {
+        if (Status s = nand.read_page(flash::make_ppa(g, block, valid), page, spare);
+            !ok(s)) {
+          return s;
+        }
+        if (!flash::page_crc_ok(g, page, spare)) break;
+        ++valid;
+      }
+      stats.torn_pages_dropped += programmed - valid;
+      if (Status s = alloc.adopt_block(block, first.stream, valid); !ok(s)) return s;
+      continue;
+    }
 
-    for (std::uint32_t pg = 0; pg < used; ++pg) {
+    // Data block: walk pages in programming order and truncate the
+    // block's log at the first page that is torn (CRC), mis-tagged
+    // (orphan continuation, foreign kind) or structurally inconsistent.
+    // Everything after such a page postdates the power cut's victim and
+    // was never acknowledged.
+    std::uint32_t valid = 0;
+    std::uint32_t pg = 0;
+    while (pg < programmed) {
       const Ppa ppa = flash::make_ppa(g, block, pg);
       if (Status s = nand.read_page(ppa, page, spare); !ok(s)) return s;
+      if (!flash::page_crc_ok(g, page, spare)) break;
       const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
-      if (tag.kind != ftl::PageKind::kDataHead) continue;  // continuation
-      stats.data_pages_scanned++;
-
-      const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
-      if (seq > stats.max_seq) stats.max_seq = seq;
-
+      if (tag.kind != ftl::PageKind::kDataHead) break;
       const auto pairs = ftl::parse_head_page(page, g.page_size);
-      if (!pairs) return Status::kCorruption;
+      if (!pairs) break;
+      const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+
+      // A spilling pair is durable only if its whole continuation chain
+      // was programmed intact. A crash mid-extent leaves a perfectly
+      // valid head whose winner would shadow an older, complete version
+      // of the same key — so an incomplete extent drops the head too.
+      std::uint32_t span = 1;
+      if (!pairs->empty() && pairs->back().spills) {
+        const std::uint32_t need =
+            ftl::continuation_pages(g, pairs->back().header.pair_bytes());
+        bool complete = pg + 1 + need <= programmed;
+        for (std::uint32_t c = 1; complete && c <= need; ++c) {
+          if (Status s = nand.read_page(ppa + c, page, spare); !ok(s)) return s;
+          complete = flash::page_crc_ok(g, page, spare) &&
+                     ftl::SpareTag::decode(spare).kind == ftl::PageKind::kDataCont;
+        }
+        if (!complete) {
+          stats.incomplete_extents_dropped++;
+          break;
+        }
+        span = 1 + need;
+      }
+
+      stats.data_pages_scanned++;
+      if (seq > stats.max_seq) stats.max_seq = seq;
       for (const auto& p : *pairs) {
         stats.pairs_seen++;
         if (p.header.tombstone) stats.tombstones_seen++;
         Winner& w = winners[p.header.sig];
         if (w.ppa == flash::kInvalidPpa || seq > w.seq ||
             (seq == w.seq && p.offset > w.offset)) {
-          w = Winner{seq, p.offset, ppa, p.header.pair_bytes(),
+          w = Winner{seq,
+                     p.offset,
+                     ppa,
+                     p.header.pair_bytes(),
+                     p.in_page_bytes,
                      p.header.tombstone};
         }
       }
+      pg += span;
+      valid = pg;
+    }
+    stats.torn_pages_dropped += programmed - valid;
+    if (Status s = alloc.adopt_block(block, ftl::Stream::kData, valid); !ok(s)) return s;
+  }
+
+  // Credit liveness first: live pairs and tombstones pin their pages so
+  // GC preserves them. Liveness is credited page by page along the
+  // extent, so a block holding only continuation pages of a live value
+  // is never left at zero live bytes (which would make pick_victim erase
+  // it out from under the extent).
+  for (const auto& [sig, w] : winners) {
+    std::uint64_t remaining = w.pair_bytes;
+    std::uint64_t chunk = std::min<std::uint64_t>(w.head_bytes, remaining);
+    Ppa p = w.ppa;
+    while (remaining > 0) {
+      alloc.add_live(p, chunk);
+      remaining -= chunk;
+      ++p;
+      chunk = std::min<std::uint64_t>(g.page_size, remaining);
     }
   }
 
-  // Install the winners: live pairs enter the index; tombstones (and
-  // nothing else) keep their liveness so GC preserves them.
+  // Sweep dead weight BEFORE rebuilding the index. Every old index-zone
+  // block is stale by construction (the index is rebuilt from the data
+  // log below), and repeated crash cycles also accumulate sealed data
+  // blocks whose every pair lost — torn tails, superseded versions. A
+  // device that crashed often enough would otherwise run out of free
+  // blocks for the rebuilt index's own record pages, and the index would
+  // silently shed entries on failed write-backs. Erasing here is
+  // idempotent across a crash-during-recovery: the data log is untouched
+  // and wear counts were already restored above.
+  for (const std::uint32_t block : adopted) {
+    if (alloc.block_live_bytes(block) != 0) continue;
+    if (Status s = alloc.reclaim_block(block); !ok(s)) return s;
+    stats.dead_blocks_reclaimed++;
+  }
+
+  // Install the winners: live pairs enter the index (tombstones stay
+  // out — their pinned deletion record on flash is their only trace).
   for (const auto& [sig, w] : winners) {
-    alloc.add_live(w.ppa, w.pair_bytes);
     if (w.tombstone) continue;
     if (Status s = index.put(sig, w.ppa); !ok(s)) return s;
     stats.keys_recovered++;

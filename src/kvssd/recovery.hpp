@@ -15,7 +15,26 @@
 //  3. Old index-zone pages are deliberately ignored: they carry no live
 //     accounting after recovery, so GC reclaims them wholesale. The
 //     directory-checkpoint fast path (RhikIndex::load_directory) remains
-//     available for clean shutdowns.
+//     available for clean shutdowns. This also makes recovery immune to
+//     an interrupted RHIK resize: old- and new-generation index pages
+//     alike are dead weight, and the rebuilt index starts one clean
+//     generation.
+//
+// The scan assumes the crash may have happened mid-operation:
+//
+//  - Every page carries a controller CRC in its reserved spare tail
+//    (flash::kSpareReservedTail). A page whose CRC fails — torn by a
+//    power cut — TRUNCATES the block's log at that page: later pages of
+//    the block are unreachable by the in-order programming discipline
+//    anyway. Torn pages are never parsed, so garbage spare bytes cannot
+//    masquerade as a valid tag.
+//  - A head page whose spilling pair lacks intact continuation pages is
+//    dropped the same way: the pair was never acknowledged, and adopting
+//    the head would shadow an older complete version of the key.
+//  - Interrupted GC leaves the same pair in both source and destination
+//    blocks; sequence order picks one winner and the loser stays stale.
+//  - Per-block erase counts (volatile wear RAM on real hardware) are
+//    re-derived from the wear stamp in each block's first intact page.
 //
 // Whatever sat in the device's RAM write buffer at crash time was never
 // programmed and is — correctly — not recovered.
@@ -39,6 +58,16 @@ struct RecoveryStats {
   std::uint64_t keys_recovered = 0;
   std::uint64_t live_bytes = 0;  ///< live user data after recovery
   std::uint64_t max_seq = 0;
+  std::uint64_t torn_pages_dropped = 0;       ///< programmed pages failing CRC/structure
+  std::uint64_t incomplete_extents_dropped = 0;  ///< valid heads with a torn/missing tail
+  std::uint64_t wear_blocks_restored = 0;     ///< erase counts re-derived from spare stamps
+  /// Adopted blocks erased during recovery because nothing in them was
+  /// live: stale index generations, torn tails, superseded data. Swept
+  /// before the index rebuild so the rebuild cannot run out of space.
+  std::uint64_t dead_blocks_reclaimed = 0;
+
+  /// Accumulates another shard's stats (max_seq takes the max).
+  void merge_from(const RecoveryStats& other) noexcept;
 };
 
 /// Scans the adopted NAND and reconstructs allocator, store sequence and

@@ -33,15 +33,30 @@ class Gate {
 
 Bytes owned(ByteSpan span) { return Bytes(span.begin(), span.end()); }
 
+std::vector<std::unique_ptr<kvssd::KvssdDevice>> build_devices(
+    const ShardedConfig& cfg) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg.num_shards);
+  std::vector<std::unique_ptr<kvssd::KvssdDevice>> devs;
+  devs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    devs.push_back(std::make_unique<kvssd::KvssdDevice>(cfg.device));
+  }
+  return devs;
+}
+
 }  // namespace
 
-ShardedKvssd::ShardedKvssd(ShardedConfig cfg) : cfg_(std::move(cfg)) {
-  const std::uint32_t n = std::max<std::uint32_t>(1, cfg_.num_shards);
-  cfg_.num_shards = n;
-  shards_.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
+ShardedKvssd::ShardedKvssd(ShardedConfig cfg)
+    : ShardedKvssd(cfg, build_devices(cfg)) {}
+
+ShardedKvssd::ShardedKvssd(
+    ShardedConfig cfg, std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices)
+    : cfg_(std::move(cfg)) {
+  cfg_.num_shards = static_cast<std::uint32_t>(devices.size());
+  shards_.reserve(devices.size());
+  for (auto& dev : devices) {
     auto s = std::make_unique<Shard>();
-    s->dev = std::make_unique<kvssd::KvssdDevice>(cfg_.device);
+    s->dev = std::move(dev);
     s->ring = std::make_unique<SubmissionRing<ShardOp>>(cfg_.ring_capacity);
     shards_.push_back(std::move(s));
   }
@@ -57,6 +72,52 @@ ShardedKvssd::~ShardedKvssd() {
   for (auto& s : shards_) {
     if (s->worker.joinable()) s->worker.join();
   }
+}
+
+Result<std::unique_ptr<ShardedKvssd>> ShardedKvssd::recover(
+    ShardedConfig cfg, std::vector<std::unique_ptr<flash::NandDevice>> nands,
+    kvssd::RecoveryStats* stats_out) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg.num_shards);
+  if (nands.size() != n) return Status::kInvalidArgument;
+
+  std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices;
+  devices.reserve(n);
+  kvssd::RecoveryStats merged;
+  for (auto& nand : nands) {
+    kvssd::RecoveryStats shard_stats;
+    auto dev = kvssd::KvssdDevice::recover(cfg.device, std::move(nand),
+                                           &shard_stats);
+    if (!dev) return dev.status();
+    merged.merge_from(shard_stats);
+    devices.push_back(std::move(*dev));
+  }
+
+  // Shards advance their clocks concurrently and array time is their
+  // max; re-seed every clock to the slowest recovery scan so per-shard
+  // deltas stay comparable after the restart.
+  SimTime max_clock = 0;
+  for (auto& dev : devices) max_clock = std::max(max_clock, dev->clock().now());
+  for (auto& dev : devices) dev->clock().advance(max_clock - dev->clock().now());
+
+  if (stats_out) *stats_out = merged;
+  return std::unique_ptr<ShardedKvssd>(
+      new ShardedKvssd(std::move(cfg), std::move(devices)));
+}
+
+std::vector<std::unique_ptr<flash::NandDevice>> ShardedKvssd::release_nands() {
+  // Stop the workers (each drains its remaining queue on close, exactly
+  // as the destructor does), then strip each shard's NAND array. An
+  // *abrupt* cut is modeled by arming a FaultInjector on a shard's NAND
+  // instead — once power dies, drained commands fail like real
+  // in-flight ones.
+  for (auto& s : shards_) s->ring->close();
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+  std::vector<std::unique_ptr<flash::NandDevice>> nands;
+  nands.reserve(shards_.size());
+  for (auto& s : shards_) nands.push_back(s->dev->release_nand());
+  return nands;
 }
 
 void ShardedKvssd::worker_loop(Shard& s) {

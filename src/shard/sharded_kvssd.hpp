@@ -50,6 +50,24 @@ class ShardedKvssd {
   ShardedKvssd(const ShardedKvssd&) = delete;
   ShardedKvssd& operator=(const ShardedKvssd&) = delete;
 
+  /// Power-loss recovery of a whole array: one NAND per shard, in shard
+  /// order (as returned by release_nands()). Each shard's device is
+  /// rebuilt via KvssdDevice::recover, per-shard RecoveryStats are
+  /// merged into `stats_out` (when non-null), and every shard clock is
+  /// re-seeded to the maximum adopted clock so post-recovery array time
+  /// stays the max across shards. `nands.size()` must equal
+  /// max(1, cfg.num_shards).
+  static Result<std::unique_ptr<ShardedKvssd>> recover(
+      ShardedConfig cfg, std::vector<std::unique_ptr<flash::NandDevice>> nands,
+      kvssd::RecoveryStats* stats_out = nullptr);
+
+  /// Power-off of the whole array: stops every worker thread (each
+  /// drains its remaining queue first) and relinquishes each shard's
+  /// NAND array, in shard order. The front-end must not be used
+  /// afterwards. Call flush() first for a clean shutdown; arm a
+  /// FaultInjector on a shard's NAND to model an abrupt cut instead.
+  std::vector<std::unique_ptr<flash::NandDevice>> release_nands();
+
   // -- Synchronous verbs (block until the op completes on its shard) ----------
   Status put(ByteSpan key, ByteSpan value);
   Status get(ByteSpan key, Bytes* value_out);
@@ -98,6 +116,11 @@ class ShardedKvssd {
   [[nodiscard]] kvssd::KvssdDevice& shard_device(std::uint32_t shard);
 
  private:
+  /// Wiring over pre-built shard devices (the recovery path); starts the
+  /// worker threads. `devices.size()` defines the shard count.
+  ShardedKvssd(ShardedConfig cfg,
+               std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices);
+
   struct Snapshot {
     kvssd::DeviceStats stats;
     SimTime now = 0;

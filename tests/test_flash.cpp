@@ -2,8 +2,12 @@
 // erase discipline, latency accounting, wear tracking.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/crc32.hpp"
 #include "common/sim_clock.hpp"
 #include "flash/address.hpp"
+#include "flash/fault_injector.hpp"
 #include "flash/geometry.hpp"
 #include "flash/latency.hpp"
 #include "flash/nand.hpp"
@@ -64,7 +68,13 @@ TEST_F(NandTest, ProgramThenRead) {
   Bytes rdata(4096), rspare(128);
   ASSERT_EQ(nand_.read_page(0, rdata, rspare), Status::kOk);
   EXPECT_EQ(rdata, data);
-  EXPECT_EQ(rspare, spare);
+  // Caller spare bytes round-trip except the controller-reserved tail,
+  // which is stamped with the wear count and page CRC.
+  for (std::size_t i = 0; i < rspare.size() - kSpareReservedTail; ++i) {
+    EXPECT_EQ(rspare[i], 0x7B) << "spare byte " << i;
+  }
+  EXPECT_TRUE(page_crc_ok(tiny(), rdata, rspare));
+  EXPECT_EQ(spare_wear_stamp(tiny(), rspare), 0u);  // block never erased yet
 }
 
 TEST_F(NandTest, PartialWriteLeavesErasedBytes) {
@@ -168,6 +178,124 @@ TEST(Nand, LazyAllocationReleasesOnErase) {
   Bytes r(4096);
   ASSERT_EQ(nand.read_page(make_ppa(tiny(), 0, 0), r), Status::kOk);
   EXPECT_EQ(r[0], 9);
+}
+
+// --- CRC stamp and power-cut fault injection ---------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(as_bytes(s)), 0xCBF43926u);  // the standard check value
+  // Streaming over split buffers matches the one-shot result.
+  std::uint32_t st = crc32_init();
+  st = crc32_update(st, as_bytes(s).subspan(0, 4));
+  st = crc32_update(st, as_bytes(s).subspan(4));
+  EXPECT_EQ(crc32_final(st), 0xCBF43926u);
+}
+
+TEST_F(NandTest, WearStampFollowsEraseCount) {
+  ASSERT_EQ(nand_.erase_block(0), Status::kOk);
+  ASSERT_EQ(nand_.erase_block(0), Status::kOk);
+  ASSERT_EQ(nand_.program_page(0, Bytes(64, 0x21)), Status::kOk);
+  Bytes data(4096), spare(128);
+  ASSERT_EQ(nand_.read_page(0, data, spare), Status::kOk);
+  EXPECT_EQ(spare_wear_stamp(tiny(), spare), 2u);
+  EXPECT_TRUE(page_crc_ok(tiny(), data, spare));
+}
+
+TEST_F(NandTest, PowerCycleClearsVolatileWearAndRestoreReinstates) {
+  ASSERT_EQ(nand_.erase_block(5), Status::kOk);
+  ASSERT_EQ(nand_.erase_block(5), Status::kOk);
+  ASSERT_EQ(nand_.erase_block(5), Status::kOk);
+  nand_.power_cycle();
+  EXPECT_EQ(nand_.erase_count(5), 0u);  // wear RAM is volatile
+  EXPECT_EQ(nand_.stats().block_erases, 0u);
+  nand_.restore_erase_count(5, 3);
+  EXPECT_EQ(nand_.erase_count(5), 3u);
+}
+
+TEST_F(NandTest, CutProgramPowersDeviceOff) {
+  FaultInjector fi(42);
+  nand_.set_fault_injector(&fi);
+  fi.arm_after(1, TornWritePolicy::kNone);
+
+  EXPECT_EQ(nand_.program_page(0, Bytes(4096, 0xA5)), Status::kIoError);
+  EXPECT_TRUE(fi.powered_off());
+  EXPECT_EQ(fi.stats().power_cuts, 1u);
+  EXPECT_EQ(nand_.pages_programmed(0), 0u);  // kNone: no cell changed
+
+  // Everything — reads included — fails until the next power-on.
+  Bytes buf(16);
+  EXPECT_EQ(nand_.read_page(0, buf), Status::kIoError);
+  EXPECT_EQ(nand_.program_page(0, Bytes(16, 1)), Status::kIoError);
+  EXPECT_EQ(nand_.erase_block(0), Status::kIoError);
+  EXPECT_GE(fi.stats().ops_rejected, 3u);
+
+  nand_.power_cycle();
+  EXPECT_FALSE(fi.powered_off());
+  EXPECT_EQ(nand_.program_page(0, Bytes(16, 1)), Status::kOk);
+}
+
+TEST_F(NandTest, CountdownSparesEarlierPrograms) {
+  FaultInjector fi(7);
+  nand_.set_fault_injector(&fi);
+  fi.arm_after(3, TornWritePolicy::kNone);
+  ASSERT_EQ(nand_.program_page(0, Bytes(64, 1)), Status::kOk);
+  ASSERT_EQ(nand_.program_page(1, Bytes(64, 2)), Status::kOk);
+  EXPECT_EQ(nand_.program_page(2, Bytes(64, 3)), Status::kIoError);
+  EXPECT_TRUE(fi.powered_off());
+  EXPECT_EQ(nand_.pages_programmed(0), 2u);
+}
+
+TEST_F(NandTest, PartialTearKeepsSpareButFailsCrc) {
+  FaultInjector fi(1234);
+  nand_.set_fault_injector(&fi);
+  fi.arm_after(1, TornWritePolicy::kPartial);
+
+  Bytes spare_in(32, 0x7B);
+  EXPECT_EQ(nand_.program_page(0, Bytes(4096, 0xA5), spare_in), Status::kIoError);
+  ASSERT_EQ(nand_.pages_programmed(0), 1u);  // torn cells latched
+  EXPECT_EQ(fi.stats().torn_pages, 1u);
+
+  nand_.power_cycle();
+  Bytes data(4096), spare(128);
+  ASSERT_EQ(nand_.read_page(0, data, spare), Status::kOk);
+  // The spare landed exactly as intended — superficially valid...
+  EXPECT_EQ(spare[0], 0x7B);
+  // ...but the data area is cut short, and only the CRC can tell.
+  EXPECT_EQ(data[4095], 0xFF);
+  EXPECT_FALSE(page_crc_ok(tiny(), data, spare));
+}
+
+TEST_F(NandTest, GarbageTearFailsCrc) {
+  FaultInjector fi(99);
+  nand_.set_fault_injector(&fi);
+  fi.arm_after(1, TornWritePolicy::kGarbage);
+  EXPECT_EQ(nand_.program_page(0, Bytes(4096, 0x33)), Status::kIoError);
+  ASSERT_EQ(nand_.pages_programmed(0), 1u);
+
+  nand_.power_cycle();
+  Bytes data(4096), spare(128);
+  ASSERT_EQ(nand_.read_page(0, data, spare), Status::kOk);
+  EXPECT_FALSE(page_crc_ok(tiny(), data, spare));
+}
+
+TEST_F(NandTest, CutEraseEitherCompletesOrLeavesBlockIntact) {
+  ASSERT_EQ(nand_.program_page(0, Bytes(64, 0xEE)), Status::kOk);
+  FaultInjector fi(5);
+  nand_.set_fault_injector(&fi);
+  fi.arm_after(1);
+  EXPECT_EQ(nand_.erase_block(0), Status::kIoError);
+  EXPECT_EQ(fi.stats().interrupted_erases, 1u);
+  // Atomic outcome: all pages gone or all still there.
+  const std::uint32_t left = nand_.pages_programmed(0);
+  EXPECT_TRUE(left == 0u || left == 1u);
+  if (left == 1u) {
+    nand_.power_cycle();
+    Bytes data(4096), spare(128);
+    ASSERT_EQ(nand_.read_page(0, data, spare), Status::kOk);
+    EXPECT_EQ(data[0], 0xEE);
+    EXPECT_TRUE(page_crc_ok(tiny(), data, spare));
+  }
 }
 
 }  // namespace
