@@ -29,7 +29,8 @@ struct ClusterResult {
   double frac_le1 = 0;  ///< fraction of metadata accesses with <= 1 read
 };
 
-ClusterResult run(const workload::CosClusterProfile& profile, bool rhik_index) {
+ClusterResult run(const workload::CosClusterProfile& profile, bool rhik_index,
+                  obs::MetricsSnapshot* snap_out = nullptr) {
   kvssd::DeviceConfig cfg;
   // Size the device to the cluster's data (values scaled small — Fig. 5's
   // metrics depend on index pressure, not on value bytes).
@@ -66,6 +67,7 @@ ClusterResult run(const workload::CosClusterProfile& profile, bool rhik_index) {
   r.frac_le1 = stats.reads_per_lookup.cdf(1);
   // Fig. 5a's metric: misses of the FTL page cache per cache access.
   r.miss_ratio = dev.index().cache_stats().miss_ratio();
+  if (snap_out) *snap_out = dev.metrics_snapshot();
   return r;
 }
 
@@ -90,10 +92,12 @@ int main() {
     ClusterResult ml, rk;
   };
   std::vector<Row> rows;
+  obs::MetricsSnapshot rhik_snap;
   for (const auto& p : profiles) {
     Row row;
     row.ml = run(p, /*rhik_index=*/false);
-    row.rk = run(p, /*rhik_index=*/true);
+    // Keep the last RHIK cluster's full metrics for the stage report.
+    row.rk = run(p, /*rhik_index=*/true, &rhik_snap);
     const double ratio =
         static_cast<double>(p.index_bytes(32 * 1024, 1927)) / kCacheBytes;
     std::printf("%-9s %-10llu %-12.3f %-12.3f %-10.2f\n", p.name.c_str(),
@@ -124,5 +128,9 @@ int main() {
   bench::note("expected: RHIK max == 1 for every cluster (the paper's");
   bench::note("guarantee); mlhash misses and multi-read lookups grow with");
   bench::note("index size on clusters 001/081/083/096.");
+
+  std::printf("\nper-op stage metrics (RHIK, last cluster's measured phase)\n");
+  bench::print_stage_metrics(rhik_snap);
+  bench::maybe_export_json(rhik_snap);
   return 0;
 }

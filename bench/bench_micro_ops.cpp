@@ -4,6 +4,9 @@
 // the simulated-clock figure benches.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/rng.hpp"
 #include "ftl/gc.hpp"
 #include "ftl/kv_store.hpp"
@@ -130,4 +133,84 @@ void BM_ZipfianDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfianDraw);
 
+// -- Observability overhead guard ----------------------------------------------
+// Runs the same read-heavy microbench with the obs layer fully on
+// (per-op traces sampled every op) and fully off, and asserts the
+// device-clock throughput delta stays under 5%. The obs layer charges no
+// simulated time by design, so the sim-clock delta must be ~0; host
+// wall-clock delta (the real bookkeeping cost) is reported alongside.
+struct OverheadRun {
+  double device_mops = 0;  ///< ops per simulated second (millions)
+  double wall_mops = 0;    ///< ops per host second (millions)
+};
+
+OverheadRun run_read_heavy(bool metrics_on) {
+  constexpr std::uint64_t kKeys = 20'000;
+  constexpr std::uint64_t kOps = 100'000;
+  kvssd::DeviceConfig cfg;
+  cfg.geometry = flash::Geometry::with_capacity(256ull << 20);
+  cfg.rhik.anticipated_keys = kKeys;
+  cfg.obs.metrics = metrics_on;
+  cfg.obs.trace_sample_every = 1;  // worst case: every op hits the ring
+  kvssd::KvssdDevice dev(cfg);
+
+  Bytes value(256);
+  for (std::uint64_t id = 0; id < kKeys; ++id) {
+    workload::fill_value(id, value);
+    if (!ok(dev.put(workload::key_for_id(id, 16), value))) break;
+  }
+
+  Rng rng(42);
+  Bytes out;
+  const SimTime sim0 = dev.clock().now();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const std::uint64_t id = rng.next_below(kKeys);
+    benchmark::DoNotOptimize(dev.get(workload::key_for_id(id, 16), &out));
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+  const SimTime sim1 = dev.clock().now();
+
+  OverheadRun r;
+  const double sim_s = static_cast<double>(sim1 - sim0) / 1e9;
+  const double wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  if (sim_s > 0) r.device_mops = kOps / sim_s / 1e6;
+  if (wall_s > 0) r.wall_mops = kOps / wall_s / 1e6;
+  return r;
+}
+
+/// Returns 0 when the guard passes, 1 when obs overhead breaks the budget.
+int metrics_overhead_guard() {
+  std::printf("\n-- metrics overhead guard (read-heavy sync gets) --\n");
+  const OverheadRun off = run_read_heavy(/*metrics_on=*/false);
+  const OverheadRun on = run_read_heavy(/*metrics_on=*/true);
+  const double device_delta =
+      off.device_mops > 0
+          ? (off.device_mops - on.device_mops) / off.device_mops
+          : 0.0;
+  const double wall_delta =
+      off.wall_mops > 0 ? (off.wall_mops - on.wall_mops) / off.wall_mops : 0.0;
+  std::printf("metrics off: %8.3f device Mops/s  %8.3f wall Mops/s\n",
+              off.device_mops, off.wall_mops);
+  std::printf("metrics on:  %8.3f device Mops/s  %8.3f wall Mops/s"
+              " (trace_sample_every=1)\n", on.device_mops, on.wall_mops);
+  std::printf("device-clock delta: %+.2f%% (budget < 5%%)   host wall-clock"
+              " delta: %+.2f%% (informational)\n",
+              device_delta * 100, wall_delta * 100);
+  if (device_delta >= 0.05) {
+    std::printf("FAIL: obs layer costs simulated time — it must not\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return metrics_overhead_guard();
+}

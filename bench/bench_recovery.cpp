@@ -121,6 +121,18 @@ void torn_log() {
       static_cast<unsigned long long>(stats.dead_blocks_reclaimed));
   bench::note("torn pages are detected by the device-stamped spare CRC and "
               "truncated from the per-block log, never parsed");
+
+  // The recovered device's unified snapshot carries the scan's
+  // `recovery.*` counters alongside the post-recovery device state.
+  const obs::MetricsSnapshot snap = (*recovered)->metrics_snapshot();
+  std::printf(
+      "  snapshot: recovery.keys_recovered=%llu recovery.torn_pages_dropped="
+      "%llu device.key_count=%lld\n",
+      static_cast<unsigned long long>(snap.counter("recovery.keys_recovered")),
+      static_cast<unsigned long long>(
+          snap.counter("recovery.torn_pages_dropped")),
+      static_cast<long long>(snap.gauge("device.key_count")));
+  bench::maybe_export_json(snap);
 }
 
 }  // namespace

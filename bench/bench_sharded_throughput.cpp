@@ -48,7 +48,8 @@ shard::ShardedConfig make_array_config(std::uint32_t shards) {
   return sc;
 }
 
-Throughput run_mix(std::uint32_t shards, unsigned get_pct) {
+Throughput run_mix(std::uint32_t shards, unsigned get_pct,
+                   obs::MetricsSnapshot* snap_out = nullptr) {
   shard::ShardedKvssd arr(make_array_config(shards));
 
   Bytes value(kValueSize);
@@ -75,6 +76,8 @@ Throughput run_mix(std::uint32_t shards, unsigned get_pct) {
   arr.drain();
   const auto wall1 = std::chrono::steady_clock::now();
   const SimTime sim1 = arr.sim_time();
+
+  if (snap_out) *snap_out = arr.metrics_snapshot();
 
   Throughput t;
   const double wall_s =
@@ -128,6 +131,7 @@ int main() {
   bench::note("wall clock adds host-side thread scaling (bounded by cores)");
 
   double one_shard_read = 0, four_shard_read = 0;
+  obs::MetricsSnapshot array_snap;
   for (const unsigned get_pct : {95u, 5u}) {
     std::printf("\n%s mix (%u%% get / %u%% put)\n",
                 get_pct >= 50 ? "read-heavy" : "write-heavy", get_pct,
@@ -136,7 +140,9 @@ int main() {
                 "device Mops/s", "scaling");
     double base_sim = 0;
     for (const std::uint32_t n : shard_counts) {
-      const Throughput t = run_mix(n, get_pct);
+      const bool capture = get_pct == 95 && n == 4;
+      const Throughput t =
+          run_mix(n, get_pct, capture ? &array_snap : nullptr);
       if (n == 1) base_sim = t.sim_mops;
       const double scaling = base_sim > 0 ? t.sim_mops / base_sim : 0;
       std::printf("%-8u %18.3f %18.3f %9.2fx\n", n, t.wall_mops, t.sim_mops,
@@ -149,6 +155,14 @@ int main() {
       one_shard_read > 0 ? four_shard_read / one_shard_read : 0;
   std::printf("\n4-shard read-heavy speedup (device clock): %.2fx"
               " (target >= 2x)\n", speedup);
+
+  std::printf("\nshard-merged array metrics (4 shards, read-heavy mix)\n");
+  bench::print_stage_metrics(array_snap);
+  bench::note("frontend.gets=%llu frontend.puts=%llu across %lld shards",
+              static_cast<unsigned long long>(array_snap.counter("frontend.gets")),
+              static_cast<unsigned long long>(array_snap.counter("frontend.puts")),
+              static_cast<long long>(array_snap.gauge("frontend.shards")));
+  bench::maybe_export_json(array_snap);
 
   std::printf("\nindex-aware batch drain — zipfian get burst of %zu on one"
               " device\n", kDrainBatch);

@@ -9,9 +9,11 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "kvssd/device.hpp"
+#include "obs/metrics.hpp"
 #include "workload/keygen.hpp"
 
 namespace rhik::bench {
@@ -60,6 +62,53 @@ inline std::string size_label(std::uint64_t bytes) {
                   static_cast<unsigned long long>(bytes));
   }
   return buf;
+}
+
+/// Prints one stage-timer row: count + p50/p90/p99 (sim-clock ns).
+inline void metrics_row(const obs::MetricsSnapshot& snap, const char* name) {
+  const Histogram* h = snap.timer(name);
+  if (h == nullptr || h->count() == 0) return;
+  std::printf("  %-28s n=%-10llu p50=%-10llu p90=%-10llu p99=%llu\n", name,
+              static_cast<unsigned long long>(h->count()),
+              static_cast<unsigned long long>(h->percentile(50)),
+              static_cast<unsigned long long>(h->percentile(90)),
+              static_cast<unsigned long long>(h->percentile(99)));
+}
+
+/// Per-stage latency/read-amp section the obs-wired benches print: for
+/// each op kind, total + stage breakdown + flash reads per op.
+inline void print_stage_metrics(const obs::MetricsSnapshot& snap) {
+  std::printf("  -- per-op stage percentiles (sim ns / reads per op) --\n");
+  for (const char* op : {"put", "get", "del"}) {
+    const std::string base = std::string("op.") + op;
+    metrics_row(snap, (base + ".total_ns").c_str());
+    metrics_row(snap, (base + ".queue_ns").c_str());
+    metrics_row(snap, (base + ".index_ns").c_str());
+    metrics_row(snap, (base + ".flash_ns").c_str());
+    metrics_row(snap, (base + ".gc_ns").c_str());
+    metrics_row(snap, (base + ".flash_reads").c_str());
+    metrics_row(snap, (base + ".index_flash_reads").c_str());
+  }
+}
+
+/// Honors RHIK_METRICS_JSON: when set, writes the snapshot's JSON export
+/// there ("-" = stdout). Lets any bench feed dashboards without flags.
+inline void maybe_export_json(const obs::MetricsSnapshot& snap) {
+  const char* path = std::getenv("RHIK_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  const std::string doc = snap.to_json();
+  if (std::string_view(path) == "-") {
+    std::printf("%s\n", doc.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    note("metrics JSON written to %s", path);
+  } else {
+    note("could not open %s for metrics JSON", path);
+  }
 }
 
 /// Loads `n` sequential keys of fixed value size into a device.

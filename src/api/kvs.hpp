@@ -71,6 +71,12 @@ class KvsDevice {
   /// Access to the shard array (only valid when sharded()).
   [[nodiscard]] shard::ShardedKvssd& shard_array() noexcept { return *array_; }
 
+  /// Unified metrics view, sharded or not: the single device's snapshot,
+  /// or the shard-merged array snapshot (implies a cross-shard barrier).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() {
+    return array_ ? array_->metrics_snapshot() : dev_->metrics_snapshot();
+  }
+
  private:
   static ByteSpan key_span(std::string_view key) noexcept {
     return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};

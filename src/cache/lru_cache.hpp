@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace rhik::cache {
 
 struct CacheStats {
@@ -26,6 +28,14 @@ struct CacheStats {
   [[nodiscard]] double miss_ratio() const noexcept {
     const std::uint64_t n = lookups();
     return n == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(n);
+  }
+
+  /// Registers these counters into a metrics snapshot (`cache.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("cache.hits", hits);
+    snap.add_counter("cache.misses", misses);
+    snap.add_counter("cache.evictions", evictions);
+    snap.add_counter("cache.dirty_writebacks", dirty_writebacks);
   }
 };
 

@@ -94,6 +94,50 @@ void Histogram::reset() noexcept {
   max_ = 0;
 }
 
+Histogram Histogram::from_buckets(const std::uint64_t* counts, std::size_t n,
+                                  std::uint64_t sum, std::uint64_t min,
+                                  std::uint64_t max) noexcept {
+  Histogram h;
+  n = std::min(n, kBuckets);
+  for (std::size_t b = 0; b < n; ++b) {
+    h.buckets_[b] = counts[b];
+    h.count_ += counts[b];
+  }
+  if (h.count_ == 0) return h;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+std::string Histogram::to_json() const {
+  std::string out;
+  out.reserve(256);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"mean\":%.3f,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,"
+                "\"buckets\":[",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max()), mean(), percentile(50),
+                percentile(90), percentile(99));
+  out += buf;
+  bool first = true;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s[%llu,%llu,%llu]", first ? "" : ",",
+                  static_cast<unsigned long long>(bucket_lo(b)),
+                  static_cast<unsigned long long>(bucket_hi(b)),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
 std::string Histogram::summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

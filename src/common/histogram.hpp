@@ -39,6 +39,46 @@ class Histogram {
   /// One-line summary (count/mean/p50/p99/max) for logging.
   [[nodiscard]] std::string summary() const;
 
+  // -- Bucket iteration (exporters; obs::Timer shares the mapping) -----------
+  // The bucket layout is part of the exporter contract: 128 exact buckets
+  // for values 0..127, then 8 linear sub-buckets per log2 range above.
+
+  /// Total number of buckets (fixed at compile time).
+  [[nodiscard]] static constexpr std::size_t bucket_count() noexcept {
+    return kBuckets;
+  }
+  /// Bucket index a value falls into.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept {
+    return bucket_for(v);
+  }
+  /// Smallest / largest value mapping to bucket `b`.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t b) noexcept {
+    return bucket_lo(b);
+  }
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return bucket_hi(b);
+  }
+  /// Sample count recorded in bucket `b`.
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t b) const noexcept {
+    return buckets_[b];
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Rebuilds a histogram from per-bucket counts (length `bucket_count()`)
+  /// plus the scalar moments — the inverse of bucket iteration, used by
+  /// obs::Timer snapshots and the JSON importer. Buckets beyond `n` are
+  /// zero. `min`/`max` are ignored when every bucket is empty.
+  [[nodiscard]] static Histogram from_buckets(const std::uint64_t* counts,
+                                              std::size_t n, std::uint64_t sum,
+                                              std::uint64_t min,
+                                              std::uint64_t max) noexcept;
+
+  /// JSON object with scalar moments, p50/p90/p99, and the non-empty
+  /// buckets as [lower, upper, count] triples:
+  ///   {"count":N,"sum":S,"min":m,"max":M,"mean":..,"p50":..,"p90":..,
+  ///    "p99":..,"buckets":[[lo,hi,n],...]}
+  [[nodiscard]] std::string to_json() const;
+
  private:
   // 128 exact buckets + 57 log2 ranges * 8 sub-buckets.
   static constexpr std::size_t kExact = 128;

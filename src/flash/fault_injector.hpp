@@ -24,6 +24,7 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace rhik::flash {
 
@@ -40,6 +41,15 @@ struct FaultStats {
   std::uint64_t clean_cuts = 0;         ///< cuts that left the page erased
   std::uint64_t interrupted_erases = 0; ///< erases hit by a cut (completed or not)
   std::uint64_t ops_rejected = 0;       ///< NAND ops attempted while powered off
+
+  /// Registers these counters into a metrics snapshot (`fault.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("fault.power_cuts", power_cuts);
+    snap.add_counter("fault.torn_pages", torn_pages);
+    snap.add_counter("fault.clean_cuts", clean_cuts);
+    snap.add_counter("fault.interrupted_erases", interrupted_erases);
+    snap.add_counter("fault.ops_rejected", ops_rejected);
+  }
 };
 
 class FaultInjector {

@@ -20,6 +20,7 @@
 #include "flash/fault_injector.hpp"
 #include "flash/geometry.hpp"
 #include "flash/latency.hpp"
+#include "obs/metrics.hpp"
 
 namespace rhik::flash {
 
@@ -42,6 +43,15 @@ struct NandStats {
   std::uint64_t block_erases = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_programmed = 0;
+
+  /// Registers these counters into a metrics snapshot (`nand.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("nand.page_reads", page_reads);
+    snap.add_counter("nand.page_programs", page_programs);
+    snap.add_counter("nand.block_erases", block_erases);
+    snap.add_counter("nand.bytes_read", bytes_read);
+    snap.add_counter("nand.bytes_programmed", bytes_programmed);
+  }
 };
 
 class NandDevice {

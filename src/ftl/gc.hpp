@@ -18,6 +18,7 @@
 #include "ftl/kv_store.hpp"
 #include "ftl/layout.hpp"
 #include "ftl/page_allocator.hpp"
+#include "obs/metrics.hpp"
 
 namespace rhik::ftl {
 
@@ -46,6 +47,15 @@ struct GcStats {
   std::uint64_t index_pages_relocated = 0;
   std::uint64_t bytes_relocated = 0;  ///< write amplification source
   std::uint64_t runs = 0;
+
+  /// Registers these counters into a metrics snapshot (`gc.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("gc.blocks_reclaimed", blocks_reclaimed);
+    snap.add_counter("gc.pairs_relocated", pairs_relocated);
+    snap.add_counter("gc.index_pages_relocated", index_pages_relocated);
+    snap.add_counter("gc.bytes_relocated", bytes_relocated);
+    snap.add_counter("gc.runs", runs);
+  }
 };
 
 class GarbageCollector {

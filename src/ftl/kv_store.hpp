@@ -16,6 +16,7 @@
 #include "flash/nand.hpp"
 #include "ftl/layout.hpp"
 #include "ftl/page_allocator.hpp"
+#include "obs/metrics.hpp"
 
 namespace rhik::ftl {
 
@@ -34,6 +35,15 @@ struct KvStoreStats {
   std::uint64_t extents_written = 0;   ///< multi-page pairs
   std::uint64_t gc_pairs_written = 0;  ///< relocations (write amplification)
   std::uint64_t tombstones_written = 0;
+
+  /// Registers these counters into a metrics snapshot (`store.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("store.pairs_written", pairs_written);
+    snap.add_counter("store.pairs_read", pairs_read);
+    snap.add_counter("store.extents_written", extents_written);
+    snap.add_counter("store.gc_pairs_written", gc_pairs_written);
+    snap.add_counter("store.tombstones_written", tombstones_written);
+  }
 };
 
 class FlashKvStore {

@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "flash/address.hpp"
 #include "ftl/gc.hpp"
+#include "obs/metrics.hpp"
 
 namespace rhik::index {
 
@@ -36,6 +37,20 @@ struct IndexOpStats {
   std::uint64_t overflow_inserts = 0;
   /// Flash reads needed per individual index lookup (paper Fig. 5b).
   Histogram reads_per_lookup;
+
+  /// Registers these counters into a metrics snapshot (`index.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("index.puts", puts);
+    snap.add_counter("index.gets", gets);
+    snap.add_counter("index.erases", erases);
+    snap.add_counter("index.flash_reads", flash_reads);
+    snap.add_counter("index.flash_writes", flash_writes);
+    snap.add_counter("index.collision_aborts", collision_aborts);
+    snap.add_counter("index.resizes", resizes);
+    snap.add_counter("index.writeback_failures", writeback_failures);
+    snap.add_counter("index.overflow_inserts", overflow_inserts);
+    snap.add_timer("index.reads_per_lookup", reads_per_lookup);
+  }
 };
 
 /// One completed resize, for the Fig. 7 analysis.

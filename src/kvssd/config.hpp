@@ -9,6 +9,7 @@
 #include "flash/latency.hpp"
 #include "index/mlhash/mlhash_index.hpp"
 #include "index/rhik/config.hpp"
+#include "obs/trace.hpp"
 
 namespace rhik::kvssd {
 
@@ -56,6 +57,10 @@ struct DeviceConfig {
   /// §VI alternative: 128-bit signature generation for collision
   /// analysis (the index still addresses by the low 64 bits).
   bool wide_signatures = false;
+
+  /// Observability: per-op stage metrics, trace-ring sampling and the
+  /// periodic dump hook (see obs/trace.hpp for the knobs).
+  obs::ObsConfig obs{};
 };
 
 }  // namespace rhik::kvssd

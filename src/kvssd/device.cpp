@@ -17,7 +17,7 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg)
     : KvssdDevice(cfg, std::unique_ptr<flash::NandDevice>()) {}
 
 KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand)
-    : cfg_(cfg) {
+    : cfg_(cfg), trace_ring_(cfg.obs.trace_ring_capacity) {
   assert(cfg_.geometry.valid());
   if (nand) {
     nand_ = std::move(nand);
@@ -41,6 +41,12 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
   gc_ = std::make_unique<ftl::GarbageCollector>(nand_.get(), alloc_.get(),
                                                 store_.get(), index_.get());
   iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get());
+  if (cfg_.obs.metrics) {
+    put_timers_ = make_stage_timers("put");
+    get_timers_ = make_stage_timers("get");
+    del_timers_ = make_stage_timers("del");
+    next_dump_ns_ = cfg_.obs.dump_period_ns;
+  }
 }
 
 KvssdDevice::~KvssdDevice() = default;
@@ -62,6 +68,7 @@ Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
                                   *dev->index_);
   if (!stats) return stats.status();
   dev->live_bytes_ = stats->live_bytes;
+  dev->recovered_ = *stats;
   if (stats_out) *stats_out = *stats;
   return dev;
 }
@@ -101,7 +108,10 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
   if (value.size() > store_->max_value_size(key.size())) {
     return Status::kInvalidArgument;
   }
-  if (Status s = maybe_gc(); !ok(s)) return s;
+  {
+    obs::StageScope gc_span(active_trace_, obs::Stage::kGc, clock_);
+    if (Status s = maybe_gc(); !ok(s)) return s;
+  }
 
   const std::uint64_t sig = signature(key);
 
@@ -109,9 +119,13 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
   // must fetch its key — an update keeps the index entry, while a
   // different key with the same signature is an uncorrectable collision
   // the device rejects (§VI "Collision Management").
-  std::optional<Ppa> old_ppa = index_->get(sig);
+  const std::optional<Ppa> old_ppa = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
+    return index_->get(sig);
+  }();
   std::uint64_t old_total = 0;
   if (old_ppa) {
+    obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
     auto meta = store_->read_pair_meta(*old_ppa, sig);
     if (!meta) return meta.status();
     if (ByteSpan{meta->key} .size() != key.size() ||
@@ -122,22 +136,32 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
     old_total = meta->total_bytes;
   }
 
-  auto new_ppa = store_->write_pair(sig, key, value);
+  const auto timed_write = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
+    return store_->write_pair(sig, key, value);
+  };
+  auto new_ppa = timed_write();
   if (!new_ppa && new_ppa.status() == Status::kDeviceFull) {
     // Out of space mid-write: reclaim and retry once.
     stats_.gc_invocations++;
-    if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
-        !ok(s) && s != Status::kDeviceFull) {
-      return s;
+    {
+      obs::StageScope gc_span(active_trace_, obs::Stage::kGc, clock_);
+      if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
+          !ok(s) && s != Status::kDeviceFull) {
+        return s;
+      }
     }
-    new_ppa = store_->write_pair(sig, key, value);
+    new_ppa = timed_write();
   }
   if (!new_ppa) {
     if (new_ppa.status() == Status::kDeviceFull) stats_.device_full++;
     return new_ppa.status();
   }
 
-  const Status ist = index_->put(sig, *new_ppa);
+  const Status ist = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
+    return index_->put(sig, *new_ppa);
+  }();
   if (!ok(ist)) {
     // The pair hit flash but the index rejected the record: undo the
     // liveness accounting so GC reclaims the orphan bytes.
@@ -159,14 +183,21 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
 Status KvssdDevice::get_locked(ByteSpan key, Bytes* value_out) {
   if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
   const std::uint64_t sig = signature(key);
-  const std::optional<Ppa> ppa = index_->get(sig);
+  const std::optional<Ppa> ppa = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
+    return index_->get(sig);
+  }();
   if (!ppa) {
     stats_.not_found++;
     return Status::kNotFound;
   }
   Bytes stored_key;
-  if (Status s = store_->read_pair(*ppa, sig, &stored_key, value_out); !ok(s)) {
-    return s;
+  {
+    obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
+    if (Status s = store_->read_pair(*ppa, sig, &stored_key, value_out);
+        !ok(s)) {
+      return s;
+    }
   }
   // Full-key recheck defeats signature collisions (§IV-A3).
   if (stored_key.size() != key.size() ||
@@ -183,21 +214,30 @@ Status KvssdDevice::get_locked(ByteSpan key, Bytes* value_out) {
 Status KvssdDevice::del_locked(ByteSpan key) {
   if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
   const std::uint64_t sig = signature(key);
-  const std::optional<Ppa> ppa = index_->get(sig);
+  const std::optional<Ppa> ppa = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
+    return index_->get(sig);
+  }();
   if (!ppa) {
     stats_.not_found++;
     return Status::kNotFound;
   }
   // Fetch and match the key before deleting (§IV-A), as a signature
   // collision must not delete a different application's pair.
-  auto meta = store_->read_pair_meta(*ppa, sig);
+  auto meta = [&] {
+    obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
+    return store_->read_pair_meta(*ppa, sig);
+  }();
   if (!meta) return meta.status();
   if (ByteSpan{meta->key}.size() != key.size() ||
       !std::equal(key.begin(), key.end(), meta->key.begin())) {
     stats_.not_found++;
     return Status::kNotFound;
   }
-  if (Status s = index_->erase(sig); !ok(s)) return s;
+  {
+    obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
+    if (Status s = index_->erase(sig); !ok(s)) return s;
+  }
   store_->note_stale(*ppa, meta->total_bytes);
   live_bytes_ -= meta->total_bytes;
 
@@ -205,16 +245,23 @@ Status KvssdDevice::del_locked(ByteSpan key) {
   // freed make GC productive if the log is out of space; if even GC
   // cannot help (everything else live), the tiny tombstone may dip into
   // the GC reserve — deletion must always be possible on a full device.
-  auto ts = store_->write_tombstone(sig, key);
+  const auto timed_tombstone = [&](bool for_gc) {
+    obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
+    return store_->write_tombstone(sig, key, for_gc);
+  };
+  auto ts = timed_tombstone(/*for_gc=*/false);
   if (!ts && ts.status() == Status::kDeviceFull) {
     stats_.gc_invocations++;
-    if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
-        !ok(s) && s != Status::kDeviceFull) {
-      return s;
+    {
+      obs::StageScope gc_span(active_trace_, obs::Stage::kGc, clock_);
+      if (Status s = gc_->collect(cfg_.gc_target_free_blocks);
+          !ok(s) && s != Status::kDeviceFull) {
+        return s;
+      }
     }
-    ts = store_->write_tombstone(sig, key);
+    ts = timed_tombstone(/*for_gc=*/false);
     if (!ts && ts.status() == Status::kDeviceFull) {
-      ts = store_->write_tombstone(sig, key, /*for_gc=*/true);
+      ts = timed_tombstone(/*for_gc=*/true);
     }
   }
   if (!ts) return ts.status();
@@ -225,22 +272,33 @@ Status KvssdDevice::del_locked(ByteSpan key) {
 Status KvssdDevice::put(ByteSpan key, ByteSpan value) {
   const SimTime t0 = clock_.now();
   charge_command(/*async=*/false);
+  obs::OpTrace tr;
+  const bool traced = obs_begin(tr, obs::OpKind::kPut, t0, /*enqueue_ns=*/t0);
   const Status s = put_locked(key, value);
   stats_.put_latency_ns.record(clock_.now() - t0);
+  if (traced) obs_finish(tr, s, put_timers_);
   return s;
 }
 
 Status KvssdDevice::get(ByteSpan key, Bytes* value_out) {
   const SimTime t0 = clock_.now();
   charge_command(/*async=*/false);
+  obs::OpTrace tr;
+  const bool traced = obs_begin(tr, obs::OpKind::kGet, t0, /*enqueue_ns=*/t0);
   const Status s = get_locked(key, value_out);
   stats_.get_latency_ns.record(clock_.now() - t0);
+  if (traced) obs_finish(tr, s, get_timers_);
   return s;
 }
 
 Status KvssdDevice::del(ByteSpan key) {
+  const SimTime t0 = clock_.now();
   charge_command(/*async=*/false);
-  return del_locked(key);
+  obs::OpTrace tr;
+  const bool traced = obs_begin(tr, obs::OpKind::kDel, t0, /*enqueue_ns=*/t0);
+  const Status s = del_locked(key);
+  if (traced) obs_finish(tr, s, del_timers_);
+  return s;
 }
 
 Status KvssdDevice::exist(ByteSpan key) {
@@ -296,15 +354,24 @@ Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
   charge_command(/*async=*/false);
   stats_.batches++;
   for (BatchOp& op : ops) {
+    const SimTime t0 = clock_.now();
+    obs::OpTrace tr;
+    bool traced = false;
     switch (op.kind) {
       case BatchOp::Kind::kPut:
+        traced = obs_begin(tr, obs::OpKind::kPut, t0, /*enqueue_ns=*/t0);
         op.status = put_locked(op.key, op.value);
+        if (traced) obs_finish(tr, op.status, put_timers_);
         break;
       case BatchOp::Kind::kGet:
+        traced = obs_begin(tr, obs::OpKind::kGet, t0, /*enqueue_ns=*/t0);
         op.status = get_locked(op.key, &op.value);
+        if (traced) obs_finish(tr, op.status, get_timers_);
         break;
       case BatchOp::Kind::kDel:
+        traced = obs_begin(tr, obs::OpKind::kDel, t0, /*enqueue_ns=*/t0);
         op.status = del_locked(op.key);
+        if (traced) obs_finish(tr, op.status, del_timers_);
         break;
       case BatchOp::Kind::kExist:
         stats_.exists++;
@@ -317,20 +384,23 @@ Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
 }
 
 void KvssdDevice::submit_put(Bytes key, Bytes value, Callback cb) {
-  queue_.push_back(
-      {OpType::kPut, std::move(key), std::move(value), std::move(cb), {}});
+  queue_.push_back({OpType::kPut, std::move(key), std::move(value),
+                    std::move(cb), {}, clock_.now()});
 }
 
 void KvssdDevice::submit_get(Bytes key, Callback cb) {
-  queue_.push_back({OpType::kGet, std::move(key), {}, std::move(cb), {}});
+  queue_.push_back(
+      {OpType::kGet, std::move(key), {}, std::move(cb), {}, clock_.now()});
 }
 
 void KvssdDevice::submit_get(Bytes key, GetCallback cb) {
-  queue_.push_back({OpType::kGet, std::move(key), {}, {}, std::move(cb)});
+  queue_.push_back(
+      {OpType::kGet, std::move(key), {}, {}, std::move(cb), clock_.now()});
 }
 
 void KvssdDevice::submit_del(Bytes key, Callback cb) {
-  queue_.push_back({OpType::kDel, std::move(key), {}, std::move(cb), {}});
+  queue_.push_back(
+      {OpType::kDel, std::move(key), {}, std::move(cb), {}, clock_.now()});
 }
 
 std::size_t KvssdDevice::drain() {
@@ -367,19 +437,27 @@ std::size_t KvssdDevice::drain() {
       QueuedOp& op = ops[i];
       const SimTime t0 = clock_.now();
       charge_command(/*async=*/true);
+      obs::OpTrace tr;
+      bool traced = false;
       Status s = Status::kOk;
       switch (op.type) {
         case OpType::kPut:
+          traced = obs_begin(tr, obs::OpKind::kPut, t0, op.enqueue_ns);
           s = put_locked(op.key, op.value);
           stats_.put_latency_ns.record(clock_.now() - t0);
+          if (traced) obs_finish(tr, s, put_timers_);
           break;
         case OpType::kGet:
           value.clear();
+          traced = obs_begin(tr, obs::OpKind::kGet, t0, op.enqueue_ns);
           s = get_locked(op.key, &value);
           stats_.get_latency_ns.record(clock_.now() - t0);
+          if (traced) obs_finish(tr, s, get_timers_);
           break;
         case OpType::kDel:
+          traced = obs_begin(tr, obs::OpKind::kDel, t0, op.enqueue_ns);
           s = del_locked(op.key);
+          if (traced) obs_finish(tr, s, del_timers_);
           break;
       }
       if (op.get_cb) {
@@ -397,6 +475,98 @@ std::size_t KvssdDevice::drain() {
 Status KvssdDevice::flush() {
   if (Status s = store_->flush(); !ok(s)) return s;
   return index_->flush();
+}
+
+// -- Observability -------------------------------------------------------------
+
+KvssdDevice::StageTimers KvssdDevice::make_stage_timers(const char* op) {
+  const std::string base = std::string("op.") + op;
+  StageTimers t;
+  t.total = &metrics_.timer(base + ".total_ns");
+  t.queue = &metrics_.timer(base + ".queue_ns");
+  t.index = &metrics_.timer(base + ".index_ns");
+  t.flash = &metrics_.timer(base + ".flash_ns");
+  t.gc = &metrics_.timer(base + ".gc_ns");
+  t.flash_reads = &metrics_.timer(base + ".flash_reads");
+  t.index_reads = &metrics_.timer(base + ".index_flash_reads");
+  return t;
+}
+
+bool KvssdDevice::obs_begin(obs::OpTrace& tr, obs::OpKind kind,
+                            SimTime exec_start, SimTime enqueue_ns) {
+  if (!cfg_.obs.metrics) return false;
+  tr.seq = op_seq_++;
+  tr.kind = kind;
+  tr.start_ns = exec_start;
+  tr.queue_ns = exec_start - enqueue_ns;
+  tr.nand_reads_at_start = nand_->stats().page_reads;
+  tr.index_reads_at_start = index_->op_stats().flash_reads;
+  active_trace_ = &tr;
+  return true;
+}
+
+void KvssdDevice::obs_finish(obs::OpTrace& tr, Status s,
+                             const StageTimers& timers) {
+  active_trace_ = nullptr;
+  tr.status = s;
+  tr.total_ns = clock_.now() - tr.start_ns;
+  tr.flash_reads = nand_->stats().page_reads - tr.nand_reads_at_start;
+  tr.index_flash_reads =
+      index_->op_stats().flash_reads - tr.index_reads_at_start;
+
+  timers.total->record(tr.total_ns);
+  timers.queue->record(tr.queue_ns);
+  timers.index->record(tr.stage(obs::Stage::kIndex));
+  timers.flash->record(tr.stage(obs::Stage::kFlash));
+  timers.gc->record(tr.stage(obs::Stage::kGc));
+  timers.flash_reads->record(tr.flash_reads);
+  timers.index_reads->record(tr.index_flash_reads);
+
+  if (cfg_.obs.trace_sample_every != 0 &&
+      tr.seq % cfg_.obs.trace_sample_every == 0) {
+    trace_ring_.push(tr);
+  }
+  if (dump_fn_ && cfg_.obs.dump_period_ns > 0 && clock_.now() >= next_dump_ns_) {
+    // Catch up past periods in one fire (ops can jump the sim clock).
+    const SimTime now = clock_.now();
+    while (next_dump_ns_ <= now) next_dump_ns_ += cfg_.obs.dump_period_ns;
+    dump_fn_(now, metrics_snapshot());
+  }
+}
+
+void KvssdDevice::set_metrics_dump(MetricsDumpFn fn) {
+  dump_fn_ = std::move(fn);
+  next_dump_ns_ = clock_.now() + cfg_.obs.dump_period_ns;
+}
+
+obs::MetricsSnapshot KvssdDevice::metrics_snapshot() const {
+  obs::MetricsSnapshot snap;
+  snap.captured_at_ns = clock_.now();
+  metrics_.snapshot_into(snap);
+  stats_.publish(snap);
+  nand_->stats().publish(snap);
+  gc_->stats().publish(snap);
+  store_->stats().publish(snap);
+  index_->op_stats().publish(snap);
+  index_->cache_stats().publish(snap);
+  if (const flash::FaultInjector* fi = nand_->fault_injector()) {
+    fi->stats().publish(snap);
+  }
+  if (recovered_) recovered_->publish(snap);
+
+  snap.add_counter("trace.recorded", trace_ring_.recorded());
+  snap.set_gauge("clock.now_ns", static_cast<std::int64_t>(clock_.now()),
+                 obs::MergeMode::kMax);
+  snap.set_gauge("clock.stall_ns",
+                 static_cast<std::int64_t>(clock_.total_stall()),
+                 obs::MergeMode::kMax);
+  snap.set_gauge("device.live_bytes", static_cast<std::int64_t>(live_bytes_));
+  snap.set_gauge("device.key_count", static_cast<std::int64_t>(index_->size()));
+  snap.set_gauge("index.size", static_cast<std::int64_t>(index_->size()));
+  snap.set_gauge("index.capacity", static_cast<std::int64_t>(index_->capacity()));
+  snap.set_gauge("index.dram_bytes",
+                 static_cast<std::int64_t>(index_->dram_bytes()));
+  return snap;
 }
 
 }  // namespace rhik::kvssd

@@ -32,6 +32,8 @@
 #include "kvssd/config.hpp"
 #include "kvssd/iterator.hpp"
 #include "kvssd/recovery.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rhik::kvssd {
 
@@ -68,6 +70,24 @@ struct DeviceStats {
     gc_invocations += o.gc_invocations;
     put_latency_ns.merge(o.put_latency_ns);
     get_latency_ns.merge(o.get_latency_ns);
+  }
+
+  /// Registers these counters into a metrics snapshot (`device.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("device.puts", puts);
+    snap.add_counter("device.gets", gets);
+    snap.add_counter("device.deletes", deletes);
+    snap.add_counter("device.exists", exists);
+    snap.add_counter("device.iterates", iterates);
+    snap.add_counter("device.bytes_put", bytes_put);
+    snap.add_counter("device.bytes_got", bytes_got);
+    snap.add_counter("device.not_found", not_found);
+    snap.add_counter("device.batches", batches);
+    snap.add_counter("device.collision_rejects", collision_rejects);
+    snap.add_counter("device.device_full", device_full);
+    snap.add_counter("device.gc_invocations", gc_invocations);
+    snap.add_timer("device.put_latency_ns", put_latency_ns);
+    snap.add_timer("device.get_latency_ns", get_latency_ns);
   }
 };
 
@@ -158,6 +178,27 @@ class KvssdDevice {
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  // -- Observability ---------------------------------------------------------------
+  /// One coherent snapshot across every layer of this device: the obs
+  /// registry (per-stage op timers, trace-ring counters) plus every
+  /// component's stats — device, NAND, GC, data log, index, index cache,
+  /// the fault injector when one is attached, the recovery scan when
+  /// this device was recovered — and the sim clock as max-merged gauges.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  /// The device's metric registry. Callers may register further metrics;
+  /// they ride along in metrics_snapshot().
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Recent sampled per-op traces (ObsConfig::trace_sample_every).
+  [[nodiscard]] const obs::TraceRing& trace_ring() const noexcept {
+    return trace_ring_;
+  }
+  /// Periodic sim-clock-driven exporter: with ObsConfig::dump_period_ns
+  /// > 0, `fn` receives a fresh snapshot every period of simulated time
+  /// (checked at op completion, so a dump may fire late, never early).
+  using MetricsDumpFn =
+      std::function<void(SimTime, const obs::MetricsSnapshot&)>;
+  void set_metrics_dump(MetricsDumpFn fn);
+
   /// Number of live KV pairs (== index size).
   [[nodiscard]] std::uint64_t key_count() const { return index_->size(); }
   [[nodiscard]] std::uint64_t capacity_bytes() const {
@@ -184,6 +225,7 @@ class KvssdDevice {
     Bytes value;
     Callback cb;
     GetCallback get_cb;
+    SimTime enqueue_ns = 0;  ///< submission time (trace queue-wait span)
   };
 
   Status put_locked(ByteSpan key, ByteSpan value);
@@ -198,6 +240,32 @@ class KvssdDevice {
   /// when nothing could be reclaimed.
   Status maybe_gc();
 
+  // -- Observability internals ------------------------------------------------
+  /// Pre-resolved registry timers for one op kind (lookup once, record
+  /// per op without touching the registry mutex).
+  struct StageTimers {
+    obs::Timer* total = nullptr;
+    obs::Timer* queue = nullptr;
+    obs::Timer* index = nullptr;
+    obs::Timer* flash = nullptr;
+    obs::Timer* gc = nullptr;
+    obs::Timer* flash_reads = nullptr;
+    obs::Timer* index_reads = nullptr;
+  };
+  StageTimers make_stage_timers(const char* op);
+  /// Arms `tr` as the active trace (captures read-amp baselines).
+  /// Returns false — and arms nothing — when obs metrics are off.
+  bool obs_begin(obs::OpTrace& tr, obs::OpKind kind, SimTime exec_start,
+                 SimTime enqueue_ns);
+  /// Completes the active trace: records the stage timers, samples the
+  /// ring, and fires the periodic dump hook when due.
+  void obs_finish(obs::OpTrace& tr, Status s, const StageTimers& timers);
+  const StageTimers& timers_for(OpType t) const noexcept {
+    return t == OpType::kPut ? put_timers_
+           : t == OpType::kGet ? get_timers_
+                               : del_timers_;
+  }
+
   DeviceConfig cfg_;
   SimClock clock_;
   std::unique_ptr<flash::NandDevice> nand_;
@@ -210,6 +278,15 @@ class KvssdDevice {
   std::unique_ptr<IteratorManager> iter_mgr_;
   std::uint64_t live_bytes_ = 0;
   DeviceStats stats_;
+
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_ring_;
+  StageTimers put_timers_, get_timers_, del_timers_;
+  obs::OpTrace* active_trace_ = nullptr;  ///< stage scopes write here
+  std::uint64_t op_seq_ = 0;
+  MetricsDumpFn dump_fn_;
+  SimTime next_dump_ns_ = 0;
+  std::optional<RecoveryStats> recovered_;  ///< set by recover()
 };
 
 }  // namespace rhik::kvssd

@@ -68,6 +68,23 @@ struct RecoveryStats {
 
   /// Accumulates another shard's stats (max_seq takes the max).
   void merge_from(const RecoveryStats& other) noexcept;
+
+  /// Registers these counters into a metrics snapshot (`recovery.*`).
+  void publish(obs::MetricsSnapshot& snap) const {
+    snap.add_counter("recovery.blocks_adopted", blocks_adopted);
+    snap.add_counter("recovery.data_pages_scanned", data_pages_scanned);
+    snap.add_counter("recovery.pairs_seen", pairs_seen);
+    snap.add_counter("recovery.tombstones_seen", tombstones_seen);
+    snap.add_counter("recovery.keys_recovered", keys_recovered);
+    snap.add_counter("recovery.torn_pages_dropped", torn_pages_dropped);
+    snap.add_counter("recovery.incomplete_extents_dropped",
+                     incomplete_extents_dropped);
+    snap.add_counter("recovery.wear_blocks_restored", wear_blocks_restored);
+    snap.add_counter("recovery.dead_blocks_reclaimed", dead_blocks_reclaimed);
+    snap.add_counter("recovery.live_bytes", live_bytes);
+    snap.set_gauge("recovery.max_seq", static_cast<std::int64_t>(max_seq),
+                   obs::MergeMode::kMax);
+  }
 };
 
 /// Scans the adopted NAND and reconstructs allocator, store sequence and

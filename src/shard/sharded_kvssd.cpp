@@ -53,6 +53,12 @@ ShardedKvssd::ShardedKvssd(
     ShardedConfig cfg, std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices)
     : cfg_(std::move(cfg)) {
   cfg_.num_shards = static_cast<std::uint32_t>(devices.size());
+  fe_puts_ = &front_metrics_.counter("frontend.puts");
+  fe_gets_ = &front_metrics_.counter("frontend.gets");
+  fe_dels_ = &front_metrics_.counter("frontend.dels");
+  fe_exists_ = &front_metrics_.counter("frontend.exists");
+  fe_batch_ops_ = &front_metrics_.counter("frontend.batch_ops");
+  fe_barriers_ = &front_metrics_.counter("frontend.barriers");
   shards_.reserve(devices.size());
   for (auto& dev : devices) {
     auto s = std::make_unique<Shard>();
@@ -173,6 +179,12 @@ void ShardedKvssd::worker_loop(Shard& s) {
           if (op.done) op.done();
           break;
         }
+        case ShardOp::Kind::kMetrics: {
+          s.completed += s.dev->drain();
+          op.snap_out->metrics = s.dev->metrics_snapshot();
+          if (op.done) op.done();
+          break;
+        }
         case ShardOp::Kind::kBarrier:
           s.completed += s.dev->drain();
           if (op.done) op.done();
@@ -216,6 +228,7 @@ kvssd::KvssdDevice& ShardedKvssd::shard_device(std::uint32_t shard) {
 // -- Synchronous verbs ---------------------------------------------------------
 
 Status ShardedKvssd::put(ByteSpan key, ByteSpan value) {
+  fe_puts_->inc();
   Gate gate;
   Status st = Status::kIoError;
   ShardOp op;
@@ -232,6 +245,7 @@ Status ShardedKvssd::put(ByteSpan key, ByteSpan value) {
 }
 
 Status ShardedKvssd::get(ByteSpan key, Bytes* value_out) {
+  fe_gets_->inc();
   Gate gate;
   Status st = Status::kIoError;
   ShardOp op;
@@ -248,6 +262,7 @@ Status ShardedKvssd::get(ByteSpan key, Bytes* value_out) {
 }
 
 Status ShardedKvssd::del(ByteSpan key) {
+  fe_dels_->inc();
   Gate gate;
   Status st = Status::kIoError;
   ShardOp op;
@@ -263,6 +278,7 @@ Status ShardedKvssd::del(ByteSpan key) {
 }
 
 Status ShardedKvssd::exist(ByteSpan key) {
+  fe_exists_->inc();
   Gate gate;
   Status st = Status::kIoError;
   ShardOp op;
@@ -278,6 +294,7 @@ Status ShardedKvssd::exist(ByteSpan key) {
 }
 
 Status ShardedKvssd::execute_batch(std::vector<BatchOp>& ops) {
+  fe_batch_ops_->inc(ops.size());
   // Partition by shard, keeping relative order within each shard (the
   // only order a compound command defines between ops on the same key).
   std::vector<std::vector<BatchOp>> sub(shards_.size());
@@ -318,6 +335,7 @@ Status ShardedKvssd::execute_batch(std::vector<BatchOp>& ops) {
 // -- Asynchronous submission ---------------------------------------------------
 
 void ShardedKvssd::submit_put(Bytes key, Bytes value, Callback cb) {
+  fe_puts_->inc();
   const std::uint32_t sh = shard_of(key);
   ShardOp op;
   op.kind = ShardOp::Kind::kPut;
@@ -328,6 +346,7 @@ void ShardedKvssd::submit_put(Bytes key, Bytes value, Callback cb) {
 }
 
 void ShardedKvssd::submit_get(Bytes key, GetCallback cb) {
+  fe_gets_->inc();
   const std::uint32_t sh = shard_of(key);
   ShardOp op;
   op.kind = ShardOp::Kind::kGet;
@@ -337,6 +356,7 @@ void ShardedKvssd::submit_get(Bytes key, GetCallback cb) {
 }
 
 void ShardedKvssd::submit_get(Bytes key, Callback cb) {
+  fe_gets_->inc();
   const std::uint32_t sh = shard_of(key);
   ShardOp op;
   op.kind = ShardOp::Kind::kGet;
@@ -346,6 +366,7 @@ void ShardedKvssd::submit_get(Bytes key, Callback cb) {
 }
 
 void ShardedKvssd::submit_del(Bytes key, Callback cb) {
+  fe_dels_->inc();
   const std::uint32_t sh = shard_of(key);
   ShardOp op;
   op.kind = ShardOp::Kind::kDel;
@@ -358,6 +379,7 @@ void ShardedKvssd::submit_del(Bytes key, Callback cb) {
 
 void ShardedKvssd::control_all(ShardOp::Kind kind,
                                std::vector<Snapshot>* snaps) {
+  fe_barriers_->inc();
   Gate gate;
   std::atomic<std::uint32_t> remaining{
       static_cast<std::uint32_t>(shards_.size())};
@@ -439,6 +461,26 @@ std::uint64_t ShardedKvssd::key_count() {
   std::uint64_t n = 0;
   for (const Snapshot& s : snaps) n += s.keys;
   return n;
+}
+
+std::vector<obs::MetricsSnapshot> ShardedKvssd::shard_metrics_snapshots() {
+  std::vector<Snapshot> snaps;
+  control_all(ShardOp::Kind::kMetrics, &snaps);
+  std::vector<obs::MetricsSnapshot> out;
+  out.reserve(snaps.size());
+  for (Snapshot& s : snaps) out.push_back(std::move(s.metrics));
+  return out;
+}
+
+obs::MetricsSnapshot ShardedKvssd::metrics_snapshot() {
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsSnapshot& s : shard_metrics_snapshots()) {
+    merged.merge_from(s);
+  }
+  front_metrics_.snapshot_into(merged);
+  merged.set_gauge("frontend.shards",
+                   static_cast<std::int64_t>(shards_.size()));
+  return merged;
 }
 
 }  // namespace rhik::shard

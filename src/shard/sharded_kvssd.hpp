@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "kvssd/device.hpp"
+#include "obs/metrics.hpp"
 #include "shard/submission_ring.hpp"
 
 namespace rhik::shard {
@@ -102,6 +103,18 @@ class ShardedKvssd {
   /// Live KV pairs across all shards.
   std::uint64_t key_count();
 
+  /// One coherent metrics view of the whole array: a cross-shard barrier
+  /// captures every shard's KvssdDevice::metrics_snapshot() on its own
+  /// worker (so nothing is dropped or double-counted under concurrent
+  /// drains), merges them (counters/timers summed, clock gauges maxed),
+  /// and overlays the front-end's own `frontend.*` metrics (submission
+  /// counts, barrier counts, shard count).
+  obs::MetricsSnapshot metrics_snapshot();
+  /// The per-shard snapshots behind metrics_snapshot(), in shard order
+  /// (same barrier semantics). The merged view equals merging these and
+  /// adding the front-end overlay — tests assert exactly that.
+  std::vector<obs::MetricsSnapshot> shard_metrics_snapshots();
+
   [[nodiscard]] std::uint32_t num_shards() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
   }
@@ -126,6 +139,7 @@ class ShardedKvssd {
     SimTime now = 0;
     SimTime stall = 0;
     std::uint64_t keys = 0;
+    obs::MetricsSnapshot metrics;  ///< filled by kMetrics only
   };
 
   struct ShardOp {
@@ -137,6 +151,7 @@ class ShardedKvssd {
       kBatch,
       kFlush,
       kSnapshot,
+      kMetrics,
       kBarrier,
     };
     Kind kind = Kind::kBarrier;
@@ -165,6 +180,17 @@ class ShardedKvssd {
 
   ShardedConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Front-end-side metrics (`frontend.*`): striped counters, so the
+  /// many producer threads and the caller of the sync verbs never
+  /// contend. Overlaid onto the merged shard view by metrics_snapshot().
+  obs::MetricsRegistry front_metrics_;
+  obs::Counter* fe_puts_ = nullptr;    ///< frontend.puts (sync + async)
+  obs::Counter* fe_gets_ = nullptr;    ///< frontend.gets
+  obs::Counter* fe_dels_ = nullptr;    ///< frontend.dels
+  obs::Counter* fe_exists_ = nullptr;  ///< frontend.exists
+  obs::Counter* fe_batch_ops_ = nullptr;  ///< frontend.batch_ops
+  obs::Counter* fe_barriers_ = nullptr;   ///< frontend.barriers
 };
 
 }  // namespace rhik::shard

@@ -2,7 +2,9 @@
 // RNG/zipfian, and byte encoding helpers.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "common/histogram.hpp"
@@ -232,6 +234,88 @@ TEST(Bytes, SizeLiterals) {
   EXPECT_EQ(4_KiB, 4096u);
   EXPECT_EQ(1_MiB, 1048576u);
   EXPECT_EQ(2_GiB, 2147483648ull);
+}
+
+// -- Histogram bucket accessors and JSON export (obs exporter contract) --------
+
+TEST(HistogramBuckets, ExactEdgeBuckets) {
+  // Values 0..127 map to their own exact buckets.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(127), 127u);
+  EXPECT_EQ(Histogram::bucket_lower(127), 127u);
+  EXPECT_EQ(Histogram::bucket_upper(127), 127u);
+  // 128 is the first log2-range sub-bucket: no longer exact, but the
+  // bucket bounds must still bracket the value.
+  const std::size_t b128 = Histogram::bucket_index(128);
+  EXPECT_GE(b128, 128u);
+  EXPECT_LE(Histogram::bucket_lower(b128), 128u);
+  EXPECT_GE(Histogram::bucket_upper(b128), 128u);
+}
+
+TEST(HistogramBuckets, TopRangeCoversUint64Max) {
+  const std::size_t last = Histogram::bucket_count() - 1;
+  const std::size_t top = Histogram::bucket_index(UINT64_MAX);
+  EXPECT_LE(top, last);
+  EXPECT_LE(Histogram::bucket_lower(top), UINT64_MAX);
+  EXPECT_EQ(Histogram::bucket_upper(last), UINT64_MAX);
+  // Bounds tile the whole domain: each bucket starts one past the
+  // previous bucket's upper bound.
+  for (std::size_t b = 1; b < Histogram::bucket_count(); ++b) {
+    EXPECT_EQ(Histogram::bucket_lower(b), Histogram::bucket_upper(b - 1) + 1)
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramBuckets, FromBucketsRoundTrip) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 128; ++v) h.record(v);
+  h.record(1'000'000);
+  h.record(UINT64_MAX);
+
+  std::array<std::uint64_t, Histogram::bucket_count()> counts{};
+  for (std::size_t b = 0; b < Histogram::bucket_count(); ++b) {
+    counts[b] = h.bucket_value(b);
+  }
+  const Histogram r = Histogram::from_buckets(counts.data(), counts.size(),
+                                              h.sum(), h.min(), h.max());
+  EXPECT_EQ(r.count(), h.count());
+  EXPECT_EQ(r.min(), h.min());
+  EXPECT_EQ(r.max(), h.max());
+  EXPECT_DOUBLE_EQ(r.percentile(50), h.percentile(50));
+  EXPECT_DOUBLE_EQ(r.percentile(99), h.percentile(99));
+}
+
+TEST(HistogramBuckets, FromBucketsEmpty) {
+  std::array<std::uint64_t, Histogram::bucket_count()> counts{};
+  const Histogram r =
+      Histogram::from_buckets(counts.data(), counts.size(), 0, UINT64_MAX, 0);
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.min(), 0u);
+  EXPECT_EQ(r.max(), 0u);
+}
+
+TEST(HistogramJson, ContainsSummaryAndBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(127);
+  h.record(5000);
+  const std::string json = h.to_json();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Exact buckets export as [lo,hi,count] with lo == hi.
+  EXPECT_NE(json.find("[0,0,1]"), std::string::npos);
+  EXPECT_NE(json.find("[127,127,1]"), std::string::npos);
+}
+
+TEST(HistogramJson, EmptyHistogram) {
+  const std::string json = Histogram().to_json();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "shard/sharded_kvssd.hpp"
@@ -156,6 +157,119 @@ TEST(Sharded, StatsAggregationMergesCountersAndHistograms) {
     max_clock = std::max(max_clock, arr.shard_device(s).clock().now());
   }
   EXPECT_EQ(arr.sim_time(), max_clock);
+}
+
+TEST(Sharded, MetricsSnapshotEqualsMergeOfPerShardSnapshots) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kPuts = 150;
+  constexpr int kGets = 100;
+  for (int i = 0; i < kPuts; ++i) {
+    ASSERT_EQ(arr.put(workload::key_for_id(i, 16), key("value")), Status::kOk);
+  }
+  Bytes v;
+  for (int i = 0; i < kGets; ++i) {
+    ASSERT_EQ(arr.get(workload::key_for_id(i, 16), &v), Status::kOk);
+  }
+  arr.drain();  // quiesce: both barriers below must see identical state
+
+  const obs::MetricsSnapshot merged = arr.metrics_snapshot();
+  obs::MetricsSnapshot manual;
+  const auto per_shard = arr.shard_metrics_snapshots();
+  ASSERT_EQ(per_shard.size(), 4u);
+  for (const obs::MetricsSnapshot& s : per_shard) manual.merge_from(s);
+
+  // The merged view is exactly the merge of the per-shard snapshots plus
+  // the front-end's own frontend.* overlay — nothing dropped, nothing
+  // double-counted.
+  EXPECT_EQ(merged.captured_at_ns, manual.captured_at_ns);
+  for (const auto& [name, value] : manual.counters) {
+    EXPECT_EQ(merged.counter(name), value) << name;
+  }
+  for (const auto& [name, gv] : manual.gauges) {
+    EXPECT_EQ(merged.gauge(name), gv.value) << name;
+  }
+  for (const auto& [name, h] : manual.timers) {
+    const Histogram* mh = merged.timer(name);
+    ASSERT_NE(mh, nullptr) << name;
+    EXPECT_EQ(mh->count(), h.count()) << name;
+    EXPECT_EQ(mh->max(), h.max()) << name;
+    EXPECT_DOUBLE_EQ(mh->percentile(99), h.percentile(99)) << name;
+  }
+  // Everything the merged view adds on top is front-end-scoped.
+  for (const auto& [name, value] : merged.counters) {
+    if (manual.counters.count(name) == 0) {
+      EXPECT_EQ(name.rfind("frontend.", 0), 0u) << name;
+      (void)value;
+    }
+  }
+
+  // Whole-array totals line up with the workload and the front-end's own
+  // accounting (sync verbs counted once each).
+  EXPECT_EQ(merged.counter("device.puts"), static_cast<std::uint64_t>(kPuts));
+  EXPECT_EQ(merged.counter("device.gets"), static_cast<std::uint64_t>(kGets));
+  EXPECT_EQ(merged.counter("frontend.puts"), static_cast<std::uint64_t>(kPuts));
+  EXPECT_EQ(merged.counter("frontend.gets"), static_cast<std::uint64_t>(kGets));
+  EXPECT_EQ(merged.gauge("frontend.shards"), 4);
+  EXPECT_EQ(merged.timer("op.put.total_ns")->count(),
+            static_cast<std::uint64_t>(kPuts));
+  EXPECT_EQ(merged.timer("op.get.total_ns")->count(),
+            static_cast<std::uint64_t>(kGets));
+
+  // Acceptance: the JSON export of a sharded run carries per-stage
+  // percentiles and flash reads per op for get and put.
+  const std::string json = merged.to_json();
+  for (const char* name :
+       {"op.get.total_ns", "op.get.index_ns", "op.get.flash_ns",
+        "op.get.flash_reads", "op.put.total_ns", "op.put.flash_reads"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  auto parsed = obs::MetricsSnapshot::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counter("device.puts"), merged.counter("device.puts"));
+}
+
+TEST(Sharded, MetricsStableUnderConcurrentDrains) {
+  ShardedKvssd arr(make_config(4));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+
+  // Producers submit while other threads hammer drain() and
+  // metrics_snapshot() barriers concurrently: the metrics path must not
+  // drop or double-count ops.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drainers;
+  drainers.reserve(2);
+  for (int d = 0; d < 2; ++d) {
+    drainers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        arr.drain();
+        (void)arr.metrics_snapshot();
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        arr.submit_put(workload::key_for_id(p * kPerProducer + i, 16),
+                       owned("value"));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : drainers) t.join();
+  arr.drain();
+
+  const obs::MetricsSnapshot snap = arr.metrics_snapshot();
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(snap.counter("device.puts"), kTotal);
+  EXPECT_EQ(snap.counter("frontend.puts"), kTotal);
+  EXPECT_EQ(snap.timer("op.put.total_ns")->count(), kTotal);
+  EXPECT_EQ(arr.key_count(), kTotal);
 }
 
 TEST(Sharded, ExecuteBatchPartitionsAndWritesBack) {
