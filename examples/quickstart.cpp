@@ -46,15 +46,16 @@ int main() {
   std::printf("after remove, retrieve(post:9) = %s\n",
               rhik::api::to_string(dev.retrieve("post:9", &value)));
 
-  // Peek under the hood.
-  auto& raw = dev.device();
-  std::printf("\ndevice: %llu keys, %llu B live data, simulated time %.3f ms\n",
-              static_cast<unsigned long long>(raw.key_count()),
-              static_cast<unsigned long long>(raw.live_bytes()),
-              static_cast<double>(raw.clock().now()) / 1e6);
-  std::printf("index:  %llu records, occupancy %.1f%%, dir DRAM %llu B\n",
-              static_cast<unsigned long long>(raw.index().size()),
-              raw.index().occupancy() * 100.0,
-              static_cast<unsigned long long>(raw.index().dram_bytes()));
+  // Peek under the hood — the unified metrics view works the same
+  // whether the device was opened sharded or not.
+  const auto snap = dev.metrics_snapshot();
+  std::printf("\ndevice: %lld keys, %lld B live data, simulated time %.3f ms\n",
+              static_cast<long long>(snap.gauge("device.key_count")),
+              static_cast<long long>(snap.gauge("device.live_bytes")),
+              static_cast<double>(snap.gauge("clock.now_ns")) / 1e6);
+  std::printf("index:  %lld records, capacity %lld, dir DRAM %lld B\n",
+              static_cast<long long>(snap.gauge("index.size")),
+              static_cast<long long>(snap.gauge("index.capacity")),
+              static_cast<long long>(snap.gauge("index.dram_bytes")));
   return 0;
 }

@@ -1,0 +1,69 @@
+// The backend seam of the host-side KV API.
+//
+// `api::KvsDevice` fronts either a single emulated device
+// (`kvssd::KvssdDevice`) or the sharded multi-device array
+// (`shard::ShardedKvssd`). Both implement this narrow interface, so the
+// API layer issues every verb through one call path instead of branching
+// per backend. The interface is intentionally small: the SNIA-style verb
+// set, the async submission queue, and the durability / introspection
+// hooks the facade exposes. Anything richer (iterator handles, GC
+// internals, per-shard access) stays on the concrete classes.
+//
+// Header-only and dependency-light on purpose: the emulated device
+// implements it, so it must not pull API-layer or device-layer headers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace rhik::kvssd {
+struct DeviceStats;
+}
+
+namespace rhik::api {
+
+class IKvsBackend {
+ public:
+  using Callback = std::function<void(Status)>;
+  /// Value-carrying completion for asynchronous gets.
+  using GetCallback = std::function<void(Status, Bytes&&)>;
+
+  virtual ~IKvsBackend() = default;
+
+  // -- Synchronous verbs ----------------------------------------------------
+  virtual Status put(ByteSpan key, ByteSpan value) = 0;
+  virtual Status get(ByteSpan key, Bytes* value_out) = 0;
+  virtual Status del(ByteSpan key) = 0;
+  virtual Status exist(ByteSpan key) = 0;
+  /// Enumerates stored keys sharing `prefix` (prefix-signature devices
+  /// only; kUnsupported otherwise).
+  virtual Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
+                                std::size_t limit) = 0;
+
+  // -- Asynchronous submission ----------------------------------------------
+  virtual void submit_put(Bytes key, Bytes value, Callback cb) = 0;
+  virtual void submit_get(Bytes key, GetCallback cb) = 0;
+  virtual void submit_del(Bytes key, Callback cb) = 0;
+  /// Executes queued commands; returns how many completed.
+  virtual std::size_t drain() = 0;
+
+  // -- Durability -----------------------------------------------------------
+  virtual Status flush() = 0;
+  /// Synchronous index checkpoint (DESIGN.md §8); kUnsupported when
+  /// checkpointing is disabled.
+  virtual Status checkpoint() = 0;
+
+  // -- Introspection ---------------------------------------------------------
+  /// Whole-backend operation counters (shard-merged for an array).
+  virtual kvssd::DeviceStats stats_snapshot() = 0;
+  /// One coherent metrics view (shard-merged for an array; implies a
+  /// cross-shard barrier there).
+  virtual obs::MetricsSnapshot metrics_snapshot() = 0;
+};
+
+}  // namespace rhik::api

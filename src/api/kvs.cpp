@@ -1,6 +1,7 @@
 #include "api/kvs.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace rhik::api {
 
@@ -40,14 +41,19 @@ const char* to_string(KvsResult r) noexcept {
 }
 
 KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
-  const std::uint32_t shards = std::max<std::uint32_t>(1, opts.num_shards);
+  num_shards_ = std::max<std::uint32_t>(1, opts.num_shards);
+  iterator_enabled_ = opts.enable_iterator;
   kvssd::DeviceConfig cfg;
   // With num_shards > 1 each shard gets an even slice of the array's
   // capacity, DRAM budget and sizing hint.
-  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes / shards);
-  cfg.dram_cache_bytes = opts.dram_cache_bytes / shards;
+  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes / num_shards_);
+  cfg.dram_cache_bytes = opts.dram_cache_bytes / num_shards_;
   cfg.prefix_signatures = opts.enable_iterator;
-  const std::uint64_t keys_hint = opts.anticipated_keys / shards;
+  cfg.checkpoint.enabled = opts.enable_checkpoints;
+  cfg.checkpoint.dirty_pages = opts.checkpoint_dirty_pages;
+  cfg.checkpoint.slot_blocks = opts.checkpoint_slot_blocks;
+  cfg.checkpoint.journal_blocks = opts.checkpoint_journal_blocks;
+  const std::uint64_t keys_hint = opts.anticipated_keys / num_shards_;
   if (opts.use_rhik) {
     cfg.index_kind = kvssd::IndexKind::kRhik;
     cfg.rhik.anticipated_keys = keys_hint;
@@ -59,49 +65,154 @@ KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
                                                  cfg.geometry.page_size);
     }
   }
-  if (shards == 1) {
+  cfg_ = cfg;
+  if (num_shards_ == 1) {
     dev_ = std::make_unique<kvssd::KvssdDevice>(cfg);
+    backend_ = dev_.get();
   } else {
     shard::ShardedConfig sc;
     sc.device = cfg;
-    sc.num_shards = shards;
+    sc.num_shards = num_shards_;
     array_ = std::make_unique<shard::ShardedKvssd>(sc);
+    backend_ = array_.get();
   }
 }
 
+KvsDevice::~KvsDevice() = default;
+
 KvsResult KvsDevice::store(std::string_view key, ByteSpan value) {
-  const Status s = array_ ? array_->put(key_span(key), value)
-                          : dev_->put(key_span(key), value);
-  return from_status(s);
+  return from_status(backend_->put(key_span(key), value));
 }
 
 KvsResult KvsDevice::retrieve(std::string_view key, Bytes* value_out) {
-  const Status s = array_ ? array_->get(key_span(key), value_out)
-                          : dev_->get(key_span(key), value_out);
-  return from_status(s);
+  return from_status(backend_->get(key_span(key), value_out));
 }
 
 KvsResult KvsDevice::remove(std::string_view key) {
-  const Status s =
-      array_ ? array_->del(key_span(key)) : dev_->del(key_span(key));
-  return from_status(s);
+  return from_status(backend_->del(key_span(key)));
 }
 
 KvsResult KvsDevice::exist(std::string_view key) {
-  const Status s =
-      array_ ? array_->exist(key_span(key)) : dev_->exist(key_span(key));
-  return from_status(s);
+  return from_status(backend_->exist(key_span(key)));
 }
 
 KvsResult KvsDevice::iterate(std::string_view prefix,
                              std::vector<std::string>* keys_out) {
-  if (array_) return KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED;
+  // Opened without the iterator option: the request is invalid, not the
+  // device incapable — distinct result codes so callers can tell a
+  // missing open flag from a backend that cannot iterate at all.
+  if (!iterator_enabled_) return KvsResult::KVS_ERR_OPTION_INVALID;
   std::vector<Bytes> keys;
-  const Status s = dev_->iterate_prefix(key_span(prefix), &keys);
+  const Status s = backend_->iterate_prefix(key_span(prefix), &keys, SIZE_MAX);
   if (!ok(s)) return from_status(s);
   keys_out->clear();
   keys_out->reserve(keys.size());
   for (const auto& k : keys) keys_out->push_back(rhik::to_string(k));
+  return KvsResult::KVS_SUCCESS;
+}
+
+// -- Asynchronous verbs --------------------------------------------------------
+
+void KvsDevice::push_completion(KvsCompletion c) {
+  std::lock_guard lk(comp_mu_);
+  completions_.push_back(std::move(c));
+}
+
+std::uint64_t KvsDevice::store_async(std::string_view key, ByteSpan value) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  backend_->submit_put(
+      Bytes(key_span(key).begin(), key_span(key).end()),
+      Bytes(value.begin(), value.end()),
+      [this, id, k = std::string(key)](Status s) mutable {
+        push_completion(KvsCompletion{id, KvsCompletion::Op::kStore,
+                                      from_status(s), std::move(k), {}});
+      });
+  return id;
+}
+
+std::uint64_t KvsDevice::retrieve_async(std::string_view key) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  backend_->submit_get(
+      Bytes(key_span(key).begin(), key_span(key).end()),
+      [this, id, k = std::string(key)](Status s, Bytes&& v) mutable {
+        push_completion(KvsCompletion{id, KvsCompletion::Op::kRetrieve,
+                                      from_status(s), std::move(k),
+                                      std::move(v)});
+      });
+  return id;
+}
+
+std::uint64_t KvsDevice::remove_async(std::string_view key) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  backend_->submit_del(
+      Bytes(key_span(key).begin(), key_span(key).end()),
+      [this, id, k = std::string(key)](Status s) mutable {
+        push_completion(KvsCompletion{id, KvsCompletion::Op::kRemove,
+                                      from_status(s), std::move(k), {}});
+      });
+  return id;
+}
+
+std::size_t KvsDevice::poll_completions(std::vector<KvsCompletion>* out,
+                                        std::size_t max) {
+  bool empty;
+  {
+    std::lock_guard lk(comp_mu_);
+    empty = completions_.empty();
+  }
+  // Nothing finished yet: drive the backend queue (a cross-shard barrier
+  // on an array), so submit → poll always makes progress.
+  if (empty) backend_->drain();
+
+  std::lock_guard lk(comp_mu_);
+  std::size_t n = 0;
+  while (!completions_.empty() && n < max) {
+    if (out) out->push_back(std::move(completions_.front()));
+    completions_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+// -- Durability / maintenance --------------------------------------------------
+
+KvsResult KvsDevice::flush() { return from_status(backend_->flush()); }
+
+KvsResult KvsDevice::checkpoint() {
+  const Status s = backend_->checkpoint();
+  // Checkpointing disabled at open is a missing option, not an IO-level
+  // iterator error.
+  if (s == Status::kUnsupported) return KvsResult::KVS_ERR_OPTION_INVALID;
+  return from_status(s);
+}
+
+KvsResult KvsDevice::recover(kvssd::RecoveryStats* stats_out) {
+  // recover() replaces the backend object wholesale, so this is the one
+  // member that touches dev_/array_ directly rather than the seam.
+  {
+    std::lock_guard lk(comp_mu_);
+    completions_.clear();  // their callbacks died with the old backend
+  }
+  if (array_) {
+    shard::ShardedConfig sc;
+    sc.device = cfg_;
+    sc.num_shards = num_shards_;
+    auto nands = array_->release_nands();
+    array_.reset();
+    backend_ = nullptr;
+    auto rebuilt = shard::ShardedKvssd::recover(sc, std::move(nands), stats_out);
+    if (!rebuilt) return from_status(rebuilt.status());
+    array_ = std::move(*rebuilt);
+    backend_ = array_.get();
+  } else {
+    auto nand = dev_->release_nand();
+    dev_.reset();
+    backend_ = nullptr;
+    auto rebuilt = kvssd::KvssdDevice::recover(cfg_, std::move(nand), stats_out);
+    if (!rebuilt) return from_status(rebuilt.status());
+    dev_ = std::move(*rebuilt);
+    backend_ = dev_.get();
+  }
   return KvsResult::KVS_SUCCESS;
 }
 

@@ -2,14 +2,23 @@
 // (paper §II-A): the library applications link against. It wraps the
 // emulated device behind SNIA-flavoured result codes and string keys,
 // which is what the examples/ programs use.
+//
+// Internally every verb goes through one `IKvsBackend` call path
+// (backend.hpp), whether the device was opened as a single emulated
+// KVSSD or as a sharded multi-device array — the facade itself never
+// branches per backend.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "api/backend.hpp"
 #include "kvssd/device.hpp"
 #include "shard/sharded_kvssd.hpp"
 
@@ -44,14 +53,35 @@ struct KvsDeviceOptions {
   /// partitioned across this many emulated devices, each with its own
   /// worker thread; capacity_bytes and dram_cache_bytes are split
   /// evenly. 1 (default) keeps today's single, thread-free device.
-  /// Prefix iteration is not yet supported across shards.
   std::uint32_t num_shards = 1;
+
+  /// Index checkpointing + delta journaling (DESIGN.md §8): restart
+  /// replays only the delta journal instead of scanning the whole
+  /// device. Costs a small reserved flash tail per device/shard.
+  bool enable_checkpoints = false;
+  /// Pages written since the last checkpoint before a new one starts.
+  std::uint32_t checkpoint_dirty_pages = 4096;
+  /// Blocks per checkpoint slot (two slots are reserved).
+  std::uint32_t checkpoint_slot_blocks = 1;
+  /// Blocks in the delta-journal ring.
+  std::uint32_t checkpoint_journal_blocks = 2;
+};
+
+/// One finished asynchronous command, as returned by poll_completions().
+struct KvsCompletion {
+  enum class Op : std::uint8_t { kStore, kRetrieve, kRemove };
+  std::uint64_t id = 0;  ///< the submission id the *_async call returned
+  Op op = Op::kStore;
+  KvsResult result = KvsResult::KVS_SUCCESS;
+  std::string key;
+  Bytes value;  ///< retrieve only; empty unless result == KVS_SUCCESS
 };
 
 /// An open KVSSD with the SNIA-style verb set.
 class KvsDevice {
  public:
   explicit KvsDevice(const KvsDeviceOptions& opts);
+  ~KvsDevice();
 
   KvsResult store(std::string_view key, ByteSpan value);
   KvsResult store(std::string_view key, std::string_view value) {
@@ -60,29 +90,85 @@ class KvsDevice {
   KvsResult retrieve(std::string_view key, Bytes* value_out);
   KvsResult remove(std::string_view key);
   KvsResult exist(std::string_view key);
-  /// Enumerates stored keys with the given prefix (needs enable_iterator).
+  /// Enumerates stored keys with the given prefix, sharded or not.
+  /// KVS_ERR_OPTION_INVALID when the device was opened without
+  /// enable_iterator (the capability exists but was not requested);
+  /// KVS_ERR_ITERATOR_NOT_SUPPORTED only when the backend genuinely
+  /// cannot iterate.
   KvsResult iterate(std::string_view prefix, std::vector<std::string>* keys_out);
+
+  // -- Asynchronous verbs (SNIA-style submit + poll) --------------------------
+  /// Queue a store/retrieve/remove; returns the submission id echoed in
+  /// the matching KvsCompletion. Completions surface via
+  /// poll_completions(), never from the *_async call itself.
+  std::uint64_t store_async(std::string_view key, ByteSpan value);
+  std::uint64_t store_async(std::string_view key, std::string_view value) {
+    return store_async(key, as_bytes(std::string(value)));
+  }
+  std::uint64_t retrieve_async(std::string_view key);
+  std::uint64_t remove_async(std::string_view key);
+  /// Harvests up to `max` finished commands into `out` (appended);
+  /// returns how many were harvested. When nothing has finished yet the
+  /// backend's queue is driven first, so a submit → poll loop always
+  /// makes progress.
+  std::size_t poll_completions(std::vector<KvsCompletion>* out,
+                               std::size_t max = SIZE_MAX);
+
+  // -- Durability / maintenance -----------------------------------------------
+  /// Persists buffered data, index state and journal records.
+  KvsResult flush();
+  /// Synchronous index checkpoint (DESIGN.md §8). KVS_ERR_OPTION_INVALID
+  /// when the device was opened without enable_checkpoints.
+  KvsResult checkpoint();
+  /// Simulated power cycle + restart: tears the device (or every shard)
+  /// down abruptly, then rebuilds it from flash — the checkpoint fast
+  /// path when one is durable, the full-device scan otherwise. Fills
+  /// `stats_out` (merged across shards) when non-null.
+  KvsResult recover(kvssd::RecoveryStats* stats_out = nullptr);
 
   /// True when opened with num_shards > 1.
   [[nodiscard]] bool sharded() const noexcept { return array_ != nullptr; }
-  /// Access to the underlying emulated device for stats/advanced use.
-  /// Only valid for a non-sharded device (num_shards == 1).
-  [[nodiscard]] kvssd::KvssdDevice& device() noexcept { return *dev_; }
-  /// Access to the shard array (only valid when sharded()).
-  [[nodiscard]] shard::ShardedKvssd& shard_array() noexcept { return *array_; }
 
+  // -- Introspection (single call path, sharded or not) ------------------------
+  /// Whole-device operation counters (shard-merged for an array).
+  [[nodiscard]] kvssd::DeviceStats stats_snapshot() {
+    return backend_->stats_snapshot();
+  }
   /// Unified metrics view, sharded or not: the single device's snapshot,
   /// or the shard-merged array snapshot (implies a cross-shard barrier).
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() {
-    return array_ ? array_->metrics_snapshot() : dev_->metrics_snapshot();
+    return backend_->metrics_snapshot();
   }
+  /// The backend seam itself, for advanced callers that want the raw
+  /// verb set without the string-key / KvsResult dressing.
+  [[nodiscard]] IKvsBackend& backend() noexcept { return *backend_; }
+
+  /// Access to the underlying emulated device. Only valid for a
+  /// non-sharded device (num_shards == 1).
+  [[deprecated("use backend()/stats_snapshot()/metrics_snapshot()")]]
+  [[nodiscard]] kvssd::KvssdDevice& device() noexcept { return *dev_; }
+  /// Access to the shard array (only valid when sharded()).
+  [[deprecated("use backend()/stats_snapshot()/metrics_snapshot()")]]
+  [[nodiscard]] shard::ShardedKvssd& shard_array() noexcept { return *array_; }
 
  private:
   static ByteSpan key_span(std::string_view key) noexcept {
     return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};
   }
+  void push_completion(KvsCompletion c);
+
+  kvssd::DeviceConfig cfg_;      ///< per-device (= per-shard) config
+  std::uint32_t num_shards_ = 1;
+  bool iterator_enabled_ = false;
   std::unique_ptr<kvssd::KvssdDevice> dev_;
   std::unique_ptr<shard::ShardedKvssd> array_;
+  IKvsBackend* backend_ = nullptr;  ///< == dev_ or array_
+
+  /// Async completion queue. Sharded backends run callbacks on worker
+  /// threads, so the queue is locked; ids are handed out lock-free.
+  std::mutex comp_mu_;
+  std::deque<KvsCompletion> completions_;
+  std::atomic<std::uint64_t> next_id_{1};
 };
 
 }  // namespace rhik::api

@@ -34,6 +34,8 @@ enum class PageKind : std::uint8_t {
   kDataCont = 0x02,    ///< continuation page of a multi-page extent
   kIndexRecord = 0x11, ///< serialized record-layer hash table
   kIndexDir = 0x12,    ///< persisted directory checkpoint
+  kCkptSuper = 0x21,   ///< checkpoint superblock (slot commit record)
+  kCkptJournal = 0x22, ///< index-delta journal page
 };
 
 /// Spare-area encoding: [kind u8][stream u8]. The remaining spare bytes

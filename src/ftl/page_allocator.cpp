@@ -7,13 +7,20 @@ namespace rhik::ftl {
 
 using flash::Ppa;
 
-PageAllocator::PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks)
+PageAllocator::PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks,
+                             std::uint32_t reserved_tail_blocks)
     : nand_(nand),
       gc_reserve_(gc_reserve_blocks),
+      reserved_tail_(reserved_tail_blocks),
       blocks_(nand->geometry().num_blocks) {
   assert(nand_ != nullptr);
-  assert(gc_reserve_ < nand_->geometry().num_blocks);
-  for (std::uint32_t b = 0; b < nand_->geometry().num_blocks; ++b) free_.push_back(b);
+  assert(gc_reserve_ + reserved_tail_ < nand_->geometry().num_blocks);
+  const std::uint32_t first_reserved =
+      nand_->geometry().num_blocks - reserved_tail_;
+  for (std::uint32_t b = 0; b < first_reserved; ++b) free_.push_back(b);
+  for (std::uint32_t b = first_reserved; b < nand_->geometry().num_blocks; ++b) {
+    blocks_[b].state = BlockState::kReserved;
+  }
 }
 
 Result<std::uint32_t> PageAllocator::open_block(Stream stream, bool for_gc) {
@@ -93,6 +100,7 @@ std::optional<std::uint32_t> PageAllocator::pick_victim() const {
 Status PageAllocator::reclaim_block(std::uint32_t block) {
   if (block >= blocks_.size()) return Status::kInvalidArgument;
   if (blocks_[block].state != BlockState::kSealed) return Status::kInvalidArgument;
+  if (pre_erase_hook_) pre_erase_hook_(block);
   if (Status s = nand_->erase_block(block); !ok(s)) return s;
   blocks_[block] = {};
   free_.push_back(block);

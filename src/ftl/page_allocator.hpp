@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -22,7 +23,11 @@ class PageAllocator {
  public:
   /// `gc_reserve_blocks` blocks are withheld from normal allocation so
   /// the garbage collector can always relocate live data.
-  PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks = 4);
+  /// `reserved_tail_blocks` blocks at the *end* of the device are carved
+  /// out entirely (checkpoint slots + journal ring); they never enter the
+  /// free pool and are managed by their owner directly against the NAND.
+  PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_blocks = 4,
+                std::uint32_t reserved_tail_blocks = 0);
 
   PageAllocator(const PageAllocator&) = delete;
   PageAllocator& operator=(const PageAllocator&) = delete;
@@ -85,8 +90,25 @@ class PageAllocator {
   /// Upper bound on bytes still allocatable without reclaiming anything.
   [[nodiscard]] std::uint64_t free_bytes_estimate() const noexcept;
 
+  /// First block of the reserved tail region; equals num_blocks when no
+  /// tail is reserved. Recovery scans stop here.
+  [[nodiscard]] std::uint32_t first_reserved_block() const noexcept {
+    return static_cast<std::uint32_t>(blocks_.size()) - reserved_tail_;
+  }
+  [[nodiscard]] std::uint32_t reserved_tail_blocks() const noexcept {
+    return reserved_tail_;
+  }
+
+  /// Invoked with the block id right before any erase issued through
+  /// reclaim_block(). The checkpoint journal uses this to flush buffered
+  /// delta records: a replayed mapping must never point into a block that
+  /// was erased after the record was produced but before it was durable.
+  void set_pre_erase_hook(std::function<void(std::uint32_t)> hook) {
+    pre_erase_hook_ = std::move(hook);
+  }
+
  private:
-  enum class BlockState : std::uint8_t { kFree, kActive, kSealed };
+  enum class BlockState : std::uint8_t { kFree, kActive, kSealed, kReserved };
 
   struct BlockInfo {
     BlockState state = BlockState::kFree;
@@ -101,8 +123,10 @@ class PageAllocator {
 
   flash::NandDevice* nand_;
   std::uint32_t gc_reserve_;
+  std::uint32_t reserved_tail_ = 0;
   std::vector<BlockInfo> blocks_;
   std::deque<std::uint32_t> free_;
+  std::function<void(std::uint32_t)> pre_erase_hook_;
   /// Active block per stream; kNoBlock until first allocation.
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
   std::uint32_t active_[kNumStreams] = {kNoBlock, kNoBlock};

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "cache/lru_cache.hpp"
+#include "common/bytes.hpp"
 #include "common/histogram.hpp"
 #include "common/status.hpp"
 #include "flash/address.hpp"
@@ -58,6 +59,25 @@ struct ResizeEvent {
   std::uint64_t keys_before = 0;       ///< records migrated
   std::uint64_t capacity_before = 0;   ///< record capacity before doubling
   std::uint64_t duration_ns = 0;       ///< submission-queue stall time
+};
+
+/// Sink for index-delta records emitted on the write path (checkpoint
+/// journaling, DESIGN.md §8). The index reports every durable mapping
+/// change so that `checkpoint image + journal tail` reconstructs its
+/// state without a device scan:
+///  - journal_put / journal_erase: a signature's mapping changed;
+///  - journal_repoint: a metadata-page slot moved to a new PPA (record
+///    table write-back, GC relocation), keyed by the index's own slot id;
+///  - journal_barrier: a structural change began (directory resize) that
+///    blind replay cannot express — replay past a barrier falls back to
+///    the full scan.
+class IndexJournal {
+ public:
+  virtual ~IndexJournal() = default;
+  virtual void journal_put(std::uint64_t sig, flash::Ppa ppa) = 0;
+  virtual void journal_erase(std::uint64_t sig) = 0;
+  virtual void journal_repoint(std::uint64_t slot_key, flash::Ppa ppa) = 0;
+  virtual void journal_barrier() = 0;
 };
 
 class IIndex : public ftl::GcIndexHooks {
@@ -113,6 +133,47 @@ class IIndex : public ftl::GcIndexHooks {
 
   /// Statistics of the scheme's DRAM page cache (the paper's "FTL cache").
   [[nodiscard]] virtual const cache::CacheStats& cache_stats() const = 0;
+
+  // -- Checkpointing hooks (DESIGN.md §8) ----------------------------------
+  /// Installs (or clears, with nullptr) the delta-record sink. Schemes
+  /// that support checkpointing report every durable mapping change.
+  virtual void set_journal(IndexJournal* journal) { (void)journal; }
+
+  /// Serializes the scheme's DRAM-resident state (directories, metadata
+  /// page PPAs) into `out`. Empty result = not supported.
+  virtual Status serialize_image(Bytes& out) {
+    (void)out;
+    return Status::kUnsupported;
+  }
+
+  /// Restores state produced by serialize_image(). The caller owns
+  /// allocator liveness accounting; this only rebuilds DRAM structures.
+  virtual Status load_image(ByteSpan image) {
+    (void)image;
+    return Status::kUnsupported;
+  }
+
+  /// Replays a journal_repoint record: rewrites the slot's PPA
+  /// (last-writer-wins, idempotent). No allocator liveness side effects.
+  /// When `data_durable` is provided, the repointed record page is decoded
+  /// and the repoint is silently rejected (slot left unchanged, kOk) if
+  /// any entry references a non-durable data location: a page written
+  /// back under cache pressure may map signatures to extents that were
+  /// still in the store's RAM buffer at a power cut. The rejected page's
+  /// durable content is reconstructible — every mapping in it is either
+  /// pre-checkpoint (in the image's page) or in the journal tail.
+  virtual Status apply_journal_repoint(
+      std::uint64_t slot_key, flash::Ppa ppa,
+      const std::function<bool(flash::Ppa)>& data_durable = {}) {
+    (void)slot_key;
+    (void)ppa;
+    (void)data_durable;
+    return Status::kUnsupported;
+  }
+
+  /// True while a structural maintenance operation (incremental resize)
+  /// is in flight; checkpoints are deferred until it completes.
+  [[nodiscard]] virtual bool maintenance_active() const { return false; }
 };
 
 }  // namespace rhik::index

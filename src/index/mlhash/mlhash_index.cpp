@@ -101,6 +101,7 @@ Status MlHashIndex::write_table(std::uint32_t level, std::uint64_t page,
   if (table.size() == 0) {
     retire_old();
     dirs_[level][page] = kInvalidPpa;
+    if (journal_) journal_->journal_repoint(make_key(level, page), kInvalidPpa);
     return Status::kOk;
   }
 
@@ -126,6 +127,7 @@ Status MlHashIndex::write_table(std::uint32_t level, std::uint64_t page,
   dirs_[level][page] = *ppa;
   page_owner_[*ppa] = make_key(level, page);
   alloc_->add_live(*ppa, g.page_size);
+  if (journal_) journal_->journal_repoint(make_key(level, page), *ppa);
   return Status::kOk;
 }
 
@@ -162,7 +164,10 @@ Status MlHashIndex::put(std::uint64_t sig, Ppa ppa) {
     stats_.reads_per_lookup.record(reads);
     if (!table) return table.status();
     const Status s = (*table)->insert(sig, ppa);
-    if (ok(s)) cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+    if (ok(s)) {
+      cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+      if (journal_) journal_->journal_put(sig, ppa);
+    }
     return s;
   }
   // Insert at the first level with room.
@@ -174,6 +179,7 @@ Status MlHashIndex::put(std::uint64_t sig, Ppa ppa) {
     if (ok(s)) {
       num_keys_++;
       cache_.mark_dirty(make_key(l, page));
+      if (journal_) journal_->journal_put(sig, ppa);
       stats_.reads_per_lookup.record(reads);
       return Status::kOk;
     }
@@ -196,6 +202,7 @@ Status MlHashIndex::erase(std::uint64_t sig) {
   (*table)->erase(sig);
   num_keys_--;
   cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+  if (journal_) journal_->journal_erase(sig);
   return Status::kOk;
 }
 
@@ -215,6 +222,7 @@ Status MlHashIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
   if (!table) return table.status();
   if (Status s = (*table)->insert(sig, new_ppa); !ok(s)) return s;
   cache_.mark_dirty(make_key((*loc)->level, (*loc)->page));
+  if (journal_) journal_->journal_put(sig, new_ppa);
   return Status::kOk;
 }
 
@@ -252,6 +260,93 @@ std::uint64_t MlHashIndex::dram_bytes() const {
 
 Status MlHashIndex::flush() {
   cache_.flush_all();
+  return Status::kOk;
+}
+
+// -- Checkpointing -------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kMlImageMagic = 0x4D4C4844;  // "MLHD"
+}
+
+Status MlHashIndex::serialize_image(Bytes& out) {
+  // [magic u32][levels u32][level0_pages u64][num_keys u64]
+  // [level 0 PPAs 5B each][level 1 PPAs]...  Salts are derived from a
+  // fixed seed, so they need not be persisted.
+  std::uint64_t total_pages = 0;
+  for (const auto& d : dirs_) total_pages += d.size();
+  out.assign(4 + 4 + 8 + 8 + total_pages * 5, 0);
+  put_u32(out, 0, kMlImageMagic);
+  put_u32(out, 4, cfg_.levels);
+  put_u64(out, 8, cfg_.level0_pages);
+  put_u64(out, 16, num_keys_);
+  std::size_t off = 24;
+  for (const auto& d : dirs_) {
+    for (const Ppa p : d) {
+      put_u40(out, off, p);
+      off += 5;
+    }
+  }
+  return Status::kOk;
+}
+
+Status MlHashIndex::load_image(ByteSpan image) {
+  if (image.size() < 24) return Status::kCorruption;
+  if (get_u32(image, 0) != kMlImageMagic) return Status::kCorruption;
+  // The pyramid shape is fixed at construction; a mismatched image
+  // belongs to a differently-configured device.
+  if (get_u32(image, 4) != cfg_.levels ||
+      get_u64(image, 8) != cfg_.level0_pages) {
+    return Status::kCorruption;
+  }
+  std::uint64_t total_pages = 0;
+  for (const auto& d : dirs_) total_pages += d.size();
+  if (image.size() < 24 + total_pages * 5) return Status::kCorruption;
+
+  cache_.clear();
+  page_owner_.clear();
+  num_keys_ = get_u64(image, 16);
+  std::size_t off = 24;
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    for (std::uint64_t p = 0; p < dirs_[l].size(); ++p) {
+      dirs_[l][p] = get_u40(image, off);
+      off += 5;
+      if (dirs_[l][p] != kInvalidPpa) page_owner_[dirs_[l][p]] = make_key(l, p);
+    }
+  }
+  return Status::kOk;
+}
+
+Status MlHashIndex::apply_journal_repoint(
+    std::uint64_t slot_key, Ppa ppa,
+    const std::function<bool(Ppa)>& data_durable) {
+  const std::uint32_t level = key_level(slot_key);
+  const std::uint64_t page = key_page(slot_key);
+  if (level >= cfg_.levels || page >= dirs_[level].size()) {
+    return Status::kCorruption;
+  }
+  if (data_durable && ppa != kInvalidPpa) {
+    const auto& g = nand_->geometry();
+    Bytes buf(g.page_size);
+    Bytes spare(g.spare_size());
+    if (Status s = nand_->read_page(ppa, buf, spare); !ok(s)) return s;
+    if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
+      return Status::kCorruption;
+    }
+    hash::HopscotchTable table = codec_.make_table();
+    if (Status s = codec_.decode(buf, &table); !ok(s)) return s;
+    bool all_durable = true;
+    table.for_each([&](const hash::Record& r) {
+      all_durable = all_durable && data_durable(static_cast<Ppa>(r.ppa));
+    });
+    if (!all_durable) return Status::kOk;  // reject: keep the image's slot
+  }
+  Ppa& slot = dirs_[level][page];
+  if (slot == ppa) return Status::kOk;
+  cache_.erase(make_key(level, page));
+  if (slot != kInvalidPpa) page_owner_.erase(slot);
+  slot = ppa;
+  if (ppa != kInvalidPpa) page_owner_[ppa] = slot_key;
   return Status::kOk;
 }
 

@@ -71,6 +71,14 @@ class MlHashIndex final : public IIndex {
     return cache_.stats();
   }
 
+  // -- Checkpointing hooks (IIndex) ------------------------------------------
+  void set_journal(IndexJournal* journal) override { journal_ = journal; }
+  Status serialize_image(Bytes& out) override;
+  Status load_image(ByteSpan image) override;
+  Status apply_journal_repoint(
+      std::uint64_t slot_key, flash::Ppa ppa,
+      const std::function<bool(flash::Ppa)>& data_durable = {}) override;
+
  private:
   static constexpr std::uint64_t make_key(std::uint32_t level, std::uint64_t page) {
     return (std::uint64_t{level} << 40) | page;
@@ -115,6 +123,7 @@ class MlHashIndex final : public IIndex {
 
   std::uint64_t num_keys_ = 0;
   IndexOpStats stats_;
+  IndexJournal* journal_ = nullptr;
 };
 
 }  // namespace rhik::index

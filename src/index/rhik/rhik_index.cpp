@@ -89,6 +89,7 @@ Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
     retire_old();
     slot = kInvalidPpa;
     if (count_ov && old != kInvalidPpa) ov_pages_--;
+    if (journal_) journal_->journal_repoint(make_key(gen, bucket), kInvalidPpa);
     return Status::kOk;
   }
 
@@ -116,6 +117,7 @@ Status RhikIndex::write_table(std::uint32_t gen, std::uint64_t bucket,
   if (count_ov && old == kInvalidPpa) ov_pages_++;
   page_owner_[*ppa] = make_key(gen, bucket);
   alloc_->add_live(*ppa, g.page_size);
+  if (journal_) journal_->journal_repoint(make_key(gen, bucket), *ppa);
 
   if (gen == gen_ && !in_maintenance_ && !mig_) {
     if (++writes_since_checkpoint_ >= cfg_.dir_checkpoint_interval) {
@@ -226,6 +228,7 @@ Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
     return Status::kCollisionAbort;
   }
   if (!existed) num_keys_++;
+  if (journal_) journal_->journal_put(sig, ppa);
   if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
   return Status::kOk;
 }
@@ -254,7 +257,10 @@ Status RhikIndex::erase(std::uint64_t sig) {
     if (had) cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
   }
   stats_.reads_per_lookup.record(reads);
-  if (had) num_keys_--;
+  if (had) {
+    num_keys_--;
+    if (journal_) journal_->journal_erase(sig);
+  }
   if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
   return had ? Status::kOk : Status::kNotFound;
 }
@@ -265,6 +271,9 @@ Status RhikIndex::maybe_resize() {
   if (static_cast<double>(num_keys_ + 1) <= threshold) return Status::kOk;
 
   stats_.resizes++;
+  // A doubling re-buckets everything; blind journal replay cannot express
+  // it, so recovery past this point must fall back to the full scan.
+  if (journal_) journal_->journal_barrier();
   Migration m;
   m.old_bits = dir_bits_;
   m.old_gen = gen_;
@@ -439,6 +448,7 @@ Status RhikIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
   if ((*table)->find(sig)) {
     if (Status s = (*table)->insert(sig, new_ppa); !ok(s)) return s;
     cache_.mark_dirty(make_key(gen_, bucket));
+    if (journal_) journal_->journal_put(sig, new_ppa);
     return Status::kOk;
   }
   if (has_overflow(gen_, bucket)) {
@@ -447,6 +457,7 @@ Status RhikIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
     if ((*ov)->find(sig)) {
       if (Status s = (*ov)->insert(sig, new_ppa); !ok(s)) return s;
       cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+      if (journal_) journal_->journal_put(sig, new_ppa);
       return Status::kOk;
     }
   }
@@ -518,6 +529,57 @@ Status RhikIndex::load_directory(ByteSpan image) {
       ov_pages_++;
     }
   }
+  return Status::kOk;
+}
+
+Status RhikIndex::load_image(ByteSpan image) {
+  // checkpoint_pages_ would otherwise carry PPAs from a previous life and
+  // confuse gc_is_live_index_page.
+  checkpoint_pages_.clear();
+  writes_since_checkpoint_ = 0;
+  return load_directory(image);
+}
+
+Status RhikIndex::apply_journal_repoint(
+    std::uint64_t slot_key, Ppa ppa,
+    const std::function<bool(Ppa)>& data_durable) {
+  if (mig_) return Status::kBusy;
+  const std::uint32_t gen = key_gen(slot_key);
+  // All replayable records carry the image's generation: a resize emits a
+  // barrier first, and recovery falls back to the full scan past one.
+  if (gen != gen_) return Status::kCorruption;
+  const std::uint64_t keyed = key_bucket(slot_key);
+  const std::uint64_t b = keyed & ~kOvBit;
+  if (b >= dir_size()) return Status::kCorruption;
+  if (data_durable && ppa != kInvalidPpa) {
+    const auto& g = nand_->geometry();
+    Bytes page(g.page_size);
+    Bytes spare(g.spare_size());
+    if (Status s = nand_->read_page(ppa, page, spare); !ok(s)) return s;
+    if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
+      return Status::kCorruption;
+    }
+    hash::HopscotchTable table = codec_.make_table();
+    if (Status s = codec_.decode(page, &table); !ok(s)) return s;
+    bool all_durable = true;
+    table.for_each([&](const hash::Record& r) {
+      all_durable = all_durable && data_durable(static_cast<Ppa>(r.ppa));
+    });
+    if (!all_durable) return Status::kOk;  // reject: keep the image's slot
+  }
+  const bool ov = (keyed & kOvBit) != 0;
+  Ppa& slot = ov ? ov_dir_[b] : dir_[b];
+  if (slot == ppa) return Status::kOk;
+  // Any cached copy predates the repointed page; drop it without
+  // write-back so the next load reads the journaled location.
+  cache_.erase(make_key(gen, keyed));
+  if (slot != kInvalidPpa) page_owner_.erase(slot);
+  if (ov) {
+    if (slot != kInvalidPpa && ppa == kInvalidPpa) ov_pages_--;
+    if (slot == kInvalidPpa && ppa != kInvalidPpa) ov_pages_++;
+  }
+  slot = ppa;
+  if (ppa != kInvalidPpa) page_owner_[ppa] = slot_key;
   return Status::kOk;
 }
 

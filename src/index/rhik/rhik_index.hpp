@@ -103,6 +103,20 @@ class RhikIndex final : public IIndex {
   [[nodiscard]] Bytes serialize_directory() const;
   Status load_directory(ByteSpan image);
 
+  // -- Checkpointing hooks (IIndex) ------------------------------------------
+  void set_journal(IndexJournal* journal) override { journal_ = journal; }
+  Status serialize_image(Bytes& out) override {
+    out = serialize_directory();
+    return Status::kOk;
+  }
+  Status load_image(ByteSpan image) override;
+  Status apply_journal_repoint(
+      std::uint64_t slot_key, flash::Ppa ppa,
+      const std::function<bool(flash::Ppa)>& data_durable = {}) override;
+  [[nodiscard]] bool maintenance_active() const override {
+    return migration_active();
+  }
+
  private:
   /// Cache/owner key: generation in the top bits, bucket below. PPAs are
   /// 40-bit, so buckets are comfortably below 2^40. Bit 39 of the bucket
@@ -200,6 +214,8 @@ class RhikIndex final : public IIndex {
   };
   std::optional<Migration> mig_;
   bool in_maintenance_ = false;  ///< guards reentrant resize/migration
+  /// Delta-record sink for device-level checkpointing (may be null).
+  IndexJournal* journal_ = nullptr;
 };
 
 }  // namespace rhik::index

@@ -18,6 +18,27 @@ enum class IndexKind : std::uint8_t {
   kMlHash,  ///< baseline multi-level hash index (Samsung KVSSD style)
 };
 
+/// Index checkpointing + delta journaling (DESIGN.md §8). When enabled, a
+/// tail region of the device is reserved for two alternating checkpoint
+/// slots plus a journal ring, and `KvssdDevice::recover` restores the
+/// index from the newest valid checkpoint + journal tail instead of
+/// scanning every programmed page (falling back to the full scan when
+/// both slots are corrupt).
+struct CheckpointConfig {
+  bool enabled = false;
+  /// Erase blocks per checkpoint slot (two slots are reserved).
+  std::uint32_t slot_blocks = 1;
+  /// Erase blocks for the index-delta journal ring.
+  std::uint32_t journal_blocks = 2;
+  /// A checkpoint is started once this many pages were programmed since
+  /// the last durable checkpoint. 0 = only explicit / destructor-time
+  /// checkpoints.
+  std::uint64_t dirty_pages = 4096;
+  /// Checkpoint payload pages programmed per foreground-op pump step
+  /// (incremental, like RHIK's pump_migration).
+  std::uint32_t pump_pages = 8;
+};
+
 struct DeviceConfig {
   flash::Geometry geometry{};  ///< paper default: 32 KiB pages, 256/block
   flash::NandLatency latency = flash::NandLatency::kvemu_defaults();
@@ -61,6 +82,10 @@ struct DeviceConfig {
   /// Observability: per-op stage metrics, trace-ring sampling and the
   /// periodic dump hook (see obs/trace.hpp for the knobs).
   obs::ObsConfig obs{};
+
+  /// Index checkpointing for O(dirty) restart. Default off: recovery then
+  /// always performs the full-device scan.
+  CheckpointConfig checkpoint{};
 };
 
 }  // namespace rhik::kvssd

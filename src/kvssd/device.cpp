@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <iterator>
+#include <unordered_map>
 
+#include "ftl/layout.hpp"
 #include "hash/murmur.hpp"
 #include "index/mlhash/mlhash_index.hpp"
 #include "index/rhik/rhik_index.hpp"
@@ -14,7 +16,10 @@ namespace rhik::kvssd {
 using flash::Ppa;
 
 KvssdDevice::KvssdDevice(DeviceConfig cfg)
-    : KvssdDevice(cfg, std::unique_ptr<flash::NandDevice>()) {}
+    : KvssdDevice(cfg, std::unique_ptr<flash::NandDevice>()) {
+  enable_journaling();
+  if (ckpt_) ckpt_->init_from_flash();
+}
 
 KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand)
     : cfg_(cfg), trace_ring_(cfg.obs.trace_ring_capacity) {
@@ -26,7 +31,9 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
     nand_ = std::make_unique<flash::NandDevice>(cfg_.geometry, cfg_.latency,
                                                 &clock_);
   }
-  alloc_ = std::make_unique<ftl::PageAllocator>(nand_.get(), cfg_.gc_reserve_blocks);
+  alloc_ = std::make_unique<ftl::PageAllocator>(
+      nand_.get(), cfg_.gc_reserve_blocks,
+      CheckpointManager::reserved_blocks(cfg_.checkpoint));
   store_ = std::make_unique<ftl::FlashKvStore>(nand_.get(), alloc_.get());
   switch (cfg_.index_kind) {
     case IndexKind::kRhik:
@@ -41,6 +48,12 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
   gc_ = std::make_unique<ftl::GarbageCollector>(nand_.get(), alloc_.get(),
                                                 store_.get(), index_.get());
   iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get());
+  if (cfg_.checkpoint.enabled) {
+    ckpt_ = std::make_unique<CheckpointManager>(nand_.get(), index_.get(),
+                                                store_.get(), alloc_.get(),
+                                                cfg_.checkpoint, &live_bytes_);
+    ckpt_->set_index_kind(static_cast<std::uint32_t>(cfg_.index_kind));
+  }
   if (cfg_.obs.metrics) {
     put_timers_ = make_stage_timers("put");
     get_timers_ = make_stage_timers("get");
@@ -49,7 +62,29 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
   }
 }
 
-KvssdDevice::~KvssdDevice() = default;
+KvssdDevice::~KvssdDevice() {
+  // Clean shutdown takes a checkpoint so the next recover() restarts in
+  // O(dirty). Best-effort: a failure just means a full scan later.
+  if (ckpt_ && nand_) {
+    (void)flush();
+    (void)ckpt_->checkpoint_now();
+  }
+}
+
+void KvssdDevice::enable_journaling() {
+  if (!ckpt_) return;
+  index_->set_journal(ckpt_.get());
+  // A replayed journal record must never point into a block erased after
+  // the record was produced: persist the buffer before any GC erase.
+  alloc_->set_pre_erase_hook(
+      [this](std::uint32_t) { (void)ckpt_->flush_journal(); });
+}
+
+Status KvssdDevice::checkpoint_now() {
+  if (!ckpt_) return Status::kUnsupported;
+  if (Status s = store_->flush(); !ok(s)) return s;
+  return ckpt_->checkpoint_now();
+}
 
 Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
     DeviceConfig cfg, std::unique_ptr<flash::NandDevice> nand,
@@ -64,13 +99,318 @@ Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
   // stamps. Also re-powers an attached fault injector.
   nand->power_cycle();
   std::unique_ptr<KvssdDevice> dev(new KvssdDevice(cfg, std::move(nand)));
-  auto stats = recover_from_flash(*dev->nand_, *dev->alloc_, *dev->store_,
-                                  *dev->index_);
-  if (!stats) return stats.status();
-  dev->live_bytes_ = stats->live_bytes;
-  dev->recovered_ = *stats;
-  if (stats_out) *stats_out = *stats;
+
+  RecoveryStats stats;
+  bool restored = false;
+  if (dev->ckpt_) {
+    if (auto found = CheckpointManager::find_newest(*dev->nand_, cfg.checkpoint)) {
+      if (ok(dev->restore_from_checkpoint(*found, stats))) {
+        restored = true;
+      } else {
+        // The fast path mutated index / allocator state before failing;
+        // rebuild a fresh device over the same array and full-scan.
+        auto array = dev->release_nand();
+        dev.reset(new KvssdDevice(cfg, std::move(array)));
+        stats = {};
+      }
+    }
+  }
+  if (!restored) {
+    // Counted on every full-device scan, checkpointing or not, so the
+    // restart path is always attributable from RecoveryStats alone.
+    stats.full_scan_fallback = 1;
+    if (dev->ckpt_) {
+      // The scan's view of the log is about to become authoritative;
+      // stale checkpoints and journal pages must not survive it (a crash
+      // mid-scan would otherwise replay deltas onto the wrong base).
+      dev->ckpt_->invalidate_checkpoints();
+      dev->ckpt_->reset_journal();
+    }
+    auto scan = recover_from_flash(*dev->nand_, *dev->alloc_, *dev->store_,
+                                   *dev->index_);
+    if (!scan) return scan.status();
+    scan->full_scan_fallback = stats.full_scan_fallback;
+    stats = *scan;
+  }
+  stats.pages_read = dev->nand_->stats().page_reads;
+  dev->live_bytes_ = stats.live_bytes;
+
+  dev->enable_journaling();
+  if (dev->ckpt_) {
+    dev->ckpt_->init_from_flash();
+    // Full-scan result: re-checkpoint immediately so the next restart is
+    // O(dirty) again. Fast path: the restored state IS the checkpoint +
+    // journal lineage; journaling just continues past the replayed tail.
+    if (!restored) {
+      (void)dev->ckpt_->checkpoint_now();
+    } else {
+      // Ghost pairs folded by the fast path exist only above the replayed
+      // journal horizon. Append their records first, so any journal flush
+      // this life (which advances the horizon past them) carries them.
+      for (const auto& gh : dev->rejournal_) {
+        if (gh.tombstone) {
+          dev->ckpt_->journal_del_located(gh.sig, gh.ppa);
+        } else {
+          dev->ckpt_->journal_put(gh.sig, gh.ppa);
+        }
+      }
+    }
+    dev->rejournal_.clear();
+  }
+  dev->recovered_ = stats;
+  if (stats_out) *stats_out = stats;
   return dev;
+}
+
+Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& found,
+                                            RecoveryStats& stats) {
+  const auto img = CheckpointManager::decode_payload(found.payload);
+  if (!img) return Status::kCorruption;
+  if (img->index_kind != static_cast<std::uint32_t>(cfg_.index_kind)) {
+    return Status::kCorruption;
+  }
+  if (img->block_live.size() != alloc_->first_reserved_block()) {
+    return Status::kCorruption;
+  }
+  if (Status s = index_->load_image(img->index_image); !ok(s)) return s;
+
+  // Adopt every written block from its write point alone — no page-level
+  // scan. Stream and wear come from the first page's spare; in-order,
+  // program-once discipline means only the LAST programmed page of a
+  // block can be torn, so dropping torn tails needs one read per block.
+  const auto& g = nand_->geometry();
+  Bytes page(g.page_size);
+  Bytes spare(g.spare_size());
+  std::vector<std::uint32_t> valid_pages(img->block_live.size(), 0);
+  for (std::uint32_t block = 0; block < img->block_live.size(); ++block) {
+    const std::uint32_t programmed = nand_->pages_programmed(block);
+    if (programmed == 0) continue;
+    stats.blocks_adopted++;
+    ftl::Stream stream = ftl::Stream::kData;
+    if (ok(nand_->read_page(flash::make_ppa(g, block, 0), page, spare)) &&
+        flash::page_crc_ok(g, page, spare)) {
+      stream = ftl::SpareTag::decode(spare).stream;
+      nand_->restore_erase_count(block, flash::spare_wear_stamp(g, spare));
+      stats.wear_blocks_restored++;
+    }
+    std::uint32_t valid = programmed;
+    while (valid > 0) {
+      const Status s =
+          nand_->read_page(flash::make_ppa(g, block, valid - 1), page, spare);
+      if (ok(s) && flash::page_crc_ok(g, page, spare)) break;
+      stats.torn_pages_dropped++;
+      --valid;
+    }
+    valid_pages[block] = valid;
+    if (Status s = alloc_->adopt_block(block, stream, valid); !ok(s)) return s;
+    // Live-byte credit is the checkpoint-time value: blocks (re)written
+    // since are under-credited, which only skews victim selection — GC
+    // validates every pair against the index before relocating, and
+    // sub_live saturates at zero.
+    if (img->block_live[block] > 0) {
+      alloc_->add_live(flash::make_ppa(g, block, 0), img->block_live[block]);
+    }
+  }
+
+  const auto tail =
+      CheckpointManager::read_journal_tail(*nand_, cfg_.checkpoint,
+                                           found.journal_mark);
+  // A gap means part of the tail was erased (interrupted invalidation); a
+  // barrier means a resize ran after the checkpoint and repoint records
+  // straddle generations. Both are full-scan conditions.
+  if (!tail.contiguous || tail.has_barrier) return Status::kCorruption;
+
+  // Journal pages flush on their own cadence, so a durable put record may
+  // reference a data extent that was still in the store's RAM buffer at
+  // the cut. Such an extent is detectable: its pages sit at-or-past the
+  // block's adopted write point, or the head page doesn't parse to a pair
+  // of this key.
+  const auto extent_durable = [&](std::uint64_t sig, flash::Ppa ppa) -> bool {
+    const std::uint32_t block = flash::ppa_block(g, ppa);
+    const std::uint32_t pg = flash::ppa_page(g, ppa);
+    if (block >= valid_pages.size() || pg >= valid_pages[block]) return false;
+    if (!ok(nand_->read_page(ppa, page, spare))) return false;
+    if (!flash::page_crc_ok(g, page, spare) ||
+        ftl::SpareTag::decode(spare).kind != ftl::PageKind::kDataHead) {
+      return false;
+    }
+    const auto pairs = ftl::parse_head_page(page, g.page_size);
+    if (!pairs) return false;
+    for (const auto& p : *pairs) {
+      if (p.header.sig != sig) continue;
+      if (!p.spills) return true;
+      // The continuation chain programs right behind the head; it is
+      // durable iff it fits under the adopted write point.
+      const std::uint32_t need =
+          ftl::continuation_pages(g, p.header.pair_bytes());
+      return pg + need < valid_pages[block];
+    }
+    return false;
+  };
+
+  // Fold the tail into each key's final durable state, in record order.
+  // Put/del records live in the signature namespace; repoint records key
+  // a directory SLOT (metadata page moved) and fold separately. A
+  // non-durable put is a no-op rather than an error: no flush can have
+  // succeeded after it (flush persists the store buffer before the
+  // journal), so the previous resolved state is still at-or-after the
+  // key's durability floor. Folding the whole sequence matters for GC
+  // chains — an early put's page may have been legitimately erased
+  // before the cut, but the collector's pre-erase journal flush then
+  // guarantees the superseding repoint record is in this same tail.
+  struct Resolved {
+    enum class From : std::uint8_t { kImage, kMapped, kAbsent };
+    From from = From::kImage;
+    flash::Ppa ppa = flash::kInvalidPpa;
+  };
+  std::unordered_map<std::uint64_t, Resolved> resolved;
+  std::unordered_map<std::uint64_t, flash::Ppa> repoints;
+  for (const auto& rec : tail.records) {
+    switch (rec.kind) {
+      case CheckpointManager::kRecPut:
+        if (extent_durable(rec.key, rec.ppa)) {
+          resolved[rec.key] = {Resolved::From::kMapped, rec.ppa};
+        }
+        break;
+      case CheckpointManager::kRecRepoint:
+        // No durability probe needed: the index programs a metadata page
+        // before journaling its move, so a durable record implies a
+        // durable page; a page erased later (index GC) is superseded by
+        // a newer repoint in this same tail. Last write wins per slot.
+        repoints[rec.key] = rec.ppa;
+        break;
+      case CheckpointManager::kRecDel:
+        // Provisional: the index erased the mapping, but this record can
+        // be durable while the deletion's tombstone is not (the pre-erase
+        // hook used to flush only the journal; the store-first ordering
+        // now prevents that, and replay keeps ignoring these for the
+        // flush-boundary window between index erase and tombstone write).
+        // Acting on it would make this restart disagree with a later
+        // full scan, which only ever sees tombstones.
+        break;
+      case CheckpointManager::kRecDelAt:
+        // Durable record implies durable tombstone (store-first flush),
+        // and GC relocates unmapped tombstones, so no revalidation: the
+        // raw log agrees the key is gone.
+        resolved[rec.key] = {Resolved::From::kAbsent, flash::kInvalidPpa};
+        break;
+      default:
+        return Status::kCorruption;
+    }
+  }
+  // Repoints first: they bring the loaded directory up to the newest
+  // metadata page locations; a stale slot would serve checkpoint-era
+  // mappings for every signature the put/del overlay doesn't touch. A
+  // record page written back under cache pressure can reference data
+  // still in the store's RAM buffer at the cut, so each repointed page
+  // is vetted: any entry at-or-past its block's adopted write point
+  // rejects the repoint (the image's page plus this tail reconstructs
+  // the same durable mappings). Below the write point is sufficient —
+  // the index never references an incomplete extent (puts ack only
+  // after the store programs the whole extent).
+  const auto page_durable = [&](flash::Ppa p) -> bool {
+    const std::uint32_t block = flash::ppa_block(g, p);
+    return block < valid_pages.size() &&
+           flash::ppa_page(g, p) < valid_pages[block];
+  };
+  for (const auto& [slot_key, ppa] : repoints) {
+    if (Status s = index_->apply_journal_repoint(slot_key, ppa, page_durable);
+        !ok(s)) {
+      return s;
+    }
+  }
+  for (const auto& [sig, r] : resolved) {
+    switch (r.from) {
+      case Resolved::From::kImage:
+        break;  // keep the checkpoint image's mapping (or absence)
+      case Resolved::From::kMapped:
+        if (Status s = index_->put(sig, r.ppa); !ok(s)) return s;
+        break;
+      case Resolved::From::kAbsent: {
+        // Idempotent; a racing flush may have persisted the erase into
+        // the image already.
+        const Status s = index_->erase(sig);
+        if (!ok(s) && s != Status::kNotFound) return s;
+        break;
+      }
+    }
+  }
+
+  // Unjournaled suffix ("ghosts"): data pairs whose pages were programmed
+  // after the last durable journal page were acknowledged, but their
+  // records died buffered in the cut. The full scan would adopt them —
+  // they carry the newest sequence numbers — so the fast path must fold
+  // them too, or a later fallback scan would resurrect writes this
+  // restart chose to drop. Within a block sequence numbers ascend with
+  // program order, so the ghost region is the page suffix at-or-above
+  // the horizon; a block untouched since the last flush settles in one
+  // spare read.
+  const std::uint64_t horizon = std::max(img->next_seq, tail.max_next_seq);
+  struct Ghost {
+    std::uint64_t seq;
+    std::size_t offset;
+    std::uint64_t sig;
+    flash::Ppa ppa;
+    bool tombstone;
+  };
+  std::vector<Ghost> ghosts;
+  for (std::uint32_t block = 0; block < valid_pages.size(); ++block) {
+    for (std::uint32_t pg = valid_pages[block]; pg-- > 0;) {
+      const flash::Ppa ppa = flash::make_ppa(g, block, pg);
+      if (!ok(nand_->read_page(ppa, page, spare))) continue;  // extent gap
+      if (!flash::page_crc_ok(g, page, spare)) continue;
+      const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
+      if (tag.kind == ftl::PageKind::kDataCont) continue;  // judged at head
+      if (tag.kind != ftl::PageKind::kDataHead) break;     // index/meta block
+      const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+      if (seq < horizon) break;  // everything below is journal-covered
+      const auto pairs = ftl::parse_head_page(page, g.page_size);
+      if (!pairs) continue;
+      // Same rule as the full scan: an incomplete trailing extent drops
+      // its whole head page (it only ever sits at a block's very top).
+      if (!pairs->empty() && pairs->back().spills) {
+        const std::uint32_t need =
+            ftl::continuation_pages(g, pairs->back().header.pair_bytes());
+        if (pg + need >= valid_pages[block]) continue;
+      }
+      for (const auto& p : *pairs) {
+        ghosts.push_back(
+            Ghost{seq, p.offset, p.header.sig, ppa, p.header.tombstone});
+      }
+    }
+  }
+  std::sort(ghosts.begin(), ghosts.end(), [](const Ghost& a, const Ghost& b) {
+    return a.seq != b.seq ? a.seq < b.seq : a.offset < b.offset;
+  });
+  rejournal_.clear();
+  for (const Ghost& gh : ghosts) {
+    if (gh.tombstone) {
+      const Status s = index_->erase(gh.sig);
+      if (!ok(s) && s != Status::kNotFound) return s;
+    } else {
+      if (Status s = index_->put(gh.sig, gh.ppa); !ok(s)) return s;
+    }
+    rejournal_.push_back(Rejournal{gh.sig, gh.ppa, gh.tombstone});
+  }
+
+  // Data-page sequence numbers advance without journal records, but every
+  // block erase flushes the journal (recording next_seq), so the
+  // unrecorded advance is bounded by the page population of the device.
+  // Jumping past that bound guarantees no recovered winner is ever
+  // shadowed by a reused sequence number.
+  store_->set_next_seq(std::max(img->next_seq, tail.max_next_seq) +
+                       g.pages_total() + 1);
+  // Approximate (checkpoint-time) figure; ops journaled after it shift
+  // the true value. Introspection only — liveness accounting is per
+  // block and self-corrects through GC validation.
+  stats.live_bytes = img->live_bytes;
+  stats.keys_recovered = index_->size();
+  stats.journal_pages_replayed = tail.pages;
+  stats.journal_records_replayed = tail.records.size();
+  stats.checkpoint_restored = 1;
+  stats.checkpoint_version = found.version;
+  stats.max_seq = store_->next_seq() - 1;
+  return Status::kOk;
 }
 
 std::unique_ptr<flash::NandDevice> KvssdDevice::release_nand() {
@@ -265,6 +605,9 @@ Status KvssdDevice::del_locked(ByteSpan key) {
     }
   }
   if (!ts) return ts.status();
+  // Only now is the deletion replayable: the index's provisional record
+  // could otherwise outlive a tombstone that never left the store buffer.
+  if (ckpt_) ckpt_->journal_del_located(sig, *ts);
   stats_.deletes++;
   return Status::kOk;
 }
@@ -277,6 +620,7 @@ Status KvssdDevice::put(ByteSpan key, ByteSpan value) {
   const Status s = put_locked(key, value);
   stats_.put_latency_ns.record(clock_.now() - t0);
   if (traced) obs_finish(tr, s, put_timers_);
+  if (ckpt_) ckpt_->tick();
   return s;
 }
 
@@ -298,6 +642,7 @@ Status KvssdDevice::del(ByteSpan key) {
   const bool traced = obs_begin(tr, obs::OpKind::kDel, t0, /*enqueue_ns=*/t0);
   const Status s = del_locked(key);
   if (traced) obs_finish(tr, s, del_timers_);
+  if (ckpt_) ckpt_->tick();
   return s;
 }
 
@@ -380,6 +725,7 @@ Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
         break;
     }
   }
+  if (ckpt_) ckpt_->tick();
   return Status::kOk;
 }
 
@@ -468,13 +814,18 @@ std::size_t KvssdDevice::drain() {
       }
       ++completed;
     }
+    if (ckpt_) ckpt_->tick();
   }
   return completed;
 }
 
 Status KvssdDevice::flush() {
   if (Status s = store_->flush(); !ok(s)) return s;
-  return index_->flush();
+  if (Status s = index_->flush(); !ok(s)) return s;
+  // Journal durability rides on flush: acked-but-unflushed ops are the
+  // only ones a crash may roll back, so records for flushed ops must be
+  // on flash before flush() reports success.
+  return ckpt_ ? ckpt_->flush_journal() : Status::kOk;
 }
 
 // -- Observability -------------------------------------------------------------
@@ -552,6 +903,7 @@ obs::MetricsSnapshot KvssdDevice::metrics_snapshot() const {
   if (const flash::FaultInjector* fi = nand_->fault_injector()) {
     fi->stats().publish(snap);
   }
+  if (ckpt_) ckpt_->stats().publish(snap);
   if (recovered_) recovered_->publish(snap);
 
   snap.add_counter("trace.recorded", trace_ring_.recorded());

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "api/backend.hpp"
 #include "common/histogram.hpp"
 #include "common/sim_clock.hpp"
 #include "common/status.hpp"
@@ -29,6 +30,7 @@
 #include "ftl/kv_store.hpp"
 #include "ftl/page_allocator.hpp"
 #include "index/index.hpp"
+#include "kvssd/checkpoint.hpp"
 #include "kvssd/config.hpp"
 #include "kvssd/iterator.hpp"
 #include "kvssd/recovery.hpp"
@@ -91,10 +93,10 @@ struct DeviceStats {
   }
 };
 
-class KvssdDevice {
+class KvssdDevice : public api::IKvsBackend {
  public:
   explicit KvssdDevice(DeviceConfig cfg);
-  ~KvssdDevice();
+  ~KvssdDevice() override;
 
   /// Power-loss recovery: rebuilds a device over the NAND array of a
   /// previous instance (see kvssd/recovery.hpp). The config's geometry
@@ -115,19 +117,19 @@ class KvssdDevice {
   KvssdDevice(const KvssdDevice&) = delete;
   KvssdDevice& operator=(const KvssdDevice&) = delete;
 
-  // -- Synchronous KV command set ---------------------------------------------
-  Status put(ByteSpan key, ByteSpan value);
-  Status get(ByteSpan key, Bytes* value_out);
-  Status del(ByteSpan key);
+  // -- Synchronous KV command set (the api::IKvsBackend verb set) -------------
+  Status put(ByteSpan key, ByteSpan value) override;
+  Status get(ByteSpan key, Bytes* value_out) override;
+  Status del(ByteSpan key) override;
   /// Membership by key signature only — probabilistic (§IV-A3): may
   /// report kOk for an absent key on a signature collision.
-  Status exist(ByteSpan key);
+  Status exist(ByteSpan key) override;
   /// §VI extension: enumerate stored keys sharing a prefix (one-shot
   /// convenience over the iterator commands below). Requires
   /// DeviceConfig::prefix_signatures. Keys are verified against the
   /// actual prefix (flash reads), so results are exact.
   Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
-                        std::size_t limit = SIZE_MAX);
+                        std::size_t limit = SIZE_MAX) override;
 
   // -- Iterator command set (§II-A; key+value iteration is the §VI
   // -- extension absent from Samsung KVSSD) ----------------------------------
@@ -150,22 +152,37 @@ class KvssdDevice {
   Status execute_batch(std::vector<BatchOp>& ops);
 
   // -- Asynchronous submission --------------------------------------------------
-  using Callback = std::function<void(Status)>;
-  /// Value-carrying completion for asynchronous gets.
-  using GetCallback = std::function<void(Status, Bytes&&)>;
-  void submit_put(Bytes key, Bytes value, Callback cb = {});
+  using Callback = api::IKvsBackend::Callback;
+  using GetCallback = api::IKvsBackend::GetCallback;
+  void submit_put(Bytes key, Bytes value, Callback cb = {}) override;
   void submit_get(Bytes key, Callback cb = {});
   /// Get whose completion receives the value read (empty on non-kOk).
-  void submit_get(Bytes key, GetCallback cb);
-  void submit_del(Bytes key, Callback cb = {});
+  void submit_get(Bytes key, GetCallback cb) override;
+  void submit_del(Bytes key, Callback cb = {}) override;
   /// Executes all queued commands; returns how many completed. When
   /// DeviceConfig::batch_drain_grouping is set, commands are executed
   /// grouped by the index's locality bucket (stable within a group, so
   /// same-key commands keep submission order).
-  std::size_t drain();
+  std::size_t drain() override;
 
-  /// Persists buffered data and index state.
-  Status flush();
+  /// Persists buffered data and index state (and, with checkpointing
+  /// enabled, the buffered index-delta journal records).
+  Status flush() override;
+
+  /// Synchronously takes an index checkpoint (DESIGN.md §8). kUnsupported
+  /// unless DeviceConfig::checkpoint.enabled; kBusy while the index is
+  /// mid-maintenance (resize migration). The destructor also checkpoints,
+  /// so a cleanly destroyed device always restarts on the fast path.
+  Status checkpoint_now();
+  Status checkpoint() override { return checkpoint_now(); }
+
+  /// Copy of the operation counters (api::IKvsBackend facade).
+  DeviceStats stats_snapshot() override { return stats_; }
+
+  /// The checkpoint manager, or nullptr when checkpointing is disabled.
+  [[nodiscard]] CheckpointManager* checkpoint_manager() noexcept {
+    return ckpt_.get();
+  }
 
   // -- Introspection ---------------------------------------------------------------
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
@@ -185,6 +202,9 @@ class KvssdDevice {
   /// the fault injector when one is attached, the recovery scan when
   /// this device was recovered — and the sim clock as max-merged gauges.
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  obs::MetricsSnapshot metrics_snapshot() override {
+    return static_cast<const KvssdDevice&>(*this).metrics_snapshot();
+  }
   /// The device's metric registry. Callers may register further metrics;
   /// they ride along in metrics_snapshot().
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -240,6 +260,16 @@ class KvssdDevice {
   /// when nothing could be reclaimed.
   Status maybe_gc();
 
+  /// Connects the index's journal feed and the allocator's pre-erase
+  /// flush to the checkpoint manager. Deferred until after recovery
+  /// replay so the replay itself is not re-journaled.
+  void enable_journaling();
+  /// Checkpoint fast path: load the image, adopt blocks from write
+  /// points alone, replay the journal tail. Any failure leaves the
+  /// device partially mutated — the caller rebuilds it and full-scans.
+  Status restore_from_checkpoint(const CheckpointManager::Found& found,
+                                 RecoveryStats& stats);
+
   // -- Observability internals ------------------------------------------------
   /// Pre-resolved registry timers for one op kind (lookup once, record
   /// per op without touching the registry mutex).
@@ -273,6 +303,15 @@ class KvssdDevice {
   std::unique_ptr<ftl::FlashKvStore> store_;
   std::unique_ptr<index::IIndex> index_;
   std::unique_ptr<ftl::GarbageCollector> gc_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+  /// Ghost pairs folded by the last fast restore, pending re-journaling.
+  /// See restore_from_checkpoint.
+  struct Rejournal {
+    std::uint64_t sig;
+    flash::Ppa ppa;
+    bool tombstone;
+  };
+  std::vector<Rejournal> rejournal_;
 
   std::deque<QueuedOp> queue_;
   std::unique_ptr<IteratorManager> iter_mgr_;

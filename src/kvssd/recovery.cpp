@@ -37,6 +37,12 @@ void RecoveryStats::merge_from(const RecoveryStats& other) noexcept {
   incomplete_extents_dropped += other.incomplete_extents_dropped;
   wear_blocks_restored += other.wear_blocks_restored;
   dead_blocks_reclaimed += other.dead_blocks_reclaimed;
+  pages_read += other.pages_read;
+  checkpoint_restored += other.checkpoint_restored;
+  full_scan_fallback += other.full_scan_fallback;
+  journal_pages_replayed += other.journal_pages_replayed;
+  journal_records_replayed += other.journal_records_replayed;
+  checkpoint_version = std::max(checkpoint_version, other.checkpoint_version);
 }
 
 Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
@@ -61,7 +67,11 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
   Bytes spare(g.spare_size());
   std::vector<std::uint32_t> adopted;
 
-  for (std::uint32_t block = 0; block < g.num_blocks; ++block) {
+  // The controller-reserved checkpoint tail is not part of the log; its
+  // pages carry their own formats and are scanned by the checkpoint
+  // manager, never adopted here.
+  const std::uint32_t scan_end = alloc.first_reserved_block();
+  for (std::uint32_t block = 0; block < scan_end; ++block) {
     const std::uint32_t programmed = nand.pages_programmed(block);
     if (programmed == 0) continue;
     stats.blocks_adopted++;

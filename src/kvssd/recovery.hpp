@@ -66,6 +66,19 @@ struct RecoveryStats {
   /// before the index rebuild so the rebuild cannot run out of space.
   std::uint64_t dead_blocks_reclaimed = 0;
 
+  // -- Checkpoint fast path (DESIGN.md §8) ----------------------------------
+  /// NAND pages read by recovery (the O(dirty) vs O(device) figure).
+  std::uint64_t pages_read = 0;
+  /// 1 when the index was restored from a checkpoint + journal tail.
+  std::uint64_t checkpoint_restored = 0;
+  /// 1 when checkpointing was enabled but recovery had to full-scan
+  /// (no valid slot, torn journal tail, or a resize barrier).
+  std::uint64_t full_scan_fallback = 0;
+  std::uint64_t journal_pages_replayed = 0;
+  std::uint64_t journal_records_replayed = 0;
+  /// Version of the checkpoint restored (0 = none).
+  std::uint64_t checkpoint_version = 0;
+
   /// Accumulates another shard's stats (max_seq takes the max).
   void merge_from(const RecoveryStats& other) noexcept;
 
@@ -81,6 +94,15 @@ struct RecoveryStats {
                      incomplete_extents_dropped);
     snap.add_counter("recovery.wear_blocks_restored", wear_blocks_restored);
     snap.add_counter("recovery.dead_blocks_reclaimed", dead_blocks_reclaimed);
+    snap.add_counter("recovery.pages_read", pages_read);
+    snap.add_counter("recovery.checkpoint_restored", checkpoint_restored);
+    snap.add_counter("recovery.full_scan_fallback", full_scan_fallback);
+    snap.add_counter("recovery.journal_pages_replayed", journal_pages_replayed);
+    snap.add_counter("recovery.journal_records_replayed",
+                     journal_records_replayed);
+    snap.set_gauge("recovery.checkpoint_version",
+                   static_cast<std::int64_t>(checkpoint_version),
+                   obs::MergeMode::kMax);
     snap.add_counter("recovery.live_bytes", live_bytes);
     snap.set_gauge("recovery.max_seq", static_cast<std::int64_t>(max_seq),
                    obs::MergeMode::kMax);

@@ -157,6 +157,14 @@ void ShardedKvssd::worker_loop(Shard& s) {
           if (op.cb) op.cb(st);
           break;
         }
+        case ShardOp::Kind::kIterate: {
+          // Scans the live index, so queued work must land first.
+          s.completed += s.dev->drain();
+          const Status st = s.dev->iterate_prefix(op.key, op.keys, op.limit);
+          s.completed += 1;
+          if (op.cb) op.cb(st);
+          break;
+        }
         case ShardOp::Kind::kBatch: {
           s.completed += s.dev->drain();
           s.dev->execute_batch(*op.batch);
@@ -167,6 +175,12 @@ void ShardedKvssd::worker_loop(Shard& s) {
         case ShardOp::Kind::kFlush: {
           s.completed += s.dev->drain();
           const Status st = s.dev->flush();
+          if (op.cb) op.cb(st);
+          break;
+        }
+        case ShardOp::Kind::kCheckpoint: {
+          s.completed += s.dev->drain();
+          const Status st = s.dev->checkpoint();
           if (op.cb) op.cb(st);
           break;
         }
@@ -291,6 +305,47 @@ Status ShardedKvssd::exist(ByteSpan key) {
   submit_to(shard_of(key), std::move(op));
   gate.wait();
   return st;
+}
+
+Status ShardedKvssd::iterate_prefix(ByteSpan prefix,
+                                    std::vector<Bytes>* keys_out,
+                                    std::size_t limit) {
+  // Every shard owns a hash slice of the keyspace, so a prefix scan has
+  // to fan out to all of them. Each shard caps at `limit` (it can never
+  // contribute more than the final result holds); the merged set is
+  // sorted so the caller sees one deterministic order regardless of
+  // shard count or worker timing.
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(shards_.size())};
+  std::vector<Status> statuses(shards_.size(), Status::kOk);
+  std::vector<std::vector<Bytes>> parts(shards_.size());
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    ShardOp op;
+    op.kind = ShardOp::Kind::kIterate;
+    op.key = owned(prefix);
+    op.keys = &parts[sh];
+    op.limit = limit;
+    op.cb = [&, sh](Status s) {
+      statuses[sh] = s;
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+  for (const Status s : statuses) {
+    if (!ok(s)) return s;
+  }
+
+  std::vector<Bytes> merged;
+  for (auto& p : parts) {
+    merged.insert(merged.end(), std::make_move_iterator(p.begin()),
+                  std::make_move_iterator(p.end()));
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > limit) merged.resize(limit);
+  if (keys_out) *keys_out = std::move(merged);
+  return Status::kOk;
 }
 
 Status ShardedKvssd::execute_batch(std::vector<BatchOp>& ops) {
@@ -418,6 +473,27 @@ Status ShardedKvssd::flush() {
   for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
     ShardOp op;
     op.kind = ShardOp::Kind::kFlush;
+    op.cb = [&, sh](Status s) {
+      statuses[sh] = s;
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+  for (const Status s : statuses) {
+    if (!ok(s)) return s;
+  }
+  return Status::kOk;
+}
+
+Status ShardedKvssd::checkpoint() {
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(shards_.size())};
+  std::vector<Status> statuses(shards_.size(), Status::kOk);
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    ShardOp op;
+    op.kind = ShardOp::Kind::kCheckpoint;
     op.cb = [&, sh](Status s) {
       statuses[sh] = s;
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/backend.hpp"
 #include "kvssd/device.hpp"
 #include "obs/metrics.hpp"
 #include "shard/submission_ring.hpp"
@@ -39,14 +40,14 @@ struct ShardedConfig {
   std::size_t ring_capacity = 4096;
 };
 
-class ShardedKvssd {
+class ShardedKvssd : public api::IKvsBackend {
  public:
   using Callback = kvssd::KvssdDevice::Callback;
   using GetCallback = kvssd::KvssdDevice::GetCallback;
   using BatchOp = kvssd::KvssdDevice::BatchOp;
 
   explicit ShardedKvssd(ShardedConfig cfg);
-  ~ShardedKvssd();
+  ~ShardedKvssd() override;
 
   ShardedKvssd(const ShardedKvssd&) = delete;
   ShardedKvssd& operator=(const ShardedKvssd&) = delete;
@@ -70,32 +71,43 @@ class ShardedKvssd {
   std::vector<std::unique_ptr<flash::NandDevice>> release_nands();
 
   // -- Synchronous verbs (block until the op completes on its shard) ----------
-  Status put(ByteSpan key, ByteSpan value);
-  Status get(ByteSpan key, Bytes* value_out);
-  Status del(ByteSpan key);
-  Status exist(ByteSpan key);
+  Status put(ByteSpan key, ByteSpan value) override;
+  Status get(ByteSpan key, Bytes* value_out) override;
+  Status del(ByteSpan key) override;
+  Status exist(ByteSpan key) override;
+  /// Prefix scan across the whole array: every shard scans its keyspace
+  /// slice (behind its queued work), results are merged, sorted
+  /// lexicographically for a deterministic order, and truncated to
+  /// `limit`. kUnsupported unless the shard devices keep prefix
+  /// signatures (DeviceConfig::prefix_signatures).
+  Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
+                        std::size_t limit = SIZE_MAX) override;
   /// Compound command across the array: ops are partitioned by shard
   /// (relative order preserved within each shard), executed as one
   /// sub-batch per shard, and per-op status/value written back in place.
   Status execute_batch(std::vector<BatchOp>& ops);
 
   // -- Asynchronous submission (callbacks run on the shard's worker) ----------
-  void submit_put(Bytes key, Bytes value, Callback cb = {});
-  void submit_get(Bytes key, GetCallback cb);
+  void submit_put(Bytes key, Bytes value, Callback cb = {}) override;
+  void submit_get(Bytes key, GetCallback cb) override;
   void submit_get(Bytes key, Callback cb = {});
-  void submit_del(Bytes key, Callback cb = {});
+  void submit_del(Bytes key, Callback cb = {}) override;
 
   /// Cross-shard barrier: waits until every command submitted before the
   /// call has completed on its shard. Returns how many commands
   /// completed since the previous barrier (approximate under concurrent
   /// submitters).
-  std::size_t drain();
+  std::size_t drain() override;
   /// drain() + persists buffered data and index state on every shard.
-  Status flush();
+  Status flush() override;
+  /// Checkpoints every shard's index (DESIGN.md §8); first non-kOk shard
+  /// status wins. kUnsupported when checkpointing is disabled.
+  Status checkpoint() override;
 
   // -- Whole-array introspection (each implies a cross-shard barrier) ---------
   /// Merged DeviceStats (counters summed, histograms merged).
   kvssd::DeviceStats stats();
+  kvssd::DeviceStats stats_snapshot() override { return stats(); }
   /// Array time: max across shard clocks (shards advance concurrently).
   SimTime sim_time();
   /// Max stall time across shards.
@@ -109,7 +121,7 @@ class ShardedKvssd {
   /// drains), merges them (counters/timers summed, clock gauges maxed),
   /// and overlays the front-end's own `frontend.*` metrics (submission
   /// counts, barrier counts, shard count).
-  obs::MetricsSnapshot metrics_snapshot();
+  obs::MetricsSnapshot metrics_snapshot() override;
   /// The per-shard snapshots behind metrics_snapshot(), in shard order
   /// (same barrier semantics). The merged view equals merging these and
   /// adding the front-end overlay — tests assert exactly that.
@@ -148,8 +160,10 @@ class ShardedKvssd {
       kGet,
       kDel,
       kExist,
+      kIterate,
       kBatch,
       kFlush,
+      kCheckpoint,
       kSnapshot,
       kMetrics,
       kBarrier,
@@ -157,9 +171,11 @@ class ShardedKvssd {
     Kind kind = Kind::kBarrier;
     Bytes key;
     Bytes value;
-    Callback cb;                          ///< put/del/exist/flush completion
+    Callback cb;                 ///< put/del/exist/iterate/flush/ckpt completion
     GetCallback get_cb;                   ///< get completion
     std::vector<BatchOp>* batch = nullptr;  ///< sub-batch, owned by waiter
+    std::vector<Bytes>* keys = nullptr;   ///< iterate: per-shard key sink
+    std::size_t limit = 0;                ///< iterate: per-shard result cap
     Snapshot* snap_out = nullptr;
     std::function<void()> done;           ///< control-op completion
   };

@@ -1,6 +1,10 @@
 // Tests for the SNIA-style host API wrapper.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "api/kvs.hpp"
 
 namespace rhik::api {
@@ -13,17 +17,51 @@ KvsDeviceOptions small_opts() {
   return opts;
 }
 
-TEST(KvsApi, StatusMapping) {
-  EXPECT_EQ(from_status(Status::kOk), KvsResult::KVS_SUCCESS);
-  EXPECT_EQ(from_status(Status::kNotFound), KvsResult::KVS_ERR_KEY_NOT_EXIST);
-  EXPECT_EQ(from_status(Status::kDeviceFull), KvsResult::KVS_ERR_CONT_FULL);
-  EXPECT_EQ(from_status(Status::kCollisionAbort),
-            KvsResult::KVS_ERR_UNCORRECTIBLE);
-  EXPECT_EQ(from_status(Status::kUnsupported),
-            KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED);
+TEST(KvsApi, StatusMappingExhaustive) {
+  // Every Status has a deliberate KvsResult; a new Status enumerator
+  // must be added here (and to from_status) or this table goes stale.
+  const struct {
+    Status in;
+    KvsResult want;
+  } kTable[] = {
+      {Status::kOk, KvsResult::KVS_SUCCESS},
+      {Status::kNotFound, KvsResult::KVS_ERR_KEY_NOT_EXIST},
+      {Status::kAlreadyExists, KvsResult::KVS_ERR_OPTION_INVALID},
+      {Status::kDeviceFull, KvsResult::KVS_ERR_CONT_FULL},
+      {Status::kIndexFull, KvsResult::KVS_ERR_CONT_FULL},
+      {Status::kCollisionAbort, KvsResult::KVS_ERR_UNCORRECTIBLE},
+      {Status::kInvalidArgument, KvsResult::KVS_ERR_KEY_LENGTH_INVALID},
+      {Status::kCorruption, KvsResult::KVS_ERR_SYS_IO},
+      {Status::kIoError, KvsResult::KVS_ERR_SYS_IO},
+      {Status::kBusy, KvsResult::KVS_ERR_DEV_BUSY},
+      {Status::kUnsupported, KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED},
+  };
+  for (const auto& row : kTable) {
+    EXPECT_EQ(from_status(row.in), row.want)
+        << "status " << static_cast<int>(row.in);
+  }
 }
 
-TEST(KvsApi, ResultStrings) {
+TEST(KvsApi, ResultStringsExhaustive) {
+  const KvsResult kAll[] = {
+      KvsResult::KVS_SUCCESS,
+      KvsResult::KVS_ERR_KEY_NOT_EXIST,
+      KvsResult::KVS_ERR_KEY_LENGTH_INVALID,
+      KvsResult::KVS_ERR_VALUE_LENGTH_INVALID,
+      KvsResult::KVS_ERR_CONT_FULL,
+      KvsResult::KVS_ERR_UNCORRECTIBLE,
+      KvsResult::KVS_ERR_DEV_BUSY,
+      KvsResult::KVS_ERR_SYS_IO,
+      KvsResult::KVS_ERR_OPTION_INVALID,
+      KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED,
+  };
+  std::set<std::string> seen;
+  for (const KvsResult r : kAll) {
+    const char* s = to_string(r);
+    ASSERT_NE(s, nullptr);
+    EXPECT_STRNE(s, "KVS_ERR_UNKNOWN") << static_cast<int>(r);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate string " << s;
+  }
   EXPECT_STREQ(to_string(KvsResult::KVS_SUCCESS), "KVS_SUCCESS");
   EXPECT_STREQ(to_string(KvsResult::KVS_ERR_KEY_NOT_EXIST),
                "KVS_ERR_KEY_NOT_EXIST");
@@ -46,11 +84,12 @@ TEST(KvsApi, InvalidKeyRejected) {
   EXPECT_EQ(dev.store("", "v"), KvsResult::KVS_ERR_KEY_LENGTH_INVALID);
 }
 
-TEST(KvsApi, IteratorDisabledByDefault) {
+TEST(KvsApi, IteratorDisabledAtOpenIsOptionInvalid) {
+  // The device *could* iterate, the caller just didn't ask for it at
+  // open — a missing option, not a missing capability.
   KvsDevice dev(small_opts());
   std::vector<std::string> keys;
-  EXPECT_EQ(dev.iterate("user", &keys),
-            KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED);
+  EXPECT_EQ(dev.iterate("user", &keys), KvsResult::KVS_ERR_OPTION_INVALID);
 }
 
 TEST(KvsApi, IteratorEnumeratesPrefix) {
@@ -84,14 +123,154 @@ TEST(KvsApi, AnticipatedKeysSizesRhik) {
   KvsDevice dev(opts);
   // Eq. 2: 100000 keys / (32768/17 = 1927 records per 32 KiB page) ->
   // 52 pages -> 64 directory entries.
-  EXPECT_GE(dev.device().index().capacity(), 100000u);
+  EXPECT_GE(dev.metrics_snapshot().gauge("index.capacity"), 100000);
 }
 
-TEST(KvsApi, UnderlyingDeviceAccessible) {
+TEST(KvsApi, IntrospectionWithoutRawDevice) {
   KvsDevice dev(small_opts());
   ASSERT_EQ(dev.store("x", "y"), KvsResult::KVS_SUCCESS);
-  EXPECT_EQ(dev.device().key_count(), 1u);
-  EXPECT_GT(dev.device().clock().now(), 0u);
+  const auto snap = dev.metrics_snapshot();
+  EXPECT_EQ(snap.gauge("device.key_count"), 1);
+  EXPECT_GT(snap.gauge("clock.now_ns"), 0);
+  EXPECT_EQ(dev.stats_snapshot().puts, 1u);
+}
+
+TEST(KvsApi, ShardedIterateMergesShards) {
+  KvsDeviceOptions opts = small_opts();
+  opts.capacity_bytes = 1ull << 30;  // 32 8-MiB blocks per shard
+  opts.enable_iterator = true;
+  opts.num_shards = 4;
+  KvsDevice dev(opts);
+  ASSERT_TRUE(dev.sharded());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(dev.store("sess:" + std::to_string(i), "s"),
+              KvsResult::KVS_SUCCESS);
+    ASSERT_EQ(dev.store("blob:" + std::to_string(i), "b"),
+              KvsResult::KVS_SUCCESS);
+  }
+  std::vector<std::string> keys;
+  ASSERT_EQ(dev.iterate("sess", &keys), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(keys.size(), 32u);
+  for (const auto& k : keys) EXPECT_EQ(k.substr(0, 5), "sess:");
+  // Deterministic order: the merged result is sorted.
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(KvsApi, AsyncStoreRetrievePoll) {
+  KvsDevice dev(small_opts());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(dev.store_async("k" + std::to_string(i),
+                                  "v" + std::to_string(i)));
+  }
+  std::vector<KvsCompletion> done;
+  while (done.size() < ids.size()) {
+    ASSERT_GT(dev.poll_completions(&done), 0u);
+  }
+  ASSERT_EQ(done.size(), ids.size());
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].id, ids[i]);  // single device completes in order
+    EXPECT_EQ(done[i].op, KvsCompletion::Op::kStore);
+    EXPECT_EQ(done[i].result, KvsResult::KVS_SUCCESS);
+  }
+
+  const std::uint64_t gid = dev.retrieve_async("k3");
+  const std::uint64_t did = dev.remove_async("k5");
+  done.clear();
+  while (done.size() < 2) ASSERT_GT(dev.poll_completions(&done), 0u);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, gid);
+  EXPECT_EQ(done[0].op, KvsCompletion::Op::kRetrieve);
+  EXPECT_EQ(done[0].result, KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(done[0].value), "v3");
+  EXPECT_EQ(done[1].id, did);
+  EXPECT_EQ(done[1].op, KvsCompletion::Op::kRemove);
+  EXPECT_EQ(done[1].result, KvsResult::KVS_SUCCESS);
+  Bytes gone;
+  EXPECT_EQ(dev.retrieve("k5", &gone), KvsResult::KVS_ERR_KEY_NOT_EXIST);
+}
+
+TEST(KvsApi, AsyncOnShardedArray) {
+  KvsDeviceOptions opts = small_opts();
+  opts.capacity_bytes = 512ull << 20;  // 32 8-MiB blocks per shard
+  opts.num_shards = 2;
+  KvsDevice dev(opts);
+  std::set<std::uint64_t> pending;
+  for (int i = 0; i < 16; ++i) {
+    pending.insert(dev.store_async("k" + std::to_string(i), "v"));
+  }
+  std::vector<KvsCompletion> done;
+  while (done.size() < 16) dev.poll_completions(&done);
+  for (const auto& c : done) {
+    EXPECT_EQ(c.result, KvsResult::KVS_SUCCESS);
+    EXPECT_EQ(pending.erase(c.id), 1u);
+  }
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(KvsApi, CheckpointDisabledIsOptionInvalid) {
+  KvsDevice dev(small_opts());
+  EXPECT_EQ(dev.checkpoint(), KvsResult::KVS_ERR_OPTION_INVALID);
+}
+
+TEST(KvsApi, CheckpointRestartRoundTrip) {
+  KvsDeviceOptions opts = small_opts();
+  // The checkpoint tail reserves 4 of the device's 8-MiB blocks; leave
+  // plenty for data + GC headroom.
+  opts.capacity_bytes = 512ull << 20;
+  opts.enable_checkpoints = true;
+  KvsDevice dev(opts);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(dev.store("k" + std::to_string(i), "v" + std::to_string(i)),
+              KvsResult::KVS_SUCCESS);
+  }
+  ASSERT_EQ(dev.checkpoint(), KvsResult::KVS_SUCCESS);
+  kvssd::RecoveryStats stats;
+  ASSERT_EQ(dev.recover(&stats), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(stats.checkpoint_restored, 1u);
+  EXPECT_EQ(stats.full_scan_fallback, 0u);
+  for (int i = 0; i < 200; ++i) {
+    Bytes value;
+    ASSERT_EQ(dev.retrieve("k" + std::to_string(i), &value),
+              KvsResult::KVS_SUCCESS);
+    EXPECT_EQ(rhik::to_string(value), "v" + std::to_string(i));
+  }
+}
+
+TEST(KvsApi, CheckpointRestartRoundTripSharded) {
+  KvsDeviceOptions opts = small_opts();
+  opts.capacity_bytes = 1ull << 30;  // each shard reserves its own ckpt tail
+  opts.enable_checkpoints = true;
+  opts.num_shards = 2;
+  KvsDevice dev(opts);
+  ASSERT_TRUE(dev.sharded());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(dev.store("k" + std::to_string(i), "v" + std::to_string(i)),
+              KvsResult::KVS_SUCCESS);
+  }
+  ASSERT_EQ(dev.checkpoint(), KvsResult::KVS_SUCCESS);
+  kvssd::RecoveryStats stats;
+  ASSERT_EQ(dev.recover(&stats), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(stats.checkpoint_restored, 2u);  // merged across both shards
+  EXPECT_EQ(stats.full_scan_fallback, 0u);
+  for (int i = 0; i < 200; ++i) {
+    Bytes value;
+    ASSERT_EQ(dev.retrieve("k" + std::to_string(i), &value),
+              KvsResult::KVS_SUCCESS);
+    EXPECT_EQ(rhik::to_string(value), "v" + std::to_string(i));
+  }
+}
+
+TEST(KvsApi, RecoverWithoutCheckpointFallsBackToScan) {
+  KvsDevice dev(small_opts());
+  ASSERT_EQ(dev.store("a", "1"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.flush(), KvsResult::KVS_SUCCESS);
+  kvssd::RecoveryStats stats;
+  ASSERT_EQ(dev.recover(&stats), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(stats.checkpoint_restored, 0u);
+  Bytes value;
+  EXPECT_EQ(dev.retrieve("a", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "1");
 }
 
 }  // namespace

@@ -386,9 +386,23 @@ std::string make_value(const std::string& k, int life, int op, std::size_t len) 
   return v;
 }
 
-TEST(CrashHarness, RandomizedCrashPoints) {
-  constexpr int kCrashPoints = 220;
-  const DeviceConfig cfg = crash_config();
+/// What the randomized harness accumulated across all its lives; the
+/// meta-assertions differ between the plain and the checkpointed run.
+struct HarnessTotals {
+  std::uint64_t gc_runs = 0;
+  std::uint64_t live_resizes = 0;
+  std::uint64_t torn_dropped = 0;
+  std::uint64_t extents_dropped = 0;
+  std::uint64_t fast_restores = 0;
+  std::uint64_t full_scans = 0;
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t torn_injected = 0;
+  std::uint64_t power_cuts = 0;
+  std::size_t keys_touched = 0;
+};
+
+void run_crash_harness(const DeviceConfig& cfg, int crash_points,
+                       HarnessTotals* totals) {
   Rng rng(0xC0FFEE);
   flash::FaultInjector fi(0xFA17);
 
@@ -402,7 +416,7 @@ TEST(CrashHarness, RandomizedCrashPoints) {
   std::uint64_t torn_dropped = 0;
   std::uint64_t extents_dropped = 0;
 
-  for (int life = 0; life < kCrashPoints; ++life) {
+  for (int life = 0; life < crash_points; ++life) {
     universe += 2;
     const std::uint64_t resizes_at_start = dev->index().op_stats().resizes;
     fi.arm_after(rng.next_range(1, 120));
@@ -461,6 +475,9 @@ TEST(CrashHarness, RandomizedCrashPoints) {
     dev = std::move(recovered).value();
     torn_dropped += rstats.torn_pages_dropped;
     extents_dropped += rstats.incomplete_extents_dropped;
+    totals->fast_restores += rstats.checkpoint_restored;
+    totals->full_scans += rstats.full_scan_fallback;
+    totals->journal_records_replayed += rstats.journal_records_replayed;
 
     // Every key must read back as SOME acknowledged state at-or-after
     // its durability floor (or an unacked maybe-state from the cut).
@@ -491,15 +508,66 @@ TEST(CrashHarness, RandomizedCrashPoints) {
     }
   }
 
-  EXPECT_EQ(fi.stats().power_cuts, static_cast<std::uint64_t>(kCrashPoints));
+  totals->gc_runs = gc_runs;
+  totals->live_resizes = live_resizes;
+  totals->torn_dropped = torn_dropped;
+  totals->extents_dropped = extents_dropped;
+  totals->torn_injected = fi.stats().torn_pages;
+  totals->power_cuts = fi.stats().power_cuts;
+  totals->keys_touched = model.size();
+}
+
+TEST(CrashHarness, RandomizedCrashPoints) {
+  constexpr int kCrashPoints = 220;
+  HarnessTotals t;
+  run_crash_harness(crash_config(), kCrashPoints, &t);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  EXPECT_EQ(t.power_cuts, static_cast<std::uint64_t>(kCrashPoints));
   // The mixed workload really exercised what the harness claims: GC ran,
   // the index resized mid-life, and torn pages were detected + dropped.
-  EXPECT_GT(gc_runs, 0u);
-  EXPECT_GT(live_resizes, 0u);
-  EXPECT_GT(torn_dropped, 0u);
-  EXPECT_GT(fi.stats().torn_pages, 0u);
-  EXPECT_GT(extents_dropped, 0u);
-  EXPECT_GT(model.size(), 200u);  // universe growth kept adding fresh keys
+  EXPECT_GT(t.gc_runs, 0u);
+  EXPECT_GT(t.live_resizes, 0u);
+  EXPECT_GT(t.torn_dropped, 0u);
+  EXPECT_GT(t.torn_injected, 0u);
+  EXPECT_GT(t.extents_dropped, 0u);
+  EXPECT_GT(t.keys_touched, 200u);  // universe growth kept adding fresh keys
+  // No checkpoint region: every restart was a full-device scan.
+  EXPECT_EQ(t.fast_restores, 0u);
+  EXPECT_EQ(t.full_scans, static_cast<std::uint64_t>(kCrashPoints));
+}
+
+TEST(CrashHarness, RandomizedCrashPointsWithCheckpointing) {
+  // The same 220-cut gauntlet with the checkpoint + journal machinery
+  // live: checkpoints race the cuts (slot programs, journal flushes and
+  // superblock commits are all destructive ops the countdown can land
+  // on), and restarts take whichever path the surviving on-flash state
+  // allows. The durability model is path-agnostic, so admissibility of
+  // every recovered key is checked exactly as in the plain run.
+  constexpr int kCrashPoints = 220;
+  DeviceConfig cfg = crash_config();
+  cfg.checkpoint.enabled = true;
+  cfg.checkpoint.slot_blocks = 2;    // payload cap: 32 tiny pages per slot
+  cfg.checkpoint.journal_blocks = 2;
+  cfg.checkpoint.dirty_pages = 48;   // checkpoint often → both paths exercised
+  cfg.checkpoint.pump_pages = 4;     // incremental pumping mid-workload
+  HarnessTotals t;
+  run_crash_harness(cfg, kCrashPoints, &t);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  EXPECT_EQ(t.power_cuts, static_cast<std::uint64_t>(kCrashPoints));
+  EXPECT_GT(t.gc_runs, 0u);
+  EXPECT_GT(t.live_resizes, 0u);
+  EXPECT_GT(t.torn_injected, 0u);
+  EXPECT_GT(t.keys_touched, 200u);
+  // Both restart paths must really have run: fast restores with journal
+  // replay when a durable checkpoint survived the cut, and the full-scan
+  // fallback when one didn't (torn slot, torn journal tail, barrier).
+  EXPECT_GT(t.fast_restores, 0u);
+  EXPECT_GT(t.full_scans, 0u);
+  EXPECT_GT(t.journal_records_replayed, 0u);
+  EXPECT_EQ(t.fast_restores + t.full_scans,
+            static_cast<std::uint64_t>(kCrashPoints));
 }
 
 }  // namespace
