@@ -1,5 +1,6 @@
 #include "ftl/gc.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -7,9 +8,22 @@ namespace rhik::ftl {
 
 using flash::Ppa;
 
+double erase_spread(const flash::NandDevice& nand, std::uint32_t nblocks) {
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const std::uint64_t e = nand.erase_count(b);
+    max = std::max(max, e);
+    sum += e;
+  }
+  if (nblocks == 0 || sum == 0) return 1.0;
+  return static_cast<double>(max) * nblocks / static_cast<double>(sum);
+}
+
 GarbageCollector::GarbageCollector(flash::NandDevice* nand, PageAllocator* alloc,
-                                   FlashKvStore* store, GcIndexHooks* hooks)
-    : nand_(nand), alloc_(alloc), store_(store), hooks_(hooks) {
+                                   FlashKvStore* store, GcIndexHooks* hooks,
+                                   GcTuning tuning)
+    : nand_(nand), alloc_(alloc), store_(store), hooks_(hooks), tuning_(tuning) {
   assert(nand_ && alloc_ && store_ && hooks_);
 }
 
@@ -28,60 +42,185 @@ Status GarbageCollector::collect(std::uint32_t target_free) {
 }
 
 Status GarbageCollector::collect_one() {
-  const auto victim = alloc_->pick_victim();
-  if (!victim) return Status::kDeviceFull;
-  stats_.runs++;
-  // The store's open write buffer may target the victim block's final
-  // page (a block seals the moment its last page is handed out, possibly
-  // before that page is programmed). Persist it so the scan sees it and
-  // its pairs can be relocated before the erase.
-  if (const auto open = store_->open_page();
-      open && flash::ppa_block(nand_->geometry(), *open) == *victim) {
-    if (Status s = store_->flush(); !ok(s)) return s;
+  if (bg_) {
+    // Foreground pressure overtook the background pace: finish the
+    // in-flight victim synchronously rather than double-collecting a
+    // second block (its already-relocated pages must not be re-scanned).
+    const InProgress ip = *bg_;
+    bg_.reset();
+    std::uint32_t pg = ip.next_page;
+    if (Status s = relocate_pages(ip.block, &pg, UINT32_MAX); !ok(s)) return s;
+    return finish_victim(ip.block, ip.pairs_before);
   }
+  const auto victim = alloc_->pick_victim(tuning_.policy);
+  if (!victim) return Status::kDeviceFull;
+  return collect_block(*victim);
+}
+
+Status GarbageCollector::collect_block(std::uint32_t block) {
+  stats_.runs++;
+  victim_sigs_.clear();
+  // The store's open write buffers may target the victim block's final
+  // page (a block seals the moment its last page is handed out, possibly
+  // before that page is programmed). Persist such a buffer so the scan
+  // sees it and its pairs can be relocated before the erase.
+  if (Status s = store_->flush_block(block); !ok(s)) return s;
   const std::uint64_t pairs_before = stats_.pairs_relocated;
-  if (Status s = relocate_block(*victim); !ok(s)) return s;
+  std::uint32_t pg = 0;
+  if (Status s = relocate_pages(block, &pg, UINT32_MAX); !ok(s)) return s;
+  return finish_victim(block, pairs_before);
+}
+
+Status GarbageCollector::finish_victim(std::uint32_t block,
+                                       std::uint64_t pairs_before) {
+  // If the victim holds the durable copy of a signature whose newest
+  // version is still buffered in the hot open page (a put or delete the
+  // host was already acknowledged for), that record was skipped as
+  // stale above — but until the buffer programs, the victim's copy is
+  // the only durable trace of the key. Persist the buffer before the
+  // erase, or a power cut would roll the key back past its durability
+  // floor (or resurrect a deleted one).
+  for (const std::uint64_t sig : victim_sigs_) {
+    if (store_->hot_buffer_contains(sig)) {
+      if (Status s = store_->flush_hot(); !ok(s)) return s;
+      break;
+    }
+  }
+  victim_sigs_.clear();
   // Relocated pairs and tombstones may still sit in the store's open
   // write buffer. Persist them BEFORE erasing the victim: a power cut
   // between the erase and the eventual flush would otherwise destroy
   // the only durable copy of data the host was long ago acknowledged
   // for. Flushing first leaves duplicates across source and destination
   // at worst, and recovery resolves those by sequence number.
-  if (stats_.pairs_relocated > pairs_before && store_->open_page()) {
-    if (Status s = store_->flush(); !ok(s)) return s;
+  if (stats_.pairs_relocated > pairs_before) {
+    if (Status s = store_->flush_relocations(); !ok(s)) return s;
   }
-  if (Status s = alloc_->reclaim_block(*victim); !ok(s)) return s;
+  if (Status s = alloc_->reclaim_block(block); !ok(s)) return s;
   stats_.blocks_reclaimed++;
   return Status::kOk;
 }
 
-Status GarbageCollector::relocate_block(std::uint32_t block) {
+Status GarbageCollector::background_tick(bool* did_work) {
+  if (did_work) *did_work = false;
+  if (tuning_.background_free_blocks == 0 || tuning_.quantum_pages == 0) {
+    return Status::kOk;
+  }
+  if (!bg_) {
+    // Periodic static wear pass: long-lived cold blocks freeze their
+    // erase counts while hot blocks cycle; when the spread exceeds the
+    // threshold, migrate the coldest block so its low-wear cells rejoin
+    // the free pool. Checked rarely — a migration moves a whole block.
+    if (tuning_.wear_leveling_threshold > 0.0 &&
+        ++wear_check_countdown_ >= tuning_.wear_check_quanta) {
+      wear_check_countdown_ = 0;
+      if (const auto b = wear_victim()) {
+        if (Status s = collect_block(*b); !ok(s)) return s;
+        stats_.wear_migrations++;
+        if (did_work) *did_work = true;
+        return Status::kOk;
+      }
+    }
+    if (alloc_->free_blocks() >= tuning_.background_free_blocks) {
+      return Status::kOk;
+    }
+    const auto victim = alloc_->pick_victim(tuning_.policy);
+    if (!victim) return Status::kOk;  // nothing sealed yet
+    // A (nearly) fully live victim frees almost nothing: collecting it
+    // in the background would churn writes forever on a genuinely full
+    // device. Leave it to foreground pressure, whose no-progress check
+    // turns that condition into kDeviceFull for the host.
+    const std::uint64_t cap = nand_->geometry().block_bytes();
+    if (alloc_->block_live_bytes(*victim) * 10 >= cap * 9) return Status::kOk;
+    if (Status s = store_->flush_block(*victim); !ok(s)) return s;
+    stats_.runs++;
+    victim_sigs_.clear();
+    bg_ = InProgress{*victim, 0, stats_.pairs_relocated};
+  }
+  std::uint32_t pg = bg_->next_page;
+  const Status s = relocate_pages(bg_->block, &pg, tuning_.quantum_pages);
+  if (!ok(s)) {
+    bg_.reset();
+    return s;
+  }
+  bg_->next_page = pg;
+  stats_.background_quanta++;
+  if (did_work) *did_work = true;
+  if (pg >= alloc_->pages_used(bg_->block)) {
+    const InProgress ip = *bg_;
+    bg_.reset();
+    return finish_victim(ip.block, ip.pairs_before);
+  }
+  return Status::kOk;
+}
+
+std::optional<std::uint32_t> GarbageCollector::wear_victim() const {
+  const std::uint32_t nblocks = alloc_->first_reserved_block();
+  if (erase_spread(*nand_, nblocks) <= tuning_.wear_leveling_threshold) {
+    return std::nullopt;
+  }
+  std::uint64_t sum = 0;
+  for (std::uint32_t b = 0; b < nblocks; ++b) sum += nand_->erase_count(b);
+  const double mean = static_cast<double>(sum) / nblocks;
+  // The coldest sealed block: least erased (strictly below the mean, so
+  // migrating it actually narrows the spread).
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_erase = UINT64_MAX;
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    if (!alloc_->is_sealed(b)) continue;
+    const std::uint64_t e = nand_->erase_count(b);
+    if (static_cast<double>(e) >= mean) continue;
+    if (e < best_erase) {
+      best_erase = e;
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status GarbageCollector::relocate_pages(std::uint32_t block, std::uint32_t* page,
+                                        std::uint32_t max_pages) {
   const auto& g = nand_->geometry();
   const std::uint32_t used = alloc_->pages_used(block);
   Bytes spare(g.spare_size());
 
-  for (std::uint32_t pg = 0; pg < used; ++pg) {
+  std::uint32_t budget = max_pages;
+  std::uint32_t pg = *page;
+  for (; pg < used && budget > 0; ++pg, --budget) {
     const Ppa ppa = flash::make_ppa(g, block, pg);
     if (!nand_->is_programmed(ppa)) continue;  // abandoned extent tail
-    if (Status s = nand_->read_page(ppa, {}, spare); !ok(s)) return s;
+    if (Status s = nand_->read_page(ppa, {}, spare); !ok(s)) {
+      *page = pg;
+      return s;
+    }
     const SpareTag tag = SpareTag::decode(spare);
     switch (tag.kind) {
       case PageKind::kDataHead:
-        if (Status s = relocate_data_head(ppa); !ok(s)) return s;
+        if (Status s = relocate_data_head(ppa); !ok(s)) {
+          *page = pg;
+          return s;
+        }
         break;
       case PageKind::kDataCont:
         break;  // moved with its head page
       case PageKind::kIndexRecord:
       case PageKind::kIndexDir:
         if (hooks_->gc_is_live_index_page(ppa)) {
-          if (Status s = hooks_->gc_relocate_index_page(ppa); !ok(s)) return s;
+          if (Status s = hooks_->gc_relocate_index_page(ppa); !ok(s)) {
+            *page = pg;
+            return s;
+          }
           stats_.index_pages_relocated++;
         }
         break;
       case PageKind::kFree:
         break;
+      case PageKind::kCkptSuper:
+      case PageKind::kCkptJournal:
+        break;  // live only in the reserved tail, never in a victim
     }
   }
+  *page = pg;
   return Status::kOk;
 }
 
@@ -96,6 +235,7 @@ Status GarbageCollector::relocate_data_head(Ppa ppa) {
   // update); only the newest can be live, so deduplicate keeping order.
   std::unordered_set<std::uint64_t> seen;
   for (auto it = pairs->rbegin(); it != pairs->rend(); ++it) {
+    victim_sigs_.insert(it->header.sig);
     if (!seen.insert(it->header.sig).second) continue;  // older duplicate
     const auto mapped = hooks_->gc_lookup(it->header.sig);
 
@@ -115,7 +255,6 @@ Status GarbageCollector::relocate_data_head(Ppa ppa) {
     }
 
     if (!mapped || *mapped != ppa) continue;  // stale pair
-
     Bytes key, value;
     if (Status s = store_->read_pair(ppa, it->header.sig, &key, &value); !ok(s)) {
       return s;

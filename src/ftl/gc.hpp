@@ -1,17 +1,28 @@
 // Garbage collector (paper §IV-B).
 //
-// Victim blocks are chosen greedily by least live bytes. For KV-zone
-// blocks the collector scans each head page's key-signature information
-// area and validates every pair against the global index: a pair is live
-// iff the index still maps its signature to this extent's starting PPA.
-// Live pairs are relocated through the normal log write path and the
-// index is updated. Index-zone blocks (record pages made stale by a
-// resize, old directory checkpoints) are validated and relocated through
-// the owning index's hooks.
+// Victim blocks are chosen greedily by least live bytes, or — under
+// GcPolicy::kCostBenefit — by the cost-benefit score with an erase-count
+// wear tiebreak. For KV-zone blocks the collector scans each head page's
+// key-signature information area and validates every pair against the
+// global index: a pair is live iff the index still maps its signature to
+// this extent's starting PPA. Live pairs are relocated through the normal
+// log write path (onto the cold stream when hot/cold separation is on)
+// and the index is updated. Index-zone blocks (record pages made stale by
+// a resize, old directory checkpoints) are validated and relocated
+// through the owning index's hooks.
+//
+// Besides the synchronous collect()/collect_one() paths, the collector
+// can run *incrementally*: background_tick() processes one bounded work
+// quantum (at most GcTuning::quantum_pages victim pages) per call, so the
+// device can fold reclamation into idle windows instead of stalling a
+// foreground write behind a whole-block relocation. A partially collected
+// victim is crash-safe by construction — relocations are flushed before
+// the erase, and until the erase the originals remain the durable copies.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 
 #include "common/status.hpp"
 #include "flash/nand.hpp"
@@ -47,6 +58,8 @@ struct GcStats {
   std::uint64_t index_pages_relocated = 0;
   std::uint64_t bytes_relocated = 0;  ///< write amplification source
   std::uint64_t runs = 0;
+  std::uint64_t background_quanta = 0;  ///< incremental work slices executed
+  std::uint64_t wear_migrations = 0;    ///< static wear-leveling block moves
 
   /// Registers these counters into a metrics snapshot (`gc.*`).
   void publish(obs::MetricsSnapshot& snap) const {
@@ -55,33 +68,110 @@ struct GcStats {
     snap.add_counter("gc.index_pages_relocated", index_pages_relocated);
     snap.add_counter("gc.bytes_relocated", bytes_relocated);
     snap.add_counter("gc.runs", runs);
+    snap.add_counter("gc.background_quanta", background_quanta);
+    snap.add_counter("gc.wear_migrations", wear_migrations);
   }
 };
+
+/// Collector behavior knobs. The defaults reproduce the original
+/// collector exactly: greedy victims, no background quanta, no static
+/// wear pass (existing unit tests construct the collector without one).
+struct GcTuning {
+  GcPolicy policy = GcPolicy::kGreedy;
+  /// background_tick() starts reclaiming once the free pool drops below
+  /// this; 0 disables incremental background GC entirely.
+  std::uint32_t background_free_blocks = 0;
+  /// Victim pages processed per background quantum.
+  std::uint32_t quantum_pages = 32;
+  /// Static wear pass triggers when max/mean block erase count exceeds
+  /// this; <= 0 disables the pass.
+  double wear_leveling_threshold = 0.0;
+  /// Background ticks between static-wear checks (the pass migrates a
+  /// whole block, so it must stay rare).
+  std::uint32_t wear_check_quanta = 64;
+};
+
+/// Max/mean block erase count over the first `nblocks` blocks (the log
+/// region — the reserved checkpoint tail wears on its own schedule).
+/// Returns 1.0 while no block has been erased.
+double erase_spread(const flash::NandDevice& nand, std::uint32_t nblocks);
 
 class GarbageCollector {
  public:
   GarbageCollector(flash::NandDevice* nand, PageAllocator* alloc,
-                   FlashKvStore* store, GcIndexHooks* hooks);
+                   FlashKvStore* store, GcIndexHooks* hooks,
+                   GcTuning tuning = {});
 
   /// Reclaims blocks until at least `target_free` blocks are free (or no
   /// further progress is possible). Returns kDeviceFull when nothing
   /// reclaimable remains below the target.
   Status collect(std::uint32_t target_free);
 
-  /// Reclaims exactly one victim block. kDeviceFull if no victim exists.
+  /// Reclaims exactly one victim block (finishing the background victim
+  /// first if one is mid-flight). kDeviceFull if no victim exists.
   Status collect_one();
 
+  /// Incremental background step: processes at most one quantum of
+  /// victim pages (GcTuning::quantum_pages), finishing with the erase
+  /// once the victim is fully relocated. Also runs the periodic static
+  /// wear pass. Sets `*did_work` when anything was processed, so idle
+  /// loops know whether to call again. No-op (kOk, no work) while the
+  /// free pool sits above GcTuning::background_free_blocks.
+  Status background_tick(bool* did_work = nullptr);
+
+  /// True when a partially relocated background victim is in flight.
+  [[nodiscard]] bool background_in_progress() const noexcept {
+    return bg_.has_value();
+  }
+  /// True when the next background_tick() would find work to do.
+  [[nodiscard]] bool background_pending() const noexcept {
+    return tuning_.background_free_blocks != 0 &&
+           (bg_.has_value() ||
+            alloc_->free_blocks() < tuning_.background_free_blocks);
+  }
+
   [[nodiscard]] const GcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const GcTuning& tuning() const noexcept { return tuning_; }
 
  private:
-  Status relocate_block(std::uint32_t block);
+  /// Relocates live contents of `block` starting at `*page`, at most
+  /// `max_pages` pages; `*page` advances to the first unprocessed page.
+  Status relocate_pages(std::uint32_t block, std::uint32_t* page,
+                        std::uint32_t max_pages);
   Status relocate_data_head(flash::Ppa ppa);
+  /// Flushes relocation buffers and erases a fully relocated victim.
+  Status finish_victim(std::uint32_t block, std::uint64_t pairs_before);
+  /// Full synchronous relocation + erase of one block.
+  Status collect_block(std::uint32_t block);
+  /// Sealed low-wear block worth migrating, when spread exceeds the
+  /// threshold; nullopt otherwise.
+  [[nodiscard]] std::optional<std::uint32_t> wear_victim() const;
 
   flash::NandDevice* nand_;
   PageAllocator* alloc_;
   FlashKvStore* store_;
   GcIndexHooks* hooks_;
+  GcTuning tuning_;
   GcStats stats_;
+
+  /// Background victim mid-relocation (survives across quanta).
+  struct InProgress {
+    std::uint32_t block = 0;
+    std::uint32_t next_page = 0;
+    std::uint64_t pairs_before = 0;
+  };
+  std::optional<InProgress> bg_;
+  std::uint32_t wear_check_countdown_ = 0;
+
+  /// Every signature seen in the current victim's head pages. Checked
+  /// against the hot write buffer at finish time: if the victim holds
+  /// the durable copy of a signature whose newest (acknowledged)
+  /// version is still buffered, the buffer is flushed before the erase
+  /// — otherwise a power cut after the erase would destroy the only
+  /// durable version. With the pre-separation shared buffer this held
+  /// implicitly (the relocation flush persisted host writes too); with
+  /// a dedicated cold stream it must be enforced explicitly.
+  std::unordered_set<std::uint64_t> victim_sigs_;
 };
 
 }  // namespace rhik::ftl

@@ -11,10 +11,12 @@ using flash::Ppa;
 FlashKvStore::FlashKvStore(flash::NandDevice* nand, PageAllocator* alloc)
     : nand_(nand),
       alloc_(alloc),
-      builder_(nand->geometry().page_size),
+      hot_(nand->geometry().page_size),
+      cold_(nand->geometry().page_size),
       page_buf_(nand->geometry().page_size),
       spare_buf_(nand->geometry().spare_size()) {
   assert(nand_ != nullptr && alloc_ != nullptr);
+  cold_.stream = Stream::kCold;
 }
 
 std::uint64_t FlashKvStore::max_value_size(std::size_t key_len) const noexcept {
@@ -26,20 +28,47 @@ std::uint64_t FlashKvStore::max_value_size(std::size_t key_len) const noexcept {
   return overhead >= extent_cap ? 0 : extent_cap - overhead;
 }
 
-Status FlashKvStore::program_open_page() {
-  assert(open_ppa_.has_value());
+Status FlashKvStore::program_open_page(OpenPage& open) {
+  assert(open.ppa.has_value());
   Bytes spare(nand_->geometry().spare_size(), 0xFF);
-  SpareTag{PageKind::kDataHead, Stream::kData}.encode(spare);
+  SpareTag{PageKind::kDataHead, open.stream}.encode(spare);
   DataPageSpare{next_seq_++}.encode(spare);
-  const Status s = nand_->program_page(*open_ppa_, builder_.finalize(), spare);
-  open_ppa_.reset();
-  builder_.reset();
+  const Status s = nand_->program_page(*open.ppa, open.builder.finalize(), spare);
+  open.ppa.reset();
+  open.builder.reset();
   return s;
 }
 
 Status FlashKvStore::flush() {
-  if (!open_ppa_) return Status::kOk;
-  return program_open_page();
+  if (hot_.ppa) {
+    if (Status s = program_open_page(hot_); !ok(s)) return s;
+  }
+  if (cold_.ppa) {
+    if (Status s = program_open_page(cold_); !ok(s)) return s;
+  }
+  return Status::kOk;
+}
+
+Status FlashKvStore::flush_relocations() {
+  OpenPage& open = open_for(/*for_gc=*/true);
+  if (!open.ppa) return Status::kOk;
+  return program_open_page(open);
+}
+
+Status FlashKvStore::flush_hot() {
+  if (!hot_.ppa) return Status::kOk;
+  return program_open_page(hot_);
+}
+
+Status FlashKvStore::flush_block(std::uint32_t block) {
+  const auto& g = nand_->geometry();
+  if (hot_.ppa && flash::ppa_block(g, *hot_.ppa) == block) {
+    if (Status s = program_open_page(hot_); !ok(s)) return s;
+  }
+  if (cold_.ppa && flash::ppa_block(g, *cold_.ppa) == block) {
+    if (Status s = program_open_page(cold_); !ok(s)) return s;
+  }
+  return Status::kOk;
 }
 
 Result<Ppa> FlashKvStore::write_pair(std::uint64_t sig, ByteSpan key, ByteSpan value,
@@ -65,35 +94,47 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
     return Status::kInvalidArgument;
   }
 
+  // Ordering hazard between the streams: page sequence numbers are
+  // assigned at program time, so a stale GC-relocated copy of `sig`
+  // buffered in the cold open page would reach flash AFTER this fresher
+  // write with a higher sequence — and win recovery's newest-wins scan.
+  // Flush the cold buffer first so flash order matches logical order.
+  if (!for_gc && cold_.ppa && cold_.builder.contains(sig)) {
+    if (Status s = program_open_page(cold_); !ok(s)) return s;
+  }
+
   const PairHeader hdr{sig, static_cast<std::uint16_t>(key.size()),
                        static_cast<std::uint32_t>(value.size()), tombstone};
   const std::uint64_t total = hdr.pair_bytes();
+  OpenPage& open = open_for(for_gc);
 
   if (DataPageBuilder::fits_in_empty_page(g.page_size, total)) {
-    // Small pair: pack into the open head page.
-    if (open_ppa_ && !builder_.fits(total)) {
-      if (Status s = program_open_page(); !ok(s)) return s;
+    // Small pair: pack into the stream's open head page.
+    if (open.ppa && !open.builder.fits(total)) {
+      if (Status s = program_open_page(open); !ok(s)) return s;
     }
-    if (!open_ppa_) {
-      auto ppa = alloc_->allocate(Stream::kData, for_gc);
+    if (!open.ppa) {
+      auto ppa = alloc_->allocate(open.stream, for_gc);
       if (!ppa) return ppa.status();
-      open_ppa_ = *ppa;
-      open_for_gc_ = for_gc;
-      builder_.reset();
+      open.ppa = *ppa;
+      open.builder.reset();
     }
-    builder_.append(hdr, key, value);
-    alloc_->add_live(*open_ppa_, total);
+    open.builder.append(hdr, key, value);
+    alloc_->add_live(*open.ppa, total);
     stats_.pairs_written++;
     if (for_gc) stats_.gc_pairs_written++;
-    return *open_ppa_;
+    return *open.ppa;
   }
 
-  // Large pair: its own extent of physically contiguous pages.
-  // Flush the open page first so in-block programming stays in order.
-  if (Status s = flush(); !ok(s)) return s;
+  // Large pair: its own extent of physically contiguous pages. Flush the
+  // stream's open page first so in-block programming stays in order (the
+  // other stream's open page sits in a different active block).
+  if (open.ppa) {
+    if (Status s = program_open_page(open); !ok(s)) return s;
+  }
 
   const std::uint32_t npages = extent_pages(g, total);
-  auto base = alloc_->allocate_extent(Stream::kData, npages, for_gc);
+  auto base = alloc_->allocate_extent(open.stream, npages, for_gc);
   if (!base) return base.status();
 
   const std::size_t head_cap = g.page_size - PageFooter::size_for(1);
@@ -102,12 +143,12 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
   head.begin_extent(hdr, key, value.subspan(0, prefix_len));
 
   Bytes spare(g.spare_size(), 0xFF);
-  SpareTag{PageKind::kDataHead, Stream::kData}.encode(spare);
+  SpareTag{PageKind::kDataHead, open.stream}.encode(spare);
   DataPageSpare{next_seq_++}.encode(spare);
   if (Status s = nand_->program_page(*base, head.finalize(), spare); !ok(s)) return s;
   std::fill(spare.begin(), spare.end(), 0xFF);
 
-  SpareTag{PageKind::kDataCont, Stream::kData}.encode(spare);
+  SpareTag{PageKind::kDataCont, open.stream}.encode(spare);
   std::size_t off = prefix_len;
   for (std::uint32_t p = 1; p < npages; ++p) {
     const std::size_t chunk = std::min<std::size_t>(g.page_size, value.size() - off);
@@ -127,10 +168,12 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
 }
 
 Status FlashKvStore::load_head_page(Ppa ppa) {
-  if (open_ppa_ && *open_ppa_ == ppa) {
-    const ByteSpan img = builder_.finalize();
-    std::memcpy(page_buf_.data(), img.data(), img.size());
-    return Status::kOk;
+  for (OpenPage* open : {&hot_, &cold_}) {
+    if (open->ppa && *open->ppa == ppa) {
+      const ByteSpan img = open->builder.finalize();
+      std::memcpy(page_buf_.data(), img.data(), img.size());
+      return Status::kOk;
+    }
   }
   if (Status s = nand_->read_page(ppa, page_buf_, spare_buf_); !ok(s)) return s;
   const SpareTag tag = SpareTag::decode(spare_buf_);

@@ -77,10 +77,42 @@ class FlashKvStore {
   /// selection sees the reclaimed bytes.
   void note_stale(flash::Ppa start, std::uint64_t total_bytes);
 
-  /// Programs the partially filled open page, if any. Reads are served
-  /// from the open buffer transparently, so this is only needed for
-  /// power-cycle persistence.
+  /// Programs the partially filled open pages (hot and cold), if any.
+  /// Reads are served from the open buffers transparently, so this is
+  /// only needed for power-cycle persistence.
   Status flush();
+
+  /// Programs whichever open page (hot or cold) targets `block`, if any.
+  /// GC calls this before scanning a victim so buffered pairs are seen
+  /// and before erasing it so they are never destroyed.
+  Status flush_block(std::uint32_t block);
+
+  /// Programs the open page GC relocations are buffered in (the cold
+  /// page under cold separation, otherwise the shared hot page). GC
+  /// calls this before a victim erase so relocated pairs are never the
+  /// only copy in RAM.
+  Status flush_relocations();
+
+  /// Programs the hot open page, if one is buffered. GC calls this
+  /// before a victim erase when the victim holds the durable copy of a
+  /// signature whose newer version still sits in the hot buffer — the
+  /// erase must never destroy the only durable version of an
+  /// acknowledged write.
+  Status flush_hot();
+
+  /// True if a pair or tombstone for `sig` is buffered (volatile) in
+  /// the hot open page.
+  [[nodiscard]] bool hot_buffer_contains(std::uint64_t sig) const noexcept {
+    return hot_.ppa.has_value() && hot_.builder.contains(sig);
+  }
+
+  /// Hot/cold separation (HashKV-style): when on, `for_gc` writes —
+  /// relocated survivors, by definition colder than fresh traffic — are
+  /// packed into their own open page on the Stream::kCold append stream
+  /// instead of re-mixing with fresh writes. Off by default (single
+  /// open page, original behavior).
+  void set_cold_separation(bool on) noexcept { cold_separation_ = on; }
+  [[nodiscard]] bool cold_separation() const noexcept { return cold_separation_; }
 
   /// Largest value storable with a key of `key_len` bytes (extent must
   /// fit one erase block).
@@ -93,8 +125,13 @@ class FlashKvStore {
   }
 
   [[nodiscard]] const KvStoreStats& stats() const noexcept { return stats_; }
+  /// The hot open page (fresh writes), if one is buffered.
   [[nodiscard]] std::optional<flash::Ppa> open_page() const noexcept {
-    return open_ppa_;
+    return hot_.ppa;
+  }
+  /// The cold open page (GC relocations under cold separation), if any.
+  [[nodiscard]] std::optional<flash::Ppa> cold_open_page() const noexcept {
+    return cold_.ppa;
   }
 
   /// Head-page sequence counter (global pair ordering for recovery).
@@ -102,20 +139,34 @@ class FlashKvStore {
   void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
 
  private:
+  /// One buffered head page being filled (the device DRAM write buffer).
+  /// The hot instance takes fresh writes on Stream::kData; the cold one
+  /// takes GC relocations on Stream::kCold when cold separation is on.
+  struct OpenPage {
+    explicit OpenPage(std::uint32_t page_size) : builder(page_size) {}
+    DataPageBuilder builder;
+    std::optional<flash::Ppa> ppa;
+    Stream stream = Stream::kData;
+  };
+
   Result<flash::Ppa> write_internal(std::uint64_t sig, ByteSpan key, ByteSpan value,
                                     bool tombstone, bool for_gc);
   /// Loads a head page image into `page_buf_` either from flash or from
-  /// the open write buffer.
+  /// an open write buffer.
   Status load_head_page(flash::Ppa ppa);
 
-  Status program_open_page();
+  Status program_open_page(OpenPage& open);
+  /// The buffer a write of this class lands in under the current policy.
+  OpenPage& open_for(bool for_gc) noexcept {
+    return for_gc && cold_separation_ ? cold_ : hot_;
+  }
 
   flash::NandDevice* nand_;
   PageAllocator* alloc_;
-  DataPageBuilder builder_;
-  std::optional<flash::Ppa> open_ppa_;
-  bool open_for_gc_ = false;  ///< open page was allocated from GC reserve
-  Bytes page_buf_;            ///< scratch for head-page reads
+  OpenPage hot_;
+  OpenPage cold_;
+  bool cold_separation_ = false;
+  Bytes page_buf_;  ///< scratch for head-page reads
   Bytes spare_buf_;
   std::uint64_t next_seq_ = 1;
   KvStoreStats stats_;

@@ -1,5 +1,6 @@
 #include "ftl/layout.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -112,6 +113,10 @@ void DataPageBuilder::begin_extent(const PairHeader& hdr, ByteSpan key,
   put_bytes(buf_, PairHeader::kSize + key.size(), value_prefix);
   write_off_ = cap;
   sigs_.push_back(hdr.sig);
+}
+
+bool DataPageBuilder::contains(std::uint64_t sig) const noexcept {
+  return std::find(sigs_.begin(), sigs_.end(), sig) != sigs_.end();
 }
 
 ByteSpan DataPageBuilder::finalize() {

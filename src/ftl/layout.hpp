@@ -23,9 +23,20 @@
 
 namespace rhik::ftl {
 
-/// Allocation streams: KV data zone vs index zone (paper Fig. 3).
-enum class Stream : std::uint8_t { kData = 0, kIndex = 1 };
-constexpr std::size_t kNumStreams = 2;
+/// Allocation streams: KV data zone vs index zone (paper Fig. 3), plus a
+/// cold data stream (HashKV-style hot/cold separation): GC-relocated
+/// pairs — survivors of at least one reclaim cycle — are appended to
+/// their own open block so update-churned hot pairs never re-mix with
+/// them. Cold blocks are data blocks in every other respect (same page
+/// layouts, same recovery scan).
+enum class Stream : std::uint8_t { kData = 0, kIndex = 1, kCold = 2 };
+constexpr std::size_t kNumStreams = 3;
+
+/// Data-zone membership: pages of both the hot and the cold stream hold
+/// the same head/continuation layouts and carry winners for recovery.
+constexpr bool is_data_stream(Stream s) noexcept {
+  return s == Stream::kData || s == Stream::kCold;
+}
 
 /// Page kind tag kept in the spare area.
 enum class PageKind : std::uint8_t {
@@ -135,6 +146,9 @@ class DataPageBuilder {
 
   [[nodiscard]] std::size_t pair_count() const noexcept { return sigs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return sigs_.empty(); }
+
+  /// True if a pair or tombstone with this signature is buffered here.
+  [[nodiscard]] bool contains(std::uint64_t sig) const noexcept;
 
   /// Finalizes the footer and returns the full page image.
   [[nodiscard]] ByteSpan finalize();

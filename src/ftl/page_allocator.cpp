@@ -26,9 +26,22 @@ PageAllocator::PageAllocator(flash::NandDevice* nand, std::uint32_t gc_reserve_b
 Result<std::uint32_t> PageAllocator::open_block(Stream stream, bool for_gc) {
   const std::size_t floor = for_gc ? 0 : gc_reserve_;
   if (free_.size() <= floor) return Status::kDeviceFull;
-  const std::uint32_t b = free_.front();
-  free_.pop_front();
-  blocks_[b] = {BlockState::kActive, stream, 0, 0};
+  auto it = free_.begin();
+  if (wear_aware_) {
+    // Cold data rarely churns, so a cold block keeps its erase count
+    // frozen for a long time: park cold data on the MOST worn free block
+    // (it rests) and hot/index data on the LEAST worn one (it keeps
+    // cycling, catching up).
+    const bool want_max = stream == Stream::kCold;
+    for (auto cand = free_.begin(); cand != free_.end(); ++cand) {
+      const std::uint64_t e = nand_->erase_count(*cand);
+      const std::uint64_t best = nand_->erase_count(*it);
+      if (want_max ? e > best : e < best) it = cand;
+    }
+  }
+  const std::uint32_t b = *it;
+  free_.erase(it);
+  blocks_[b] = {BlockState::kActive, stream, 0, 0, alloc_seq_};
   return b;
 }
 
@@ -49,6 +62,7 @@ Result<Ppa> PageAllocator::allocate(Stream stream, bool for_gc) {
   BlockInfo& info = blocks_[active_[s]];
   const Ppa ppa = flash::make_ppa(nand_->geometry(), active_[s], info.next_page);
   info.next_page++;
+  info.write_stamp = ++alloc_seq_;
   if (info.next_page == nand_->geometry().pages_per_block) seal(active_[s]);
   return ppa;
 }
@@ -71,6 +85,8 @@ Result<Ppa> PageAllocator::allocate_extent(Stream stream, std::uint32_t npages,
   BlockInfo& info = blocks_[active_[s]];
   const Ppa base = flash::make_ppa(g, active_[s], info.next_page);
   info.next_page += npages;
+  alloc_seq_ += npages;
+  info.write_stamp = alloc_seq_;
   if (info.next_page == g.pages_per_block) seal(active_[s]);
   return base;
 }
@@ -84,17 +100,66 @@ void PageAllocator::sub_live(Ppa ppa, std::uint64_t bytes) {
   live = bytes > live ? 0 : live - bytes;
 }
 
-std::optional<std::uint32_t> PageAllocator::pick_victim() const {
-  std::optional<std::uint32_t> best;
-  std::uint64_t best_live = UINT64_MAX;
+std::optional<std::uint32_t> PageAllocator::pick_victim(GcPolicy policy) const {
+  if (policy == GcPolicy::kGreedy) {
+    std::optional<std::uint32_t> best;
+    std::uint64_t best_live = UINT64_MAX;
+    for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+      if (blocks_[b].state != BlockState::kSealed) continue;
+      if (blocks_[b].live_bytes < best_live) {
+        best_live = blocks_[b].live_bytes;
+        best = b;
+      }
+    }
+    return best;
+  }
+
+  // Cost-benefit (Rosenblum & Ousterhout): benefit/cost = (1-u)/(2u)·age.
+  // Reading costs u, writing back costs u again (hence 2u), and `age`
+  // rewards blocks whose survivors have proven cold. The score saturates
+  // for u == 0 blocks (free space for the price of one erase).
+  const auto score_of = [&](std::uint32_t b) -> double {
+    const double cap = static_cast<double>(nand_->geometry().block_bytes());
+    const double u =
+        std::min(1.0, static_cast<double>(blocks_[b].live_bytes) / cap);
+    const double age =
+        1.0 + static_cast<double>(alloc_seq_ - blocks_[b].write_stamp);
+    if (u <= 0.0) return 1e18 * age;
+    return (1.0 - u) / (2.0 * u) * age;
+  };
+  double best_score = -1.0;
   for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
     if (blocks_[b].state != BlockState::kSealed) continue;
-    if (blocks_[b].live_bytes < best_live) {
-      best_live = blocks_[b].live_bytes;
+    best_score = std::max(best_score, score_of(b));
+  }
+  if (best_score < 0.0) return std::nullopt;
+  // Wear tiebreak: among candidates within 10% of the best score, take
+  // the least-erased block so reclamation pressure levels wear.
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_erase = UINT64_MAX;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].state != BlockState::kSealed) continue;
+    if (score_of(b) < best_score * 0.9) continue;
+    const std::uint64_t e = nand_->erase_count(b);
+    if (e < best_erase) {
+      best_erase = e;
       best = b;
     }
   }
   return best;
+}
+
+BlockCounts PageAllocator::block_counts() const noexcept {
+  BlockCounts c;
+  for (const BlockInfo& b : blocks_) {
+    switch (b.state) {
+      case BlockState::kFree: c.free++; break;
+      case BlockState::kActive: c.active++; break;
+      case BlockState::kSealed: c.sealed++; break;
+      case BlockState::kReserved: c.reserved++; break;
+    }
+  }
+  return c;
 }
 
 Status PageAllocator::reclaim_block(std::uint32_t block) {

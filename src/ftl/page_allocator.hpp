@@ -19,6 +19,20 @@
 
 namespace rhik::ftl {
 
+/// GC victim-selection policy.
+enum class GcPolicy : std::uint8_t {
+  kGreedy,       ///< least live bytes (original synchronous collector)
+  kCostBenefit,  ///< (1-u)/(2u) * age with an erase-count wear tiebreak
+};
+
+/// Block-state census (free + active + sealed + reserved == num_blocks).
+struct BlockCounts {
+  std::uint32_t free = 0;
+  std::uint32_t active = 0;
+  std::uint32_t sealed = 0;
+  std::uint32_t reserved = 0;
+};
+
 class PageAllocator {
  public:
   /// `gc_reserve_blocks` blocks are withheld from normal allocation so
@@ -51,8 +65,13 @@ class PageAllocator {
   }
 
   // -- GC support ----------------------------------------------------------
-  /// Sealed block with the least live data, if any sealed block exists.
-  [[nodiscard]] std::optional<std::uint32_t> pick_victim() const;
+  /// Victim among sealed blocks, if any sealed block exists. kGreedy picks
+  /// least live bytes; kCostBenefit maximizes (1-u)/(2u) * age (u = live
+  /// utilization, age = allocation ticks since the block last took a
+  /// write) and breaks near-ties (within 10% of the best score) toward
+  /// the lower erase count, so reclamation pressure spreads wear.
+  [[nodiscard]] std::optional<std::uint32_t> pick_victim(
+      GcPolicy policy = GcPolicy::kGreedy) const;
 
   /// Erases the block and returns it to the free pool. The caller must
   /// have relocated all live data first.
@@ -86,6 +105,22 @@ class PageAllocator {
   [[nodiscard]] std::uint32_t pages_used(std::uint32_t block) const {
     return blocks_[block].next_page;
   }
+  /// Allocation tick at which `block` last received a page (cost-benefit
+  /// age input; 0 for never-written blocks).
+  [[nodiscard]] std::uint64_t write_stamp(std::uint32_t block) const {
+    return blocks_[block].write_stamp;
+  }
+  /// Monotonic allocation tick (advances once per page handed out).
+  [[nodiscard]] std::uint64_t alloc_seq() const noexcept { return alloc_seq_; }
+  /// Exact block-state census (invariant checks).
+  [[nodiscard]] BlockCounts block_counts() const noexcept;
+
+  /// Wear-aware open-block selection: hot/index streams take the
+  /// least-erased free block, the cold stream the most-erased one (cold
+  /// blocks stay sealed longest, resting the worn cells). Off by default
+  /// so allocation order stays byte-for-byte deterministic for the
+  /// existing unit tests.
+  void set_wear_aware(bool on) noexcept { wear_aware_ = on; }
 
   /// Upper bound on bytes still allocatable without reclaiming anything.
   [[nodiscard]] std::uint64_t free_bytes_estimate() const noexcept;
@@ -115,6 +150,7 @@ class PageAllocator {
     Stream stream = Stream::kData;
     std::uint32_t next_page = 0;
     std::uint64_t live_bytes = 0;
+    std::uint64_t write_stamp = 0;  ///< alloc tick of the latest page
   };
 
   /// Opens a fresh block for the stream; respects the GC reserve.
@@ -124,12 +160,14 @@ class PageAllocator {
   flash::NandDevice* nand_;
   std::uint32_t gc_reserve_;
   std::uint32_t reserved_tail_ = 0;
+  bool wear_aware_ = false;
+  std::uint64_t alloc_seq_ = 0;
   std::vector<BlockInfo> blocks_;
   std::deque<std::uint32_t> free_;
   std::function<void(std::uint32_t)> pre_erase_hook_;
   /// Active block per stream; kNoBlock until first allocation.
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
-  std::uint32_t active_[kNumStreams] = {kNoBlock, kNoBlock};
+  std::uint32_t active_[kNumStreams] = {kNoBlock, kNoBlock, kNoBlock};
 };
 
 }  // namespace rhik::ftl

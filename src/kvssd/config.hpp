@@ -7,6 +7,7 @@
 #include "common/sim_clock.hpp"
 #include "flash/geometry.hpp"
 #include "flash/latency.hpp"
+#include "ftl/page_allocator.hpp"
 #include "index/mlhash/mlhash_index.hpp"
 #include "index/rhik/config.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,31 @@ struct CheckpointConfig {
   std::uint32_t pump_pages = 8;
 };
 
+/// Garbage collection & wear leveling (DESIGN.md §9). The device default
+/// is the hot/cold-aware incremental collector; set `policy = kGreedy`,
+/// `hot_cold_separation = false` and `background_free_blocks = 0` to get
+/// the original synchronous greedy reclaim back.
+struct GcConfig {
+  /// Victim selection: greedy least-live-bytes, or cost-benefit
+  /// (1-u)/(2u)·age with an erase-count wear tiebreak.
+  ftl::GcPolicy policy = ftl::GcPolicy::kCostBenefit;
+  /// Steer GC-relocated (cold) pairs and fresh (hot) writes into
+  /// separate open blocks (HashKV-style separation).
+  bool hot_cold_separation = true;
+  /// Background GC engages when the free pool drops below this many
+  /// blocks (should sit above gc_reserve_blocks so foreground reclaim
+  /// stays the exception). 0 disables background quanta entirely.
+  std::uint32_t background_free_blocks = 8;
+  /// Victim pages relocated per background quantum (`gc_quantum_pages`
+  /// knob): bounds the work injected into one idle window.
+  std::uint32_t quantum_pages = 32;
+  /// Static wear pass triggers when max/mean block erase count exceeds
+  /// this ratio (`wear_leveling_threshold` knob); <= 0 disables it.
+  double wear_leveling_threshold = 1.5;
+  /// Background ticks between static-wear checks.
+  std::uint32_t wear_check_quanta = 64;
+};
+
 struct DeviceConfig {
   flash::Geometry geometry{};  ///< paper default: 32 KiB pages, 256/block
   flash::NandLatency latency = flash::NandLatency::kvemu_defaults();
@@ -55,6 +81,9 @@ struct DeviceConfig {
   std::uint32_t gc_reserve_blocks = 4;
   /// Foreground GC runs until this many free blocks exist.
   std::uint32_t gc_target_free_blocks = 6;
+  /// GC policy, hot/cold separation, background scheduling and wear
+  /// leveling (DESIGN.md §9).
+  GcConfig gc{};
 
   // -- Command processing model (KVEMU-style IOPS model) ---------------------
   /// Fixed firmware + NVMe round-trip cost charged per command. In async

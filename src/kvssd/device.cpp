@@ -45,8 +45,17 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
           nand_.get(), alloc_.get(), cfg_.mlhash, cfg_.dram_cache_bytes);
       break;
   }
+  store_->set_cold_separation(cfg_.gc.hot_cold_separation);
+  alloc_->set_wear_aware(cfg_.gc.wear_leveling_threshold > 0.0);
+  ftl::GcTuning tuning;
+  tuning.policy = cfg_.gc.policy;
+  tuning.background_free_blocks = cfg_.gc.background_free_blocks;
+  tuning.quantum_pages = cfg_.gc.quantum_pages;
+  tuning.wear_leveling_threshold = cfg_.gc.wear_leveling_threshold;
+  tuning.wear_check_quanta = cfg_.gc.wear_check_quanta;
   gc_ = std::make_unique<ftl::GarbageCollector>(nand_.get(), alloc_.get(),
-                                                store_.get(), index_.get());
+                                                store_.get(), index_.get(),
+                                                tuning);
   iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get());
   if (cfg_.checkpoint.enabled) {
     ckpt_ = std::make_unique<CheckpointManager>(nand_.get(), index_.get(),
@@ -354,6 +363,7 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
     bool tombstone;
   };
   std::vector<Ghost> ghosts;
+  std::uint64_t max_durable_seq = 0;
   for (std::uint32_t block = 0; block < valid_pages.size(); ++block) {
     for (std::uint32_t pg = valid_pages[block]; pg-- > 0;) {
       const flash::Ppa ppa = flash::make_ppa(g, block, pg);
@@ -363,6 +373,9 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
       if (tag.kind == ftl::PageKind::kDataCont) continue;  // judged at head
       if (tag.kind != ftl::PageKind::kDataHead) break;     // index/meta block
       const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+      // Sequence numbers ascend with page order, so this first head page
+      // read per block carries the block's maximum durable sequence.
+      max_durable_seq = std::max(max_durable_seq, seq);
       if (seq < horizon) break;  // everything below is journal-covered
       const auto pairs = ftl::parse_head_page(page, g.page_size);
       if (!pairs) continue;
@@ -393,13 +406,18 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
     rejournal_.push_back(Rejournal{gh.sig, gh.ppa, gh.tombstone});
   }
 
-  // Data-page sequence numbers advance without journal records, but every
-  // block erase flushes the journal (recording next_seq), so the
-  // unrecorded advance is bounded by the page population of the device.
-  // Jumping past that bound guarantees no recovered winner is ever
-  // shadowed by a reused sequence number.
-  store_->set_next_seq(std::max(img->next_seq, tail.max_next_seq) +
-                       g.pages_total() + 1);
+  // Data-page sequence numbers advance without journal records; the
+  // journaled horizon plus the page population bounds that advance ONLY
+  // while every erase writes a journal page — but an erase whose victim
+  // produced no records (e.g. only tombstone relocations) records
+  // nothing, and incremental background GC makes such erases routine.
+  // The ghost scan above read the topmost head page of every data block,
+  // i.e. the true maximum durable sequence, so combine both: never
+  // hand out a sequence number a durable page could shadow.
+  store_->set_next_seq(std::max(std::max(img->next_seq, tail.max_next_seq) +
+                                    g.pages_total(),
+                                max_durable_seq) +
+                       1);
   // Approximate (checkpoint-time) figure; ops journaled after it shift
   // the true value. Introspection only — liveness accounting is per
   // block and self-corrects through GC validation.
@@ -432,6 +450,19 @@ void KvssdDevice::charge_command(bool async) {
       async ? cfg_.cmd_overhead_ns / std::max<std::uint32_t>(1, cfg_.queue_depth)
             : cfg_.cmd_overhead_ns;
   clock_.advance(cost);
+}
+
+void KvssdDevice::gc_tick() {
+  // Best-effort: an IO failure here (powered-off injector, device full)
+  // resurfaces on the next foreground op; the quantum itself must never
+  // fail an already-completed command.
+  (void)gc_->background_tick();
+}
+
+bool KvssdDevice::pump_background() {
+  bool did_work = false;
+  (void)gc_->background_tick(&did_work);
+  return did_work;
 }
 
 Status KvssdDevice::maybe_gc() {
@@ -621,6 +652,7 @@ Status KvssdDevice::put(ByteSpan key, ByteSpan value) {
   stats_.put_latency_ns.record(clock_.now() - t0);
   if (traced) obs_finish(tr, s, put_timers_);
   if (ckpt_) ckpt_->tick();
+  gc_tick();
   return s;
 }
 
@@ -643,6 +675,7 @@ Status KvssdDevice::del(ByteSpan key) {
   const Status s = del_locked(key);
   if (traced) obs_finish(tr, s, del_timers_);
   if (ckpt_) ckpt_->tick();
+  gc_tick();
   return s;
 }
 
@@ -726,6 +759,7 @@ Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
     }
   }
   if (ckpt_) ckpt_->tick();
+  gc_tick();
   return Status::kOk;
 }
 
@@ -815,6 +849,7 @@ std::size_t KvssdDevice::drain() {
       ++completed;
     }
     if (ckpt_) ckpt_->tick();
+    gc_tick();
   }
   return completed;
 }
@@ -907,6 +942,21 @@ obs::MetricsSnapshot KvssdDevice::metrics_snapshot() const {
   if (recovered_) recovered_->publish(snap);
 
   snap.add_counter("trace.recorded", trace_ring_.recorded());
+  // Write amplification in milli-units: (user bytes + GC-relocated
+  // bytes) / user bytes * 1000, so 1000 means no relocation overhead.
+  const std::uint64_t user_bytes = stats_.bytes_put;
+  const std::int64_t wa_milli =
+      user_bytes == 0
+          ? 1000
+          : static_cast<std::int64_t>(
+                (user_bytes + gc_->stats().bytes_relocated) * 1000 / user_bytes);
+  snap.set_gauge("gc.wa", wa_milli, obs::MergeMode::kMax);
+  // Max/mean block erase-count spread over the log region, milli-units.
+  snap.set_gauge(
+      "nand.erase_spread",
+      static_cast<std::int64_t>(
+          ftl::erase_spread(*nand_, alloc_->first_reserved_block()) * 1000.0),
+      obs::MergeMode::kMax);
   snap.set_gauge("clock.now_ns", static_cast<std::int64_t>(clock_.now()),
                  obs::MergeMode::kMax);
   snap.set_gauge("clock.stall_ns",

@@ -169,6 +169,13 @@ class KvssdDevice : public api::IKvsBackend {
   /// enabled, the buffered index-delta journal records).
   Status flush() override;
 
+  /// Runs one background GC quantum if reclamation is pending
+  /// (DeviceConfig::gc). Idle-window hook: the sharded front-end's
+  /// workers call this while their submission ring is empty, and the
+  /// device itself ticks it after every foreground op. Returns true when
+  /// work was done (callers may keep pumping until false).
+  bool pump_background();
+
   /// Synchronously takes an index checkpoint (DESIGN.md §8). kUnsupported
   /// unless DeviceConfig::checkpoint.enabled; kBusy while the index is
   /// mid-maintenance (resize migration). The destructor also checkpoints,
@@ -259,6 +266,10 @@ class KvssdDevice : public api::IKvsBackend {
   /// Runs foreground GC if free space is low. Returns kDeviceFull only
   /// when nothing could be reclaimed.
   Status maybe_gc();
+
+  /// End-of-op background GC step (runs outside the op's latency
+  /// window, like the checkpoint pump).
+  void gc_tick();
 
   /// Connects the index's journal feed and the allocator's pre-erase
   /// flush to the checkpoint manager. Deferred until after recovery

@@ -18,8 +18,9 @@ bool tag_sane(const ftl::SpareTag& tag) noexcept {
                        tag.kind == ftl::PageKind::kDataCont ||
                        tag.kind == ftl::PageKind::kIndexRecord ||
                        tag.kind == ftl::PageKind::kIndexDir;
-  const bool stream_ok =
-      tag.stream == ftl::Stream::kData || tag.stream == ftl::Stream::kIndex;
+  const bool stream_ok = tag.stream == ftl::Stream::kData ||
+                         tag.stream == ftl::Stream::kIndex ||
+                         tag.stream == ftl::Stream::kCold;
   return kind_ok && stream_ok;
 }
 
@@ -94,7 +95,7 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
     nand.restore_erase_count(block, flash::spare_wear_stamp(g, spare));
     stats.wear_blocks_restored++;
 
-    if (first.stream != ftl::Stream::kData) {
+    if (!ftl::is_data_stream(first.stream)) {
       // Index zone: contents are all stale (the index is rebuilt), but
       // only the leading run of intact pages is adopted so GC never
       // tries to decode a torn tail.
@@ -112,7 +113,8 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
       continue;
     }
 
-    // Data block: walk pages in programming order and truncate the
+    // Data block (hot or cold stream — identical layout): walk pages in
+    // programming order and truncate the
     // block's log at the first page that is torn (CRC), mis-tagged
     // (orphan continuation, foreign kind) or structurally inconsistent.
     // Everything after such a page postdates the power cut's victim and
@@ -170,7 +172,7 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
       valid = pg;
     }
     stats.torn_pages_dropped += programmed - valid;
-    if (Status s = alloc.adopt_block(block, ftl::Stream::kData, valid); !ok(s)) return s;
+    if (Status s = alloc.adopt_block(block, first.stream, valid); !ok(s)) return s;
   }
 
   // Credit liveness first: live pairs and tombstones pin their pages so

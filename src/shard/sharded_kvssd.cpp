@@ -131,7 +131,14 @@ void ShardedKvssd::worker_loop(Shard& s) {
   bool open = true;
   while (open) {
     batch.clear();
-    open = s.ring->pop_all(batch);
+    if (!s.ring->try_pop_all(batch)) {
+      // Ring idle: fold background GC quanta into the window — one
+      // bounded quantum per ring re-check, so a submitter never waits
+      // behind more than quantum_pages of relocation. Block for new
+      // work only once the device has nothing pending.
+      if (s.dev->pump_background()) continue;
+      open = s.ring->pop_all(batch);
+    }
     for (ShardOp& op : batch) {
       switch (op.kind) {
         case ShardOp::Kind::kPut:

@@ -143,7 +143,9 @@ TEST(Kvssd, GcReclaimsChurnedSpace) {
     ASSERT_EQ(dev.put(key(k), key(v)), Status::kOk) << i;
   }
   EXPECT_GT(dev.gc().stats().blocks_reclaimed, 0u);
-  EXPECT_GT(dev.stats().gc_invocations, 0u);
+  // Reclamation now normally rides the incremental background quanta;
+  // foreground invocations only happen under free-block pressure.
+  EXPECT_GT(dev.stats().gc_invocations + dev.gc().stats().background_quanta, 0u);
   // Working set still fully readable.
   for (int i = 0; i < 100; ++i) {
     Bytes value;

@@ -1,0 +1,27 @@
+// Seed plumbing for randomized tests.
+//
+// Every randomized test derives its RNG from `harness_seed(default)`, so
+// a failure seen in CI (or the nightly soak) can be replayed locally by
+// exporting RHIK_TEST_SEED=<seed> — decimal or 0x-hex — without touching
+// the source. Tests must include the effective seed in their failure
+// messages so the value to replay is always in the log.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace rhik::test {
+
+/// The seed a randomized test should run with: the RHIK_TEST_SEED
+/// environment variable when set (decimal or 0x-prefixed hex), otherwise
+/// the test's own default.
+inline std::uint64_t harness_seed(std::uint64_t default_seed) {
+  if (const char* env = std::getenv("RHIK_TEST_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 0);
+    if (end != env) return v;
+  }
+  return default_seed;
+}
+
+}  // namespace rhik::test
