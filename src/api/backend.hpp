@@ -27,11 +27,29 @@ struct DeviceStats;
 
 namespace rhik::api {
 
+/// One finished tagged command, delivered batch-wise to the completion
+/// sink. `tag` is whatever the submitter passed — the facade uses its
+/// submission id. The key buffer travels down with the op and comes back
+/// here, so the fast path never re-copies it; `value` is filled for gets.
+struct TaggedCompletion {
+  enum class Op : std::uint8_t { kPut, kGet, kDel };
+  std::uint64_t tag = 0;
+  Op op = Op::kPut;
+  Status status = Status::kOk;
+  Bytes key;
+  Bytes value;
+};
+
 class IKvsBackend {
  public:
   using Callback = std::function<void(Status)>;
   /// Value-carrying completion for asynchronous gets.
   using GetCallback = std::function<void(Status, Bytes&&)>;
+  /// Batch completion sink: invoked ONCE per drained batch with every
+  /// tagged completion the batch produced, in execution order. Sharded
+  /// backends call it from worker threads (possibly concurrently), so
+  /// sinks must be thread-safe.
+  using CompletionSink = std::function<void(std::vector<TaggedCompletion>&&)>;
 
   virtual ~IKvsBackend() = default;
 
@@ -51,6 +69,17 @@ class IKvsBackend {
   virtual void submit_del(Bytes key, Callback cb) = 0;
   /// Executes queued commands; returns how many completed.
   virtual std::size_t drain() = 0;
+
+  // -- Tagged submission (batched completion fast path) -----------------------
+  /// Tagged verbs complete through the completion sink instead of a
+  /// per-op callback: the backend collects every tagged completion a
+  /// drain batch produces and fires the sink once for the whole batch.
+  /// Install the sink before the first tagged submit; with no sink
+  /// installed, tagged completions are dropped.
+  virtual void set_completion_sink(CompletionSink sink) = 0;
+  virtual void submit_put_tagged(std::uint64_t tag, Bytes key, Bytes value) = 0;
+  virtual void submit_get_tagged(std::uint64_t tag, Bytes key) = 0;
+  virtual void submit_del_tagged(std::uint64_t tag, Bytes key) = 0;
 
   // -- Durability -----------------------------------------------------------
   virtual Status flush() = 0;

@@ -1,0 +1,90 @@
+// Batched completion ring for the asynchronous verb path.
+//
+// The device drains queued commands in batches (kvssd::KvssdDevice::drain
+// snapshots its queue; each shard worker drains once per popped ring
+// batch). Dispatching one std::function per completed op wastes that
+// batching: every completion pays a dispatch + a lock acquisition on the
+// API-side queue. BatchRing is the alternative fast path: the backend
+// hands a whole drained batch across with ONE sink call, and the ring
+// takes ONE lock per batch on each side (push and pop).
+//
+// The ring is unbounded-by-growth: when a pushed batch does not fit it
+// doubles (completions must never be dropped — the caller is owed one per
+// submission). `capacity` only sizes the initial allocation, so steady
+// state runs allocation-free once the ring has grown to the workload's
+// in-flight high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rhik::api {
+
+template <typename T>
+class BatchRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit BatchRing(std::size_t capacity = 4096) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+  }
+
+  /// Moves a whole batch in under one lock. Grows (doubling) as needed.
+  void push_batch(std::vector<T>&& batch) {
+    if (batch.empty()) return;
+    std::lock_guard lk(mu_);
+    while (count_ + batch.size() > buf_.size()) grow_locked();
+    const std::size_t mask = buf_.size() - 1;
+    for (auto& item : batch) {
+      buf_[(head_ + count_) & mask] = std::move(item);
+      ++count_;
+    }
+  }
+
+  /// Appends up to `max` items to `*out` (which may be null, discarding
+  /// them) under one lock; returns how many were popped.
+  std::size_t pop_batch(std::vector<T>* out, std::size_t max) {
+    std::lock_guard lk(mu_);
+    const std::size_t n = count_ < max ? count_ : max;
+    const std::size_t mask = buf_.size() - 1;
+    if (out) out->reserve(out->size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out) out->push_back(std::move(buf_[head_]));
+      head_ = (head_ + 1) & mask;
+    }
+    count_ -= n;
+    if (count_ == 0) head_ = 0;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return count_;
+  }
+
+  void clear() {
+    std::lock_guard lk(mu_);
+    head_ = count_ = 0;
+  }
+
+ private:
+  void grow_locked() {
+    std::vector<T> next(buf_.size() * 2);
+    const std::size_t mask = buf_.size() - 1;
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<T> buf_;    ///< power-of-two circular storage
+  std::size_t head_ = 0;  ///< pop position
+  std::size_t count_ = 0;
+};
+
+}  // namespace rhik::api

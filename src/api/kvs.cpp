@@ -40,7 +40,8 @@ const char* to_string(KvsResult r) noexcept {
   return "KVS_ERR_UNKNOWN";
 }
 
-KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
+KvsDevice::KvsDevice(const KvsDeviceOptions& opts)
+    : ring_(opts.completion_ring_capacity) {
   num_shards_ = std::max<std::uint32_t>(1, opts.num_shards);
   iterator_enabled_ = opts.enable_iterator;
   kvssd::DeviceConfig cfg;
@@ -76,6 +77,7 @@ KvsDevice::KvsDevice(const KvsDeviceOptions& opts) {
     array_ = std::make_unique<shard::ShardedKvssd>(sc);
     backend_ = array_.get();
   }
+  install_sink();
 }
 
 KvsDevice::~KvsDevice() = default;
@@ -113,65 +115,63 @@ KvsResult KvsDevice::iterate(std::string_view prefix,
 
 // -- Asynchronous verbs --------------------------------------------------------
 
-void KvsDevice::push_completion(KvsCompletion c) {
-  std::lock_guard lk(comp_mu_);
-  completions_.push_back(std::move(c));
+void KvsDevice::install_sink() {
+  // The backend hands whole drained batches across; convert in place and
+  // land them in the ring under one lock per batch. This is the only
+  // completion path — per-op callback dispatch is gone from the facade.
+  backend_->set_completion_sink([this](std::vector<TaggedCompletion>&& batch) {
+    std::vector<KvsCompletion> out;
+    out.reserve(batch.size());
+    for (TaggedCompletion& tc : batch) {
+      KvsCompletion c;
+      c.id = tc.tag;
+      c.op = tc.op == TaggedCompletion::Op::kPut ? KvsCompletion::Op::kStore
+             : tc.op == TaggedCompletion::Op::kGet
+                 ? KvsCompletion::Op::kRetrieve
+                 : KvsCompletion::Op::kRemove;
+      c.result = from_status(tc.status);
+      c.key = std::move(tc.key);
+      c.value = std::move(tc.value);
+      out.push_back(std::move(c));
+    }
+    ring_.push_batch(std::move(out));
+  });
 }
 
 std::uint64_t KvsDevice::store_async(std::string_view key, ByteSpan value) {
+  return store_async(key, Bytes(value.begin(), value.end()));
+}
+
+std::uint64_t KvsDevice::store_async(std::string_view key, Bytes&& value) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_put(
-      Bytes(key_span(key).begin(), key_span(key).end()),
-      Bytes(value.begin(), value.end()),
-      [this, id, k = std::string(key)](Status s) mutable {
-        push_completion(KvsCompletion{id, KvsCompletion::Op::kStore,
-                                      from_status(s), std::move(k), {}});
-      });
+  backend_->submit_put_tagged(id,
+                              Bytes(key_span(key).begin(), key_span(key).end()),
+                              std::move(value));
   return id;
 }
 
 std::uint64_t KvsDevice::retrieve_async(std::string_view key) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_get(
-      Bytes(key_span(key).begin(), key_span(key).end()),
-      [this, id, k = std::string(key)](Status s, Bytes&& v) mutable {
-        push_completion(KvsCompletion{id, KvsCompletion::Op::kRetrieve,
-                                      from_status(s), std::move(k),
-                                      std::move(v)});
-      });
+  backend_->submit_get_tagged(
+      id, Bytes(key_span(key).begin(), key_span(key).end()));
   return id;
 }
 
 std::uint64_t KvsDevice::remove_async(std::string_view key) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_del(
-      Bytes(key_span(key).begin(), key_span(key).end()),
-      [this, id, k = std::string(key)](Status s) mutable {
-        push_completion(KvsCompletion{id, KvsCompletion::Op::kRemove,
-                                      from_status(s), std::move(k), {}});
-      });
+  backend_->submit_del_tagged(
+      id, Bytes(key_span(key).begin(), key_span(key).end()));
   return id;
 }
 
 std::size_t KvsDevice::poll_completions(std::vector<KvsCompletion>* out,
                                         std::size_t max) {
-  bool empty;
-  {
-    std::lock_guard lk(comp_mu_);
-    empty = completions_.empty();
-  }
+  std::size_t n = ring_.pop_batch(out, max);
+  if (n != 0) return n;
   // Nothing finished yet: drive the backend queue (a cross-shard barrier
   // on an array), so submit → poll always makes progress.
-  if (empty) backend_->drain();
-
-  std::lock_guard lk(comp_mu_);
-  std::size_t n = 0;
-  while (!completions_.empty() && n < max) {
-    if (out) out->push_back(std::move(completions_.front()));
-    completions_.pop_front();
-    ++n;
-  }
-  return n;
+  backend_->drain();
+  return ring_.pop_batch(out, max);
 }
 
 // -- Durability / maintenance --------------------------------------------------
@@ -189,10 +189,7 @@ KvsResult KvsDevice::checkpoint() {
 KvsResult KvsDevice::recover(kvssd::RecoveryStats* stats_out) {
   // recover() replaces the backend object wholesale, so this is the one
   // member that touches dev_/array_ directly rather than the seam.
-  {
-    std::lock_guard lk(comp_mu_);
-    completions_.clear();  // their callbacks died with the old backend
-  }
+  ring_.clear();  // pending completions died with the old backend
   if (array_) {
     shard::ShardedConfig sc;
     sc.device = cfg_;
@@ -213,6 +210,7 @@ KvsResult KvsDevice::recover(kvssd::RecoveryStats* stats_out) {
     dev_ = std::move(*rebuilt);
     backend_ = dev_.get();
   }
+  install_sink();  // the sink died with the old backend
   return KvsResult::KVS_SUCCESS;
 }
 

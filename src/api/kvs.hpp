@@ -11,14 +11,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/backend.hpp"
+#include "api/completion_ring.hpp"
 #include "kvssd/device.hpp"
 #include "shard/sharded_kvssd.hpp"
 
@@ -65,6 +64,12 @@ struct KvsDeviceOptions {
   std::uint32_t checkpoint_slot_blocks = 1;
   /// Blocks in the delta-journal ring.
   std::uint32_t checkpoint_journal_blocks = 2;
+
+  /// Initial capacity of the async completion ring (rounded up to a
+  /// power of two). The ring grows on demand — completions are never
+  /// dropped — so this only sets the allocation-free steady state;
+  /// size it to the expected in-flight command count.
+  std::size_t completion_ring_capacity = 4096;
 };
 
 /// One finished asynchronous command, as returned by poll_completions().
@@ -73,7 +78,9 @@ struct KvsCompletion {
   std::uint64_t id = 0;  ///< the submission id the *_async call returned
   Op op = Op::kStore;
   KvsResult result = KvsResult::KVS_SUCCESS;
-  std::string key;
+  /// The submitted key, returned by move — the buffer travels down with
+  /// the command and comes back here, never re-copied.
+  Bytes key;
   Bytes value;  ///< retrieve only; empty unless result == KVS_SUCCESS
 };
 
@@ -85,7 +92,7 @@ class KvsDevice {
 
   KvsResult store(std::string_view key, ByteSpan value);
   KvsResult store(std::string_view key, std::string_view value) {
-    return store(key, as_bytes(std::string(value)));
+    return store(key, key_span(value));
   }
   KvsResult retrieve(std::string_view key, Bytes* value_out);
   KvsResult remove(std::string_view key);
@@ -103,14 +110,18 @@ class KvsDevice {
   /// poll_completions(), never from the *_async call itself.
   std::uint64_t store_async(std::string_view key, ByteSpan value);
   std::uint64_t store_async(std::string_view key, std::string_view value) {
-    return store_async(key, as_bytes(std::string(value)));
+    return store_async(key, key_span(value));
   }
+  /// Move overload: hands the value buffer straight down the submission
+  /// path — zero copies between the caller and the flash write buffer.
+  std::uint64_t store_async(std::string_view key, Bytes&& value);
   std::uint64_t retrieve_async(std::string_view key);
   std::uint64_t remove_async(std::string_view key);
   /// Harvests up to `max` finished commands into `out` (appended);
   /// returns how many were harvested. When nothing has finished yet the
   /// backend's queue is driven first, so a submit → poll loop always
-  /// makes progress.
+  /// makes progress. Completions cross from the backend in whole drained
+  /// batches (one ring lock per batch), not one callback at a time.
   std::size_t poll_completions(std::vector<KvsCompletion>* out,
                                std::size_t max = SIZE_MAX);
 
@@ -155,19 +166,23 @@ class KvsDevice {
   static ByteSpan key_span(std::string_view key) noexcept {
     return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};
   }
-  void push_completion(KvsCompletion c);
+  /// Installs the batched completion sink on backend_ (construction and
+  /// after recover() rebuilds the backend).
+  void install_sink();
 
   kvssd::DeviceConfig cfg_;      ///< per-device (= per-shard) config
   std::uint32_t num_shards_ = 1;
   bool iterator_enabled_ = false;
+
+  /// Harvested-but-unpolled completions. Sharded backends push from
+  /// worker threads (the ring locks per batch, not per op). Declared
+  /// before the backends so it outlives their worker shutdown.
+  BatchRing<KvsCompletion> ring_;
+
   std::unique_ptr<kvssd::KvssdDevice> dev_;
   std::unique_ptr<shard::ShardedKvssd> array_;
   IKvsBackend* backend_ = nullptr;  ///< == dev_ or array_
 
-  /// Async completion queue. Sharded backends run callbacks on worker
-  /// threads, so the queue is locked; ids are handed out lock-free.
-  std::mutex comp_mu_;
-  std::deque<KvsCompletion> completions_;
   std::atomic<std::uint64_t> next_id_{1};
 };
 

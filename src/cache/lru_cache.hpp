@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -88,6 +89,26 @@ class LruCache {
     map_[key] = lru_.begin();
     while (map_.size() > capacity_) evict_lru();
     return &lru_.begin()->value;
+  }
+
+  /// Evicts the LRU entry now (writing back if dirty) and hands its value
+  /// to the caller for storage reuse; nullopt while under budget. Pairing
+  /// this with the following insert() keeps the eviction count identical
+  /// to letting insert() evict, but lets a miss path recycle the victim's
+  /// heap allocations instead of freeing them and allocating afresh.
+  std::optional<V> take_lru_if_full() {
+    if (map_.size() < capacity_) return std::nullopt;
+    assert(!lru_.empty());
+    Node& victim = lru_.back();
+    if (victim.dirty) {
+      if (writeback_) writeback_(victim.key, victim.value);
+      stats_.dirty_writebacks++;
+    }
+    stats_.evictions++;
+    std::optional<V> out{std::move(victim.value)};
+    map_.erase(victim.key);
+    lru_.pop_back();
+    return out;
   }
 
   void mark_dirty(const K& key) {

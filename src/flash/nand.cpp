@@ -58,6 +58,46 @@ Status NandDevice::read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_ou
   return Status::kOk;
 }
 
+Status NandDevice::read_page_view(Ppa ppa, ByteSpan* data_out, ByteSpan* spare_out,
+                                  std::uint32_t data_len, std::uint32_t spare_len) {
+  if (injector_ && injector_->reject_op()) return Status::kIoError;
+  if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;
+  if (data_len == kFullArea) data_len = geometry_.page_size;
+  if (spare_len == kFullArea) spare_len = geometry_.spare_size();
+  if (data_len > geometry_.page_size || spare_len > geometry_.spare_size()) {
+    return Status::kInvalidArgument;
+  }
+  const std::uint32_t blk = ppa_block(geometry_, ppa);
+  const std::uint32_t pg = ppa_page(geometry_, ppa);
+  const Block& b = blocks_[blk];
+  if (pg >= b.write_point || !b.store) return Status::kIoError;  // unwritten page
+
+  const std::uint8_t* src = page_ptr(b, pg);
+#if defined(__GNUC__) || defined(__clang__)
+  // The views point at cold storage and callers touch the spare tag and
+  // the page tail (footer) first; start those lines now so their misses
+  // overlap the bookkeeping below instead of serializing after return.
+  if (spare_out != nullptr) __builtin_prefetch(src + geometry_.page_size);
+  if (data_out != nullptr && data_len >= 64) {
+    __builtin_prefetch(src + data_len - 64);
+  }
+#endif
+  std::uint32_t bytes = 0;
+  if (data_out) {
+    *data_out = ByteSpan{src, data_len};
+    bytes += data_len;
+  }
+  if (spare_out) {
+    *spare_out = ByteSpan{src + geometry_.page_size, spare_len};
+    bytes += spare_len;
+  }
+
+  stats_.page_reads++;
+  stats_.bytes_read += bytes;
+  clock_->advance(latency_.read_cost(bytes));
+  return Status::kOk;
+}
+
 Status NandDevice::program_page(Ppa ppa, ByteSpan data, ByteSpan spare) {
   if (injector_ && injector_->reject_op()) return Status::kIoError;
   if (!ppa_in_range(geometry_, ppa)) return Status::kInvalidArgument;

@@ -66,6 +66,18 @@ class NandDevice {
   /// Reading an unwritten page returns kIoError.
   Status read_page(Ppa ppa, MutByteSpan data_out, MutByteSpan spare_out = {});
 
+  /// Zero-copy read: points `data_out`/`spare_out` (either may be null)
+  /// at the stored page image instead of copying it out. `data_len` /
+  /// `spare_len` choose prefix views (kFullArea = the whole area), and
+  /// latency, stats and fault-injection are charged exactly as a
+  /// read_page of the same lengths. The views are valid until the page's
+  /// block is erased (or the device destroyed); callers that need the
+  /// bytes past the next erase must copy.
+  static constexpr std::uint32_t kFullArea = UINT32_MAX;
+  Status read_page_view(Ppa ppa, ByteSpan* data_out, ByteSpan* spare_out = nullptr,
+                        std::uint32_t data_len = kFullArea,
+                        std::uint32_t spare_len = kFullArea);
+
   /// Programs a page. Enforces NAND discipline:
   ///  - the page must be in the erased state (program-once),
   ///  - pages within a block must be programmed in order.

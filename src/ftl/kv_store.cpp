@@ -12,9 +12,7 @@ FlashKvStore::FlashKvStore(flash::NandDevice* nand, PageAllocator* alloc)
     : nand_(nand),
       alloc_(alloc),
       hot_(nand->geometry().page_size),
-      cold_(nand->geometry().page_size),
-      page_buf_(nand->geometry().page_size),
-      spare_buf_(nand->geometry().spare_size()) {
+      cold_(nand->geometry().page_size) {
   assert(nand_ != nullptr && alloc_ != nullptr);
   cold_.stream = Stream::kCold;
 }
@@ -167,63 +165,66 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
   return *base;
 }
 
-Status FlashKvStore::load_head_page(Ppa ppa) {
+Result<ByteSpan> FlashKvStore::load_head_page(Ppa ppa, ByteSpan* spare_out) {
   for (OpenPage* open : {&hot_, &cold_}) {
     if (open->ppa && *open->ppa == ppa) {
-      const ByteSpan img = open->builder.finalize();
-      std::memcpy(page_buf_.data(), img.data(), img.size());
-      return Status::kOk;
+      // Serve straight from the write buffer: finalize() patches the
+      // footer in place and hands back a view of the builder's image.
+      if (spare_out != nullptr) *spare_out = {};
+      return open->builder.finalize();
     }
   }
-  if (Status s = nand_->read_page(ppa, page_buf_, spare_buf_); !ok(s)) return s;
-  const SpareTag tag = SpareTag::decode(spare_buf_);
-  if (tag.kind != PageKind::kDataHead) return Status::kCorruption;
-  return Status::kOk;
-}
-
-namespace {
-
-/// Picks the most recently appended pair matching `sig`, or nullopt.
-std::optional<ParsedPair> find_pair(const std::vector<ParsedPair>& pairs,
-                                    std::uint64_t sig) {
-  std::optional<ParsedPair> found;
-  for (const auto& p : pairs) {
-    if (p.header.sig == sig) found = p;
+  ByteSpan page, spare;
+  if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) return s;
+  if (spare_out != nullptr) {
+    *spare_out = spare;
+    return page;
   }
-  return found;
+  const SpareTag tag = SpareTag::decode(spare);
+  if (tag.kind != PageKind::kDataHead) return Status::kCorruption;
+  return page;
 }
-
-}  // namespace
 
 Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
                                Bytes* value_out) {
   const auto& g = nand_->geometry();
-  if (Status s = load_head_page(start); !ok(s)) return s;
-  const auto pairs = parse_head_page(page_buf_, g.page_size);
-  if (!pairs) return Status::kCorruption;
-  const auto p = find_pair(*pairs, sig);
-  if (!p) return Status::kNotFound;
+  ByteSpan spare;
+  const auto page = load_head_page(start, &spare);
+  if (!page) return page.status();
+  ParsedPair pair;
+  const PageFind found = find_pair_in_page(*page, g.page_size, sig, &pair);
+  // Deferred tag check (see load_head_page): runs before any parse
+  // result is trusted, after the scan covered the spare line's miss.
+  if (!spare.empty() && SpareTag::decode(spare).kind != PageKind::kDataHead) {
+    return Status::kCorruption;
+  }
+  switch (found) {
+    case PageFind::kCorrupt: return Status::kCorruption;
+    case PageFind::kAbsent: return Status::kNotFound;
+    case PageFind::kFound: break;
+  }
+  const ParsedPair* p = &pair;
 
   const std::size_t key_off = p->offset + PairHeader::kSize;
   if (key_out) {
-    key_out->assign(page_buf_.begin() + static_cast<std::ptrdiff_t>(key_off),
-                    page_buf_.begin() +
-                        static_cast<std::ptrdiff_t>(key_off + p->header.key_len));
+    const ByteSpan k = page->subspan(key_off, p->header.key_len);
+    key_out->assign(k.begin(), k.end());
   }
   if (value_out) {
     value_out->clear();
     value_out->reserve(p->header.val_len);
     const std::size_t val_off = key_off + p->header.key_len;
     const std::size_t in_page_val = p->in_page_bytes - PairHeader::kSize - p->header.key_len;
-    value_out->insert(value_out->end(),
-                      page_buf_.begin() + static_cast<std::ptrdiff_t>(val_off),
-                      page_buf_.begin() + static_cast<std::ptrdiff_t>(val_off + in_page_val));
+    const ByteSpan v = page->subspan(val_off, in_page_val);
+    value_out->insert(value_out->end(), v.begin(), v.end());
     std::size_t remaining = p->header.val_len - in_page_val;
-    Bytes cont(g.page_size);
     Ppa next = start + 1;
     while (remaining > 0) {
       const std::size_t chunk = std::min<std::size_t>(g.page_size, remaining);
-      if (Status s = nand_->read_page(next, MutByteSpan{cont.data(), chunk}); !ok(s)) {
+      ByteSpan cont;
+      if (Status s = nand_->read_page_view(next, &cont, nullptr,
+                                           static_cast<std::uint32_t>(chunk));
+          !ok(s)) {
         return s;
       }
       value_out->insert(value_out->end(), cont.begin(),
@@ -237,20 +238,28 @@ Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
 }
 
 Result<PairMeta> FlashKvStore::read_pair_meta(Ppa start, std::uint64_t sig) {
-  if (Status s = load_head_page(start); !ok(s)) return s;
-  const auto pairs = parse_head_page(page_buf_, nand_->geometry().page_size);
-  if (!pairs) return Status::kCorruption;
-  const auto p = find_pair(*pairs, sig);
-  if (!p) return Status::kNotFound;
+  ByteSpan spare;
+  const auto page = load_head_page(start, &spare);
+  if (!page) return page.status();
+  ParsedPair p;
+  const PageFind found =
+      find_pair_in_page(*page, nand_->geometry().page_size, sig, &p);
+  if (!spare.empty() && SpareTag::decode(spare).kind != PageKind::kDataHead) {
+    return Status::kCorruption;
+  }
+  switch (found) {
+    case PageFind::kCorrupt: return Status::kCorruption;
+    case PageFind::kAbsent: return Status::kNotFound;
+    case PageFind::kFound: break;
+  }
 
   PairMeta meta;
-  const std::size_t key_off = p->offset + PairHeader::kSize;
-  meta.key.assign(page_buf_.begin() + static_cast<std::ptrdiff_t>(key_off),
-                  page_buf_.begin() +
-                      static_cast<std::ptrdiff_t>(key_off + p->header.key_len));
-  meta.value_len = p->header.val_len;
-  meta.total_bytes = p->header.pair_bytes();
-  meta.tombstone = p->header.tombstone;
+  const std::size_t key_off = p.offset + PairHeader::kSize;
+  const ByteSpan k = page->subspan(key_off, p.header.key_len);
+  meta.key.assign(k.begin(), k.end());
+  meta.value_len = p.header.val_len;
+  meta.total_bytes = p.header.pair_bytes();
+  meta.tombstone = p.header.tombstone;
   return meta;
 }
 

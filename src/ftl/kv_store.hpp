@@ -151,9 +151,18 @@ class FlashKvStore {
 
   Result<flash::Ppa> write_internal(std::uint64_t sig, ByteSpan key, ByteSpan value,
                                     bool tombstone, bool for_gc);
-  /// Loads a head page image into `page_buf_` either from flash or from
-  /// an open write buffer.
-  Status load_head_page(flash::Ppa ppa);
+  /// Zero-copy view of a head page image, either straight into NAND page
+  /// storage or into an open write buffer. Valid until the next write /
+  /// flush / erase touching the source — callers parse and copy out what
+  /// they keep before returning.
+  ///
+  /// With `spare_out` the kDataHead tag check is handed to the caller:
+  /// `*spare_out` gets the spare view ({} when the page came from an open
+  /// write buffer, which needs no check). Deferring the check past the
+  /// caller's first scan of the page hides the spare line's cache miss
+  /// behind that work — the caller must validate before using any parse
+  /// result.
+  Result<ByteSpan> load_head_page(flash::Ppa ppa, ByteSpan* spare_out = nullptr);
 
   Status program_open_page(OpenPage& open);
   /// The buffer a write of this class lands in under the current policy.
@@ -166,8 +175,6 @@ class FlashKvStore {
   OpenPage hot_;
   OpenPage cold_;
   bool cold_separation_ = false;
-  Bytes page_buf_;  ///< scratch for head-page reads
-  Bytes spare_buf_;
   std::uint64_t next_seq_ = 1;
   KvStoreStats stats_;
 };

@@ -164,6 +164,91 @@ std::optional<std::vector<ParsedPair>> parse_head_page(ByteSpan page,
   return pairs;
 }
 
+PageFind find_pair_in_page(ByteSpan page, std::uint32_t page_size,
+                           std::uint64_t sig, ParsedPair* out) noexcept {
+  if (page.size() < page_size || page_size < PageFooter::kCountSize) {
+    return PageFind::kCorrupt;
+  }
+  const std::uint16_t n = get_u16(page, page_size - PageFooter::kCountSize);
+  if (PageFooter::size_for(n) > page_size) return PageFind::kCorrupt;
+#if defined(__GNUC__) || defined(__clang__)
+  // The page is a zero-copy view of NAND storage, usually cache-cold;
+  // issue all footer-line loads up front so the scan below overlaps the
+  // misses instead of paying them one by one.
+  {
+    const std::size_t lo = (page_size - PageFooter::size_for(n)) & ~std::size_t{63};
+    for (std::size_t o = lo; o < page_size; o += 64) __builtin_prefetch(page.data() + o);
+    __builtin_prefetch(page.data());  // first header line
+  }
+#endif
+  const auto footer_sig = [&](std::size_t i) {
+    return get_u64(page, page_size - PageFooter::kCountSize -
+                             (i + 1) * PageFooter::kSigSize);
+  };
+
+  // Newest wins: the footer lists pairs in append order, so the last
+  // matching slot is the winner. Scanning backwards lets the first hit
+  // end the search; a miss costs only this scan.
+  std::size_t last = n;
+  for (std::size_t i = n; i-- > 0;) {
+    if (footer_sig(i) == sig) {
+      last = i;
+      break;
+    }
+  }
+  if (last == n) return PageFind::kAbsent;
+
+  // Skip the pairs in front of the winner reading only their length
+  // fields; the winner alone gets the full header decode + footer
+  // cross-check. (A spilling pair is never in front: it is alone in its
+  // head page, so anything oversized before `last` is corruption.)
+  const std::size_t data_cap = page_size - PageFooter::size_for(n);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < last; ++i) {
+    if (off + PairHeader::kSize > data_cap) return PageFind::kCorrupt;
+    const std::uint16_t key_len = static_cast<std::uint16_t>(
+        get_u16(page, off + 8) & ~PairHeader::kTombstoneBit);
+    const std::uint64_t total =
+        PairHeader::kSize + key_len + get_u32(page, off + 10);
+    if (total > data_cap - off) return PageFind::kCorrupt;
+#if defined(__GNUC__) || defined(__clang__)
+    // Headers chain through variable strides, so on a cold view each
+    // header load waits out the previous miss. Pair sizes inside one
+    // page are usually uniform; prefetch a few current-stride multiples
+    // ahead to overlap those misses, seeding a deep pipeline on the
+    // first iteration (the chain is fully serial until guesses land).
+    // A wrong guess is just a wasted prefetch — correctness never rests
+    // on the prediction.
+    const std::uint64_t depth = (i == 0) ? 16 : 4;
+    for (std::uint64_t k = 1; k <= depth; ++k) {
+      const std::uint64_t guess = off + k * total;
+      if (guess >= data_cap) break;
+      __builtin_prefetch(page.data() + guess);
+    }
+#endif
+    off += static_cast<std::size_t>(total);
+  }
+
+  if (off + PairHeader::kSize > data_cap) return PageFind::kCorrupt;
+  ParsedPair p;
+  p.header = PairHeader::decode(page, off);
+  if (p.header.sig != sig) return PageFind::kCorrupt;  // footer mismatch
+  p.offset = off;
+  const std::uint64_t total = p.header.pair_bytes();
+  const std::size_t avail = data_cap - off;
+  if (total <= avail) {
+    p.in_page_bytes = static_cast<std::size_t>(total);
+    p.spills = false;
+  } else {
+    // A spilling pair is always alone in its head page.
+    if (last + 1 != n) return PageFind::kCorrupt;
+    p.in_page_bytes = avail;
+    p.spills = true;
+  }
+  *out = p;
+  return PageFind::kFound;
+}
+
 std::uint32_t continuation_pages(const flash::Geometry& g, std::uint64_t pair_bytes) {
   const std::uint64_t head_cap = g.page_size - PageFooter::size_for(1);
   if (pair_bytes <= head_cap) return 0;

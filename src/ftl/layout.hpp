@@ -178,6 +178,18 @@ struct ParsedPair {
 std::optional<std::vector<ParsedPair>> parse_head_page(ByteSpan page,
                                                        std::uint32_t page_size);
 
+/// Read-path fast scan: locates the newest pair matching `sig` in a head
+/// page without materializing the pair list. The footer signature area
+/// is scanned in place (no allocation — parse_head_page allocates two
+/// vectors per call, which dominated the hot get path), and headers are
+/// decoded only up to the match. A miss is decided from the footer alone.
+/// Structural validation covers the footer and the walked header prefix;
+/// corruption past the match goes undetected here (the full parser and
+/// the page CRC still catch it on GC/recovery scans).
+enum class PageFind : std::uint8_t { kFound, kAbsent, kCorrupt };
+PageFind find_pair_in_page(ByteSpan page, std::uint32_t page_size,
+                           std::uint64_t sig, ParsedPair* out) noexcept;
+
 /// Number of continuation pages a spilling pair needs after its head page.
 std::uint32_t continuation_pages(const flash::Geometry& g, std::uint64_t pair_bytes);
 

@@ -69,19 +69,25 @@ Result<hash::HopscotchTable*> MlHashIndex::load_table(std::uint32_t level,
   const std::uint64_t key = make_key(level, page);
   if (CachedTable* hit = cache_.get(key)) return &hit->table;
 
-  CachedTable fresh{codec_.make_table()};
+  // Recycle the victim's table storage across the miss (see
+  // RhikIndex::load_table): evict first, decode into the reclaimed
+  // arrays, read the dir slot only after the write-back ran.
+  std::optional<CachedTable> recycled = cache_.take_lru_if_full();
+  CachedTable fresh =
+      recycled ? std::move(*recycled) : CachedTable{codec_.make_table()};
   const Ppa ppa = dirs_[level][page];
   if (ppa != kInvalidPpa) {
-    const auto& g = nand_->geometry();
-    Bytes buf(g.page_size);
-    Bytes spare(g.spare_size());
-    if (Status s = nand_->read_page(ppa, buf, spare); !ok(s)) return s;
+    // Zero-copy page load, same as RhikIndex::load_table.
+    ByteSpan buf, spare;
+    if (Status s = nand_->read_page_view(ppa, &buf, &spare); !ok(s)) return s;
     if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
       return Status::kCorruption;
     }
     if (Status s = codec_.decode(buf, &fresh.table); !ok(s)) return s;
     stats_.flash_reads++;
     if (reads) (*reads)++;
+  } else if (recycled) {
+    fresh.table.clear();
   }
   CachedTable* ins = cache_.insert(key, std::move(fresh), /*dirty=*/false);
   return &ins->table;
@@ -326,10 +332,8 @@ Status MlHashIndex::apply_journal_repoint(
     return Status::kCorruption;
   }
   if (data_durable && ppa != kInvalidPpa) {
-    const auto& g = nand_->geometry();
-    Bytes buf(g.page_size);
-    Bytes spare(g.spare_size());
-    if (Status s = nand_->read_page(ppa, buf, spare); !ok(s)) return s;
+    ByteSpan buf, spare;
+    if (Status s = nand_->read_page_view(ppa, &buf, &spare); !ok(s)) return s;
     if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
       return Status::kCorruption;
     }

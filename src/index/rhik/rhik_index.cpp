@@ -51,18 +51,27 @@ Result<hash::HopscotchTable*> RhikIndex::load_table(std::uint32_t gen,
   const std::uint64_t key = make_key(gen, bucket);
   if (CachedTable* hit = cache_.get(key)) return &hit->table;
 
-  CachedTable fresh{codec_.make_table()};
+  // Evict up front so the victim's table storage (four ~R-sized arrays)
+  // can be recycled by the decode below instead of being freed here and
+  // re-allocated zero-filled by make_table(). Eviction order and count
+  // match what insert() would have done. The dir slot is read after the
+  // eviction: a dirty write-back programs flash and may move pages.
+  std::optional<CachedTable> recycled = cache_.take_lru_if_full();
+  CachedTable fresh =
+      recycled ? std::move(*recycled) : CachedTable{codec_.make_table()};
   const Ppa ppa = dir_slot(gen, bucket);
   if (ppa != kInvalidPpa) {
-    const auto& g = nand_->geometry();
-    Bytes page(g.page_size);
-    Bytes spare(g.spare_size());
-    if (Status s = nand_->read_page(ppa, page, spare); !ok(s)) return s;
+    // Zero-copy page load: decode straight out of NAND page storage
+    // instead of allocating and filling a 32 KiB scratch buffer per miss.
+    ByteSpan page, spare;
+    if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) return s;
     const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
     if (tag.kind != ftl::PageKind::kIndexRecord) return Status::kCorruption;
     if (Status s = codec_.decode(page, &fresh.table); !ok(s)) return s;
     stats_.flash_reads++;
     if (reads) (*reads)++;
+  } else if (recycled) {
+    fresh.table.clear();
   }
   CachedTable* ins = cache_.insert(key, std::move(fresh), /*dirty=*/false);
   return &ins->table;
@@ -552,10 +561,8 @@ Status RhikIndex::apply_journal_repoint(
   const std::uint64_t b = keyed & ~kOvBit;
   if (b >= dir_size()) return Status::kCorruption;
   if (data_durable && ppa != kInvalidPpa) {
-    const auto& g = nand_->geometry();
-    Bytes page(g.page_size);
-    Bytes spare(g.spare_size());
-    if (Status s = nand_->read_page(ppa, page, spare); !ok(s)) return s;
+    ByteSpan page, spare;
+    if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) return s;
     if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
       return Status::kCorruption;
     }

@@ -783,10 +783,26 @@ void KvssdDevice::submit_del(Bytes key, Callback cb) {
       {OpType::kDel, std::move(key), {}, std::move(cb), {}, clock_.now()});
 }
 
+void KvssdDevice::submit_put_tagged(std::uint64_t tag, Bytes key, Bytes value) {
+  queue_.push_back({OpType::kPut, std::move(key), std::move(value), {}, {},
+                    clock_.now(), tag, /*tagged=*/true});
+}
+
+void KvssdDevice::submit_get_tagged(std::uint64_t tag, Bytes key) {
+  queue_.push_back({OpType::kGet, std::move(key), {}, {}, {}, clock_.now(),
+                    tag, /*tagged=*/true});
+}
+
+void KvssdDevice::submit_del_tagged(std::uint64_t tag, Bytes key) {
+  queue_.push_back({OpType::kDel, std::move(key), {}, {}, {}, clock_.now(),
+                    tag, /*tagged=*/true});
+}
+
 std::size_t KvssdDevice::drain() {
   std::size_t completed = 0;
   std::vector<QueuedOp> ops;
   std::vector<std::uint32_t> order;
+  std::vector<api::TaggedCompletion> batch;
   Bytes value;
   // Outer loop: callbacks may submit follow-up commands; they drain in
   // the same call, as with the previous strictly-serial implementation.
@@ -803,14 +819,16 @@ std::size_t KvssdDevice::drain() {
     order.resize(ops.size());
     for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
     if (cfg_.batch_drain_grouping && ops.size() > 1) {
-      std::vector<std::uint64_t> group(ops.size());
-      for (std::size_t i = 0; i < ops.size(); ++i) {
-        group[i] = index_->locality_group(signature(ops[i].key));
+      // (group, submit index) pairs under plain std::sort yield the same
+      // permutation a stable sort by group alone would — the index
+      // component breaks ties in submission order — without the merge
+      // buffer and comparator indirection stable_sort pays per batch.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(ops.size());
+      for (std::uint32_t i = 0; i < keyed.size(); ++i) {
+        keyed[i] = {index_->locality_group(signature(ops[i].key)), i};
       }
-      std::stable_sort(order.begin(), order.end(),
-                       [&group](std::uint32_t a, std::uint32_t b) {
-                         return group[a] < group[b];
-                       });
+      std::sort(keyed.begin(), keyed.end());
+      for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
     }
 
     for (const std::uint32_t i : order) {
@@ -840,13 +858,32 @@ std::size_t KvssdDevice::drain() {
           if (traced) obs_finish(tr, s, del_timers_);
           break;
       }
-      if (op.get_cb) {
+      if (op.tagged) {
+        // Fast path: no per-op dispatch — the whole batch crosses to the
+        // sink in one call after the snapshot finishes.
+        api::TaggedCompletion tc;
+        tc.tag = op.tag;
+        tc.op = op.type == OpType::kPut   ? api::TaggedCompletion::Op::kPut
+                : op.type == OpType::kGet ? api::TaggedCompletion::Op::kGet
+                                          : api::TaggedCompletion::Op::kDel;
+        tc.status = s;
+        tc.key = std::move(op.key);
+        if (op.type == OpType::kGet) {
+          tc.value = std::move(value);
+          value.clear();
+        }
+        batch.push_back(std::move(tc));
+      } else if (op.get_cb) {
         op.get_cb(s, std::move(value));
         value.clear();
       } else if (op.cb) {
         op.cb(s);
       }
       ++completed;
+    }
+    if (!batch.empty()) {
+      if (sink_) sink_(std::move(batch));
+      batch.clear();
     }
     if (ckpt_) ckpt_->tick();
     gc_tick();

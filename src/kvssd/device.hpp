@@ -165,6 +165,16 @@ class KvssdDevice : public api::IKvsBackend {
   /// same-key commands keep submission order).
   std::size_t drain() override;
 
+  // -- Tagged submission (batched completion fast path) ------------------------
+  /// Tagged ops complete through the sink, one call per drained batch,
+  /// instead of one std::function dispatch per op (api::IKvsBackend).
+  void set_completion_sink(api::IKvsBackend::CompletionSink sink) override {
+    sink_ = std::move(sink);
+  }
+  void submit_put_tagged(std::uint64_t tag, Bytes key, Bytes value) override;
+  void submit_get_tagged(std::uint64_t tag, Bytes key) override;
+  void submit_del_tagged(std::uint64_t tag, Bytes key) override;
+
   /// Persists buffered data and index state (and, with checkpointing
   /// enabled, the buffered index-delta journal records).
   Status flush() override;
@@ -253,6 +263,8 @@ class KvssdDevice : public api::IKvsBackend {
     Callback cb;
     GetCallback get_cb;
     SimTime enqueue_ns = 0;  ///< submission time (trace queue-wait span)
+    std::uint64_t tag = 0;   ///< tagged path: echoed in the completion
+    bool tagged = false;     ///< complete via sink_, not cb/get_cb
   };
 
   Status put_locked(ByteSpan key, ByteSpan value);
@@ -325,6 +337,7 @@ class KvssdDevice : public api::IKvsBackend {
   std::vector<Rejournal> rejournal_;
 
   std::deque<QueuedOp> queue_;
+  api::IKvsBackend::CompletionSink sink_;  ///< tagged-batch completion sink
   std::unique_ptr<IteratorManager> iter_mgr_;
   std::uint64_t live_bytes_ = 0;
   DeviceStats stats_;

@@ -142,18 +142,29 @@ void ShardedKvssd::worker_loop(Shard& s) {
     for (ShardOp& op : batch) {
       switch (op.kind) {
         case ShardOp::Kind::kPut:
-          s.dev->submit_put(std::move(op.key), std::move(op.value),
-                            std::move(op.cb));
+          if (op.tagged) {
+            s.dev->submit_put_tagged(op.tag, std::move(op.key),
+                                     std::move(op.value));
+          } else {
+            s.dev->submit_put(std::move(op.key), std::move(op.value),
+                              std::move(op.cb));
+          }
           break;
         case ShardOp::Kind::kGet:
-          if (op.get_cb) {
+          if (op.tagged) {
+            s.dev->submit_get_tagged(op.tag, std::move(op.key));
+          } else if (op.get_cb) {
             s.dev->submit_get(std::move(op.key), std::move(op.get_cb));
           } else {
             s.dev->submit_get(std::move(op.key), std::move(op.cb));
           }
           break;
         case ShardOp::Kind::kDel:
-          s.dev->submit_del(std::move(op.key), std::move(op.cb));
+          if (op.tagged) {
+            s.dev->submit_del_tagged(op.tag, std::move(op.key));
+          } else {
+            s.dev->submit_del(std::move(op.key), std::move(op.cb));
+          }
           break;
         case ShardOp::Kind::kExist: {
           // Not queueable on the device; flush queued work first so
@@ -434,6 +445,59 @@ void ShardedKvssd::submit_del(Bytes key, Callback cb) {
   op.kind = ShardOp::Kind::kDel;
   op.key = std::move(key);
   op.cb = std::move(cb);
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::set_completion_sink(api::IKvsBackend::CompletionSink sink) {
+  // Each shard device is touched only by its worker, so the install rides
+  // a barrier op whose `done` hook runs worker-side; the gate makes the
+  // call synchronous so callers may submit tagged ops right after.
+  Gate gate;
+  std::atomic<std::uint32_t> remaining{
+      static_cast<std::uint32_t>(shards_.size())};
+  for (std::uint32_t sh = 0; sh < shards_.size(); ++sh) {
+    ShardOp op;
+    op.kind = ShardOp::Kind::kBarrier;
+    op.done = [&, dev = shards_[sh]->dev.get()] {
+      dev->set_completion_sink(sink);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) gate.open();
+    };
+    submit_to(sh, std::move(op));
+  }
+  gate.wait();
+}
+
+void ShardedKvssd::submit_put_tagged(std::uint64_t tag, Bytes key, Bytes value) {
+  fe_puts_->inc();
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kPut;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  op.tag = tag;
+  op.tagged = true;
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::submit_get_tagged(std::uint64_t tag, Bytes key) {
+  fe_gets_->inc();
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kGet;
+  op.key = std::move(key);
+  op.tag = tag;
+  op.tagged = true;
+  submit_to(sh, std::move(op));
+}
+
+void ShardedKvssd::submit_del_tagged(std::uint64_t tag, Bytes key) {
+  fe_dels_->inc();
+  const std::uint32_t sh = shard_of(key);
+  ShardOp op;
+  op.kind = ShardOp::Kind::kDel;
+  op.key = std::move(key);
+  op.tag = tag;
+  op.tagged = true;
   submit_to(sh, std::move(op));
 }
 

@@ -93,6 +93,16 @@ class ShardedKvssd : public api::IKvsBackend {
   void submit_get(Bytes key, Callback cb = {});
   void submit_del(Bytes key, Callback cb = {}) override;
 
+  // -- Tagged submission (batched completion fast path) ------------------------
+  /// Installs the sink on every shard device — each fires it from its
+  /// own worker, one call per drained batch, so the sink must be
+  /// thread-safe. Blocks until every worker has adopted the sink (a
+  /// cross-shard barrier); install before the first tagged submit.
+  void set_completion_sink(api::IKvsBackend::CompletionSink sink) override;
+  void submit_put_tagged(std::uint64_t tag, Bytes key, Bytes value) override;
+  void submit_get_tagged(std::uint64_t tag, Bytes key) override;
+  void submit_del_tagged(std::uint64_t tag, Bytes key) override;
+
   /// Cross-shard barrier: waits until every command submitted before the
   /// call has completed on its shard. Returns how many commands
   /// completed since the previous barrier (approximate under concurrent
@@ -173,6 +183,8 @@ class ShardedKvssd : public api::IKvsBackend {
     Bytes value;
     Callback cb;                 ///< put/del/exist/iterate/flush/ckpt completion
     GetCallback get_cb;                   ///< get completion
+    std::uint64_t tag = 0;                ///< tagged path: echoed on completion
+    bool tagged = false;                  ///< complete via the device's sink
     std::vector<BatchOp>* batch = nullptr;  ///< sub-batch, owned by waiter
     std::vector<Bytes>* keys = nullptr;   ///< iterate: per-shard key sink
     std::size_t limit = 0;                ///< iterate: per-shard result cap

@@ -30,14 +30,23 @@ class SubmissionRing {
   /// Blocks while the ring is full (back-pressure on the producer).
   /// Returns false once the ring has been closed; `item` is dropped.
   bool push(T item) {
+    bool wake;
     {
       std::unique_lock lk(mu_);
-      not_full_.wait(lk, [&] { return size_ < buf_.size() || closed_; });
+      while (size_ == buf_.size() && !closed_) {
+        ++waiting_producers_;
+        not_full_.wait(lk);
+        --waiting_producers_;
+      }
       if (closed_) return false;
       buf_[(head_ + size_) % buf_.size()] = std::move(item);
       ++size_;
+      // Signal only when the consumer is actually parked: a busy worker
+      // re-checks the ring anyway, and an unconditional notify_one per
+      // push costs a futex wake on the submission hot path.
+      wake = waiting_consumers_ > 0;
     }
-    not_empty_.notify_one();
+    if (wake) not_empty_.notify_one();
     return true;
   }
 
@@ -45,24 +54,32 @@ class SubmissionRing {
   /// appends everything queued to `out`. Returns false only when the
   /// ring is closed AND empty (consumer shutdown signal).
   bool pop_all(std::vector<T>& out) {
+    bool wake;
     {
       std::unique_lock lk(mu_);
-      not_empty_.wait(lk, [&] { return size_ > 0 || closed_; });
+      while (size_ == 0 && !closed_) {
+        ++waiting_consumers_;
+        not_empty_.wait(lk);
+        --waiting_consumers_;
+      }
       if (size_ == 0) return false;
       drain_locked(out);
+      wake = waiting_producers_ > 0;
     }
-    not_full_.notify_all();
+    if (wake) not_full_.notify_all();
     return true;
   }
 
   /// Non-blocking variant; true if anything was popped.
   bool try_pop_all(std::vector<T>& out) {
+    bool wake;
     {
       std::unique_lock lk(mu_);
       if (size_ == 0) return false;
       drain_locked(out);
+      wake = waiting_producers_ > 0;
     }
-    not_full_.notify_all();
+    if (wake) not_full_.notify_all();
     return true;
   }
 
@@ -90,6 +107,8 @@ class SubmissionRing {
   std::vector<T> buf_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  std::size_t waiting_consumers_ = 0;  ///< parked in pop_all
+  std::size_t waiting_producers_ = 0;  ///< parked in push (ring full)
   bool closed_ = false;
   std::mutex mu_;
   std::condition_variable not_empty_;

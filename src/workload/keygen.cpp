@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace rhik::workload {
 
@@ -27,9 +28,11 @@ Bytes key_for_id(std::uint64_t id, std::uint32_t key_size) {
 void fill_value(std::uint64_t id, MutByteSpan out) {
   std::uint64_t state = id * 0x9e3779b97f4a7c15ULL + 0x76616c75ULL;  // "valu"
   std::size_t i = 0;
+  // Whole little-endian words (bytes match the old per-byte stores).
   while (i + 8 <= out.size()) {
     const std::uint64_t word = splitmix64(state);
-    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    std::memcpy(out.data() + i, &word, 8);
+    i += 8;
   }
   if (i < out.size()) {
     const std::uint64_t word = splitmix64(state);
