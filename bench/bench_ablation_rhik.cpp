@@ -30,6 +30,7 @@ struct Rig {
         gc(&nand, &alloc, &store, &index) {}
   void pump() {
     if (alloc.needs_gc()) gc.collect(alloc.gc_reserve() + 4);
+    index.pump_maintenance(0);  // the device's background migration quantum
   }
   SimClock clock;
   flash::NandDevice nand;

@@ -1,14 +1,23 @@
 // Fig. 7 — rate of change of the time to double the index capacity
-// (paper §V-B).
+// (paper §V-B), plus the halt-free resizing guard (DESIGN.md §11).
 //
-// RHIK is filled with random keys on an index-only rig (no KV data —
-// resizing never touches KV pairs, §IV-A2); every occupancy-triggered
-// doubling records {keys migrated, stall duration}. The paper plots the
-// *rate of change* of the resizing time: with capacity points from
-// 0.003 M to 172 M keys it stays <= ~1, i.e. time-to-double grows no
-// faster than the key count. We sweep 32 KiB-page geometry (R = 1927)
-// up to several million keys.
+// Part A reproduces the paper's stop-the-world measurement: RHIK is
+// filled with random keys on an index-only rig (no KV data — resizing
+// never touches KV pairs, §IV-A2); every occupancy-triggered doubling
+// records {keys migrated, stall duration}. The paper plots the *rate of
+// change* of the resizing time: with capacity points from 0.003 M to
+// 172 M keys it stays <= ~1, i.e. time-to-double grows no faster than
+// the key count.
+//
+// Part B measures what the incremental default buys: per-put latency is
+// sampled while a doubling migrates in background quanta vs steady
+// state, on a cache sized well below the record-layer footprint so
+// flash reads dominate the tail. The guard — p99 during a doubling must
+// stay within 2x the steady-state p99 — exits non-zero on violation, so
+// CI can hold the stall-free property.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -18,11 +27,16 @@
 
 using namespace rhik;
 
-int main() {
-  bench::heading("Fig. 7 — rate of change of index-resizing time",
-                 "RHIK paper Fig. 7 (§V-B), and the 11M->5ms / 345M->172ms "
-                 "examples");
+namespace {
 
+std::uint64_t p99(std::vector<std::uint64_t>& v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, (v.size() * 99) / 100)];
+}
+
+/// Part A: the paper's Fig. 7 — stop-the-world doubling, stall per resize.
+void run_stop_the_world() {
   SimClock clock;
   // Index-only device: 2 GiB of 32 KiB pages for record tables.
   flash::NandDevice nand(flash::Geometry::with_capacity(2ull << 30),
@@ -31,6 +45,7 @@ int main() {
   ftl::FlashKvStore store(&nand, &alloc);
 
   index::RhikConfig cfg;  // paper defaults: R = 1927, H = 32, 80% threshold
+  cfg.incremental_resize = false;  // the measurement the paper reports
   // Generous cache: the paper's resize times (5 ms at 11 M keys) imply a
   // largely DRAM-resident record layer during migration; flash programs
   // are still charged through the simulated clock.
@@ -46,7 +61,8 @@ int main() {
   }
 
   const auto& history = index.resize_history();
-  std::printf("\n%-14s %-14s %-14s %-12s %-12s\n", "keys-before(M)",
+  std::printf("\n-- part A: stop-the-world doubling (paper Fig. 7) --\n");
+  std::printf("%-14s %-14s %-14s %-12s %-12s\n", "keys-before(M)",
               "capacity(M)", "resize-ms", "time-growth", "rate-of-chg");
   for (std::size_t i = 0; i < history.size(); ++i) {
     const auto& ev = history[i];
@@ -72,5 +88,100 @@ int main() {
   bench::note("expected: rate-of-change ~<= 1 at every doubling (resize time");
   bench::note("grows linearly with keys); milliseconds at millions of keys,");
   bench::note("matching the paper's 11M->5ms / 345M->172ms calibration.");
+}
+
+/// Part B: incremental (default) doubling — p99 put latency during a
+/// migration window vs steady state, with the <= 2x CI guard.
+/// Returns 0 when the guard holds.
+int run_halt_free_guard() {
+  SimClock clock;
+  flash::NandDevice nand(flash::Geometry::with_capacity(2ull << 30),
+                         flash::NandLatency::kvemu_defaults(), &clock);
+  ftl::PageAllocator alloc(&nand, 4);
+  ftl::FlashKvStore store(&nand, &alloc);
+
+  index::RhikConfig cfg;
+  cfg.incremental_resize = true;  // halt-free path, regardless of env
+  cfg.incremental_batch = 1;      // one bucket per quantum: long windows
+  // ~800 k keys need ~16 MiB of record pages; an 8 MiB cache keeps half
+  // the working set on flash so the latency tail is real.
+  index::RhikIndex index(&nand, &alloc, cfg, /*cache=*/8ull << 20);
+  ftl::GarbageCollector gc(&nand, &alloc, &store, &index);
+
+  const std::uint64_t target_keys = 800'000;
+  Rng rng(43);
+  std::uint64_t inserted = 0;
+  std::vector<std::uint64_t> steady, during;
+  steady.reserve(target_keys);
+  while (inserted < target_keys) {
+    if (alloc.needs_gc()) gc.collect(alloc.gc_reserve() + 4);
+    const bool migrating = index.migration_active();
+    const std::uint64_t sig = rng.next();
+    const SimTime t0 = clock.now();
+    const bool stored = ok(index.put(sig, inserted));
+    (migrating ? during : steady).push_back(clock.now() - t0);
+    if (stored) ++inserted;
+    // The device's idle pump: one bounded quantum per op, never charged
+    // to the put above.
+    index.pump_maintenance(0);
+  }
+  while (index.pump_maintenance(0)) {
+  }
+
+  const auto& history = index.resize_history();
+  std::uint64_t keys_migrated = 0;
+  for (const auto& ev : history) keys_migrated += ev.keys_before;
+
+  const std::uint64_t p99_steady = p99(steady);
+  const std::uint64_t p99_during = p99(during);
+  std::printf("\n-- part B: halt-free doubling (incremental default) --\n");
+  std::printf("%-26s %llu\n", "puts sampled steady:",
+              static_cast<unsigned long long>(steady.size()));
+  std::printf("%-26s %llu\n", "puts sampled mid-doubling:",
+              static_cast<unsigned long long>(during.size()));
+  std::printf("%-26s %.1f us\n", "p99 put steady:",
+              static_cast<double>(p99_steady) / 1e3);
+  std::printf("%-26s %.1f us\n", "p99 put mid-doubling:",
+              static_cast<double>(p99_during) / 1e3);
+  std::printf("%-26s %zu (%llu keys migrated)\n", "doublings drained:",
+              history.size(),
+              static_cast<unsigned long long>(keys_migrated));
+  std::printf("%-26s %.1f ms\n", "submission-queue stall:",
+              static_cast<double>(clock.total_stall()) / 1e6);
+  bench::note("guard: p99 mid-doubling <= 2x steady-state p99 AND zero");
+  bench::note("queue stall — the halt-free property CI holds.");
+
+  if (p99_steady == 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state p99 is 0 — cache no longer misses, the "
+                 "guard is vacuous; shrink the cache\n");
+    return 1;
+  }
+  if (during.empty() || history.empty()) {
+    std::fprintf(stderr, "FAIL: no doubling was sampled mid-migration\n");
+    return 1;
+  }
+  if (clock.total_stall() != 0) {
+    std::fprintf(stderr, "FAIL: incremental resize stalled the queue\n");
+    return 1;
+  }
+  if (p99_during > 2 * p99_steady) {
+    std::fprintf(stderr,
+                 "FAIL: p99 during doubling (%llu ns) exceeds 2x steady-state "
+                 "p99 (%llu ns)\n",
+                 static_cast<unsigned long long>(p99_during),
+                 static_cast<unsigned long long>(p99_steady));
+    return 1;
+  }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 7 — rate of change of index-resizing time",
+                 "RHIK paper Fig. 7 (§V-B), and the 11M->5ms / 345M->172ms "
+                 "examples; DESIGN.md §11 halt-free guard");
+  run_stop_the_world();
+  return run_halt_free_guard();
 }

@@ -47,7 +47,10 @@ struct KvsDeviceOptions {
   bool use_rhik = true;               ///< false: multi-level hash baseline
   std::uint64_t anticipated_keys = 0; ///< Eq. 2 initial sizing hint
   bool enable_iterator = false;       ///< §VI prefix-signature iteration
-  bool incremental_resize = false;    ///< §VI real-time scaling
+  /// §VI real-time scaling: doublings migrate in bounded background
+  /// quanta (halt-free, the default) instead of stalling the queue.
+  /// Tracks the RHIK default (RHIK_STW_RESIZE=1 flips it back).
+  bool incremental_resize = index::default_incremental_resize();
   /// >1: sharded multi-device front-end — the keyspace is hash-
   /// partitioned across this many emulated devices, each with its own
   /// worker thread; capacity_bytes and dram_cache_bytes are split

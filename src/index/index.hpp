@@ -36,6 +36,9 @@ struct IndexOpStats {
   /// Records placed in per-bucket overflow pages (hyper-local scaling,
   /// §VI) instead of being rejected.
   std::uint64_t overflow_inserts = 0;
+  /// Puts rejected because the directory reached its addressing limit
+  /// (2^38 entries) and cannot double again.
+  std::uint64_t index_full = 0;
   /// Flash reads needed per individual index lookup (paper Fig. 5b).
   Histogram reads_per_lookup;
 
@@ -50,6 +53,7 @@ struct IndexOpStats {
     snap.add_counter("index.resizes", resizes);
     snap.add_counter("index.writeback_failures", writeback_failures);
     snap.add_counter("index.overflow_inserts", overflow_inserts);
+    snap.add_counter("index.index_full", index_full);
     snap.add_timer("index.reads_per_lookup", reads_per_lookup);
   }
 };
@@ -68,16 +72,26 @@ struct ResizeEvent {
 ///  - journal_put / journal_erase: a signature's mapping changed;
 ///  - journal_repoint: a metadata-page slot moved to a new PPA (record
 ///    table write-back, GC relocation), keyed by the index's own slot id;
-///  - journal_barrier: a structural change began (directory resize) that
-///    blind replay cannot express — replay past a barrier falls back to
-///    the full scan.
+///  - journal_resize: a directory doubling began (new generation opened);
+///    replay re-opens the same migration window before applying later
+///    records;
+///  - journal_migrated: one old-generation bucket finished migrating into
+///    the new generation (its new-generation repoints precede this
+///    record), so replay retires the old bucket exactly where the live
+///    index did.
 class IndexJournal {
  public:
   virtual ~IndexJournal() = default;
   virtual void journal_put(std::uint64_t sig, flash::Ppa ppa) = 0;
   virtual void journal_erase(std::uint64_t sig) = 0;
   virtual void journal_repoint(std::uint64_t slot_key, flash::Ppa ppa) = 0;
-  virtual void journal_barrier() = 0;
+  virtual void journal_resize(std::uint32_t new_gen, std::uint32_t new_bits) {
+    (void)new_gen;
+    (void)new_bits;
+  }
+  virtual void journal_migrated(std::uint64_t old_slot_key) {
+    (void)old_slot_key;
+  }
 };
 
 class IIndex : public ftl::GcIndexHooks {
@@ -89,6 +103,14 @@ class IIndex : public ftl::GcIndexHooks {
 
   /// Current mapping for `sig`, if any.
   virtual std::optional<flash::Ppa> get(std::uint64_t sig) = 0;
+
+  /// Status-carrying lookup: distinguishes "no mapping" (kOk + nullopt)
+  /// from a metadata I/O failure (non-kOk). The device layer uses this on
+  /// every data-path probe so a torn metadata page surfaces as kIoError
+  /// instead of a phantom miss that could overwrite live data.
+  virtual Result<std::optional<flash::Ppa>> lookup(std::uint64_t sig) {
+    return get(sig);
+  }
 
   /// Removes the mapping. kNotFound if absent.
   virtual Status erase(std::uint64_t sig) = 0;
@@ -174,6 +196,53 @@ class IIndex : public ftl::GcIndexHooks {
   /// True while a structural maintenance operation (incremental resize)
   /// is in flight; checkpoints are deferred until it completes.
   [[nodiscard]] virtual bool maintenance_active() const { return false; }
+
+  /// Advances in-flight structural maintenance (incremental migration) by
+  /// up to `budget` work units; 0 means the scheme's default quantum.
+  /// Called from the device background pump (gc_tick / idle loop), so a
+  /// quiescent device still drains a doubling. Returns true iff progress
+  /// was made — callers stop pumping when it returns false, so a wedged
+  /// migration (e.g. device full) must not report progress forever.
+  virtual bool pump_maintenance(std::uint32_t budget = 0) {
+    (void)budget;
+    return false;
+  }
+
+  /// Replays a journal_resize record: re-opens the same migration window
+  /// (old generation -> new generation with `new_bits` directory bits)
+  /// the live index had when it journaled the doubling. kCorruption if
+  /// the record is inconsistent with the restored image (caller falls
+  /// back to the full scan).
+  virtual Status apply_journal_resize(std::uint32_t new_gen,
+                                      std::uint32_t new_bits) {
+    (void)new_gen;
+    (void)new_bits;
+    return Status::kUnsupported;
+  }
+
+  /// Replays a journal_migrated record: retires one old-generation bucket
+  /// whose new-generation repoints were already applied from earlier
+  /// records in the same journal prefix.
+  virtual Status apply_journal_migrate(std::uint64_t old_slot_key) {
+    (void)old_slot_key;
+    return Status::kUnsupported;
+  }
+
+  /// Replays a journal_put record. Unlike put(), replay must never
+  /// trigger structural changes (resize, bucket migration): structural
+  /// transitions replay only from explicit resize/migrate records, so a
+  /// restored index matches the crashed one bucket for bucket. A scheme
+  /// that cannot place the record without structural work returns non-kOk
+  /// and the caller falls back to the full scan.
+  virtual Status apply_journal_put(std::uint64_t sig, flash::Ppa ppa) {
+    return put(sig, ppa);
+  }
+
+  /// Replays a journal_erase record (idempotent: kNotFound is success).
+  virtual Status apply_journal_erase(std::uint64_t sig) {
+    const Status s = erase(sig);
+    return s == Status::kNotFound ? Status::kOk : s;
+  }
 };
 
 }  // namespace rhik::index

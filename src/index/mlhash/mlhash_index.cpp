@@ -150,13 +150,21 @@ Result<std::optional<MlHashIndex::Located>> MlHashIndex::locate(
   return std::optional<Located>(std::nullopt);
 }
 
-std::optional<Ppa> MlHashIndex::get(std::uint64_t sig) {
+Result<std::optional<Ppa>> MlHashIndex::lookup(std::uint64_t sig) {
   stats_.gets++;
   std::uint64_t reads = 0;
   auto loc = locate(sig, &reads);
   stats_.reads_per_lookup.record(reads);
-  if (!loc || !*loc) return std::nullopt;
-  return (*loc)->ppa;
+  // A metadata read failure propagates instead of masquerading as a miss.
+  if (!loc) return loc.status();
+  if (!*loc) return std::optional<Ppa>(std::nullopt);
+  return std::optional<Ppa>((*loc)->ppa);
+}
+
+std::optional<Ppa> MlHashIndex::get(std::uint64_t sig) {
+  auto r = lookup(sig);
+  if (!r) return std::nullopt;
+  return *r;
 }
 
 Status MlHashIndex::put(std::uint64_t sig, Ppa ppa) {

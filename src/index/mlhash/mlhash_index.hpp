@@ -45,6 +45,7 @@ class MlHashIndex final : public IIndex {
   // -- IIndex -----------------------------------------------------------------
   Status put(std::uint64_t sig, flash::Ppa ppa) override;
   std::optional<flash::Ppa> get(std::uint64_t sig) override;
+  Result<std::optional<flash::Ppa>> lookup(std::uint64_t sig) override;
   Status erase(std::uint64_t sig) override;
   [[nodiscard]] std::uint64_t size() const override { return num_keys_; }
   [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }

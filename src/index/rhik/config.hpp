@@ -3,11 +3,22 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 
 #include "common/bytes.hpp"
 #include "common/sim_clock.hpp"
 
 namespace rhik::index {
+
+/// Default for RhikConfig::incremental_resize. Incremental (halt-free)
+/// migration is the production path; setting RHIK_STW_RESIZE=1 in the
+/// environment flips the *default* back to the legacy stop-the-world
+/// doubling so CI can keep the fallback green. Configs that set the flag
+/// explicitly are unaffected.
+inline bool default_incremental_resize() noexcept {
+  const char* stw = std::getenv("RHIK_STW_RESIZE");
+  return !(stw != nullptr && stw[0] == '1');
+}
 
 struct RhikConfig {
   /// kh — key signature size in bytes (Eq. 1). 8 by default; 16 models
@@ -24,16 +35,25 @@ struct RhikConfig {
   /// Anticipated number of keys for initial sizing (Eq. 2). 0 means a
   /// conservative minimal directory (one entry) that grows on demand.
   std::uint64_t anticipated_keys = 0;
+  /// Hard ceiling on directory bits: a doubling that would exceed it is
+  /// refused with Status::kIndexFull (counted in op stats) instead of
+  /// growing. Bucket ids must stay below the overflow bit, so values
+  /// above 38 are clamped to 38.
+  std::uint32_t max_dir_bits = 38;
   /// §VI extension: migrate incrementally instead of halting the queue.
-  bool incremental_resize = false;
+  /// On by default (halt-free resizing, DESIGN.md §11); RHIK_STW_RESIZE=1
+  /// restores the legacy stop-the-world default.
+  bool incremental_resize = default_incremental_resize();
   /// §VI "hyper-local scaling" extension: instead of rejecting a key on
   /// an uncorrectable local collision, give the affected bucket a
   /// private overflow record page. Overflowed buckets cost up to TWO
   /// flash reads per lookup (the trade-off the ablation quantifies);
   /// resizing drains overflow pages back into primaries.
   bool local_overflow = false;
-  /// Old-index buckets migrated per foreground operation in incremental
-  /// mode.
+  /// Old-index buckets migrated per background maintenance quantum
+  /// (pump_maintenance with budget 0) in incremental mode. Foreground
+  /// gets/puts are not charged migration work; the device background
+  /// pump drains the doubling in these bounded quanta.
   std::uint32_t incremental_batch = 4;
   /// CPU cost charged per record rearranged during migration (the
   /// signature-reuse re-bucketing work of §IV-A2).

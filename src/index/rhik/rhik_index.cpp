@@ -160,14 +160,94 @@ Result<std::optional<Ppa>> RhikIndex::lookup_internal(std::uint64_t sig,
   return std::optional<Ppa>(std::nullopt);
 }
 
-std::optional<Ppa> RhikIndex::get(std::uint64_t sig) {
+Result<std::optional<Ppa>> RhikIndex::lookup(std::uint64_t sig) {
   stats_.gets++;
   std::uint64_t reads = 0;
   auto r = lookup_internal(sig, &reads);
   stats_.reads_per_lookup.record(reads);
-  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
+  return r;
+}
+
+std::optional<Ppa> RhikIndex::get(std::uint64_t sig) {
+  // Status-less convenience wrapper: an I/O failure degrades to "not
+  // found" here; the device data path uses lookup() and sees the error.
+  auto r = lookup(sig);
   if (!r) return std::nullopt;
   return *r;
+}
+
+RhikIndex::Home RhikIndex::window_home(std::uint64_t sig) const noexcept {
+  if (mig_) {
+    const std::uint64_t ob = sig & ((std::uint64_t{1} << mig_->old_bits) - 1);
+    if (!mig_->migrated[ob]) return Home{mig_->old_gen, ob};
+  }
+  return Home{gen_, sig & dir_mask()};
+}
+
+Status RhikIndex::insert_at(const Home& home, std::uint64_t sig, Ppa ppa,
+                            bool* existed, std::uint64_t* reads) {
+  auto table = load_table(home.gen, home.bucket, reads);
+  if (!table) return table.status();
+
+  // If an overflow table exists, the record may already live there; an
+  // update must land where the record is (one home per signature).
+  bool via_overflow = false;
+  *existed = (*table)->find(sig).has_value();
+  if (!*existed && has_overflow(home.gen, home.bucket)) {
+    auto ov = load_table(home.gen, home.bucket | kOvBit, reads);
+    if (!ov) return ov.status();
+    if ((*ov)->find(sig)) {
+      *existed = true;
+      via_overflow = true;
+    }
+  }
+
+  Status st;
+  if (via_overflow) {
+    auto ov = load_table(home.gen, home.bucket | kOvBit, reads);
+    if (!ov) return ov.status();
+    st = (*ov)->insert(sig, ppa);
+    if (ok(st)) cache_.mark_dirty(make_key(home.gen, home.bucket | kOvBit));
+  } else {
+    // Re-load: the overflow probe above may have evicted the primary.
+    // With a minimal cache the reloaded table can diverge from the probed
+    // one (a failed write-back resurfaces the stale flash page), so the
+    // existence verdict is re-taken on the handle actually mutated.
+    table = load_table(home.gen, home.bucket, reads);
+    if (!table) return table.status();
+    *existed = (*table)->find(sig).has_value();
+    st = (*table)->insert(sig, ppa);
+    if (ok(st)) {
+      cache_.mark_dirty(make_key(home.gen, home.bucket));
+    } else if (cfg_.local_overflow) {
+      // Hyper-local scaling (§VI): park the record in a bucket-private
+      // overflow page instead of rejecting it.
+      auto ov = load_table(home.gen, home.bucket | kOvBit, reads);
+      if (!ov) return ov.status();
+      st = (*ov)->insert(sig, ppa);
+      if (ok(st)) {
+        cache_.mark_dirty(make_key(home.gen, home.bucket | kOvBit));
+        stats_.overflow_inserts++;
+      }
+    }
+  }
+  return st;
+}
+
+Status RhikIndex::erase_at(const Home& home, std::uint64_t sig, bool* had,
+                           std::uint64_t* reads) {
+  auto table = load_table(home.gen, home.bucket, reads);
+  if (!table) return table.status();
+  *had = (*table)->erase(sig);
+  if (*had) {
+    cache_.mark_dirty(make_key(home.gen, home.bucket));
+  } else if (has_overflow(home.gen, home.bucket)) {
+    auto ov = load_table(home.gen, home.bucket | kOvBit, reads);
+    if (!ov) return ov.status();
+    *had = (*ov)->erase(sig);
+    if (*had) cache_.mark_dirty(make_key(home.gen, home.bucket | kOvBit));
+  }
+  return Status::kOk;
 }
 
 Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
@@ -175,62 +255,27 @@ Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
   if (!mig_) {
     if (Status s = maybe_resize(); !ok(s)) return s;
   }
-  // A mutation must target the new generation, so its source bucket has
-  // to be migrated first — including when this very put just started an
-  // incremental migration.
-  if (mig_) {
-    if (Status s = ensure_bucket_migrated(
-            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
-        !ok(s)) {
-      return s;
-    }
-  }
-
+  // Window routing: during a migration the put lands in whichever
+  // generation still owns the bucket, so foreground latency stays at
+  // steady-state cost — no migration work is charged here.
   std::uint64_t reads = 0;
-  const std::uint64_t bucket = sig & dir_mask();
-  auto table = load_table(gen_, bucket, &reads);
-  if (!table) return table.status();
-
-  // If an overflow table exists, the record may already live there; an
-  // update must land where the record is (one home per signature).
-  bool via_overflow = false;
-  bool existed = (*table)->find(sig).has_value();
-  if (!existed && has_overflow(gen_, bucket)) {
-    auto ov = load_table(gen_, bucket | kOvBit, &reads);
-    if (!ov) return ov.status();
-    if ((*ov)->find(sig)) {
-      existed = true;
-      via_overflow = true;
-    }
-  }
-
-  Status st;
-  if (via_overflow) {
-    auto ov = load_table(gen_, bucket | kOvBit, &reads);
-    if (!ov) return ov.status();
-    st = (*ov)->insert(sig, ppa);
-    if (ok(st)) cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
-  } else {
-    // Re-load: the overflow probe above may have evicted the primary.
-    table = load_table(gen_, bucket, &reads);
-    if (!table) return table.status();
-    st = (*table)->insert(sig, ppa);
-    if (ok(st)) {
-      cache_.mark_dirty(make_key(gen_, bucket));
-    } else if (cfg_.local_overflow) {
-      // Hyper-local scaling (§VI): park the record in a bucket-private
-      // overflow page instead of rejecting it.
-      auto ov = load_table(gen_, bucket | kOvBit, &reads);
-      if (!ov) return ov.status();
-      st = (*ov)->insert(sig, ppa);
-      if (ok(st)) {
-        cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
-        stats_.overflow_inserts++;
-      }
-    }
+  bool existed = false;
+  Home home = window_home(sig);
+  const auto table_full = [](Status s) {
+    return s == Status::kCollisionAbort || s == Status::kIndexFull;
+  };
+  Status st = insert_at(home, sig, ppa, &existed, &reads);
+  if (table_full(st) && home.gen != gen_) {
+    // The (near-full) source bucket has no room left: migrate it now —
+    // the doubling's whole point is the headroom — and retry in the new
+    // generation. This is the only foreground path that migrates.
+    if (Status s = ensure_bucket_migrated(home.bucket); !ok(s)) return s;
+    home = window_home(sig);
+    st = insert_at(home, sig, ppa, &existed, &reads);
   }
   stats_.reads_per_lookup.record(reads);
   if (!ok(st)) {
+    if (!table_full(st)) return st;
     // Both displacement failure and a full table are surfaced as the
     // paper's uncorrectable-collision abort (§IV-A1).
     stats_.collision_aborts++;
@@ -238,51 +283,24 @@ Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
   }
   if (!existed) num_keys_++;
   if (journal_) journal_->journal_put(sig, ppa);
-  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
   return Status::kOk;
 }
 
 Status RhikIndex::erase(std::uint64_t sig) {
   stats_.erases++;
-  if (mig_) {
-    if (Status s = ensure_bucket_migrated(
-            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
-        !ok(s)) {
-      return s;
-    }
-  }
   std::uint64_t reads = 0;
-  const std::uint64_t bucket = sig & dir_mask();
-  auto table = load_table(gen_, bucket, &reads);
-  if (!table) return table.status();
-
-  bool had = (*table)->erase(sig);
-  if (had) {
-    cache_.mark_dirty(make_key(gen_, bucket));
-  } else if (has_overflow(gen_, bucket)) {
-    auto ov = load_table(gen_, bucket | kOvBit, &reads);
-    if (!ov) return ov.status();
-    had = (*ov)->erase(sig);
-    if (had) cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
-  }
+  bool had = false;
+  const Home home = window_home(sig);
+  if (Status s = erase_at(home, sig, &had, &reads); !ok(s)) return s;
   stats_.reads_per_lookup.record(reads);
   if (had) {
     num_keys_--;
     if (journal_) journal_->journal_erase(sig);
   }
-  if (mig_ && !in_maintenance_) pump_migration(cfg_.incremental_batch);
   return had ? Status::kOk : Status::kNotFound;
 }
 
-Status RhikIndex::maybe_resize() {
-  if (in_maintenance_ || mig_) return Status::kOk;
-  const double threshold = cfg_.resize_threshold * static_cast<double>(capacity());
-  if (static_cast<double>(num_keys_ + 1) <= threshold) return Status::kOk;
-
-  stats_.resizes++;
-  // A doubling re-buckets everything; blind journal replay cannot express
-  // it, so recovery past this point must fall back to the full scan.
-  if (journal_) journal_->journal_barrier();
+void RhikIndex::open_migration_window() {
   Migration m;
   m.old_bits = dir_bits_;
   m.old_gen = gen_;
@@ -296,12 +314,32 @@ Status RhikIndex::maybe_resize() {
   mig_ = std::move(m);
   gen_++;
   dir_bits_++;
-  assert(dir_bits_ < 39);
   dir_.assign(dir_size(), kInvalidPpa);
   ov_dir_.assign(dir_size(), kInvalidPpa);
   ov_pages_ = 0;  // old-generation overflow slots moved into mig_
+}
 
-  if (cfg_.incremental_resize) return Status::kOk;  // drained by pump_migration
+Status RhikIndex::maybe_resize() {
+  if (in_maintenance_ || mig_) return Status::kOk;
+  const double threshold = cfg_.resize_threshold * static_cast<double>(capacity());
+  if (static_cast<double>(num_keys_ + 1) <= threshold) return Status::kOk;
+
+  // Bucket ids must stay below the overflow bit (2^38 directory entries)
+  // regardless of the configured cap: past it the index cannot double
+  // again and refuses further growth instead of asserting.
+  if (dir_bits_ + 1 > std::min(cfg_.max_dir_bits, 38u)) {
+    stats_.index_full++;
+    return Status::kIndexFull;
+  }
+
+  stats_.resizes++;
+  open_migration_window();
+  // The resize record re-opens the same migration window on replay;
+  // later generation-tagged repoint/migrate records keep the fast
+  // restore exact across the doubling.
+  if (journal_) journal_->journal_resize(gen_, dir_bits_);
+
+  if (cfg_.incremental_resize) return Status::kOk;  // drained by pump_maintenance
 
   // Stop-the-world doubling (§IV-A2): the submission queue is held for
   // the whole migration; the window is accounted as stall time (Fig. 7).
@@ -392,6 +430,11 @@ Status RhikIndex::migrate_bucket(std::uint64_t old_bucket) {
   retire(old_bucket);
   retire(old_bucket | kOvBit);
   mig_->migrated[old_bucket] = true;
+  // Journaled after the targets' repoints (same durable prefix): replay
+  // retires the source bucket only once its split products are visible.
+  // The pre-erase journal flush keeps the source pages readable on flash
+  // until this record is durable.
+  if (journal_) journal_->journal_migrated(make_key(mig_->old_gen, old_bucket));
   if (--mig_->pending == 0) finish_migration();
   return Status::kOk;
 }
@@ -429,9 +472,19 @@ void RhikIndex::finish_migration() {
       mig_->keys_before, mig_->capacity_before,
       nand_->clock().now() - mig_->start_time});
   mig_.reset();
-  const Status s = checkpoint_directory();
-  assert(ok(s));
-  (void)s;
+  // A failed post-migration checkpoint (device wedged full) is not fatal:
+  // the directory re-checkpoints at the next write-back cadence.
+  if (!ok(checkpoint_directory())) stats_.writeback_failures++;
+}
+
+bool RhikIndex::pump_maintenance(std::uint32_t budget) {
+  if (!mig_) return false;
+  if (budget == 0) budget = cfg_.incremental_batch;
+  const std::uint64_t pending_before = mig_->pending;
+  (void)pump_migration(budget);
+  // Progress means buckets drained or the migration finished; a wedged
+  // pump (device full) reports false so idle loops stop spinning on it.
+  return !mig_ || mig_->pending < pending_before;
 }
 
 // -- GC hooks -----------------------------------------------------------------
@@ -444,28 +497,23 @@ std::optional<Ppa> RhikIndex::gc_lookup(std::uint64_t sig) {
 }
 
 Status RhikIndex::gc_update_location(std::uint64_t sig, Ppa new_ppa) {
-  if (mig_) {
-    if (Status s = ensure_bucket_migrated(
-            sig & ((std::uint64_t{1} << mig_->old_bits) - 1));
-        !ok(s)) {
-      return s;
-    }
-  }
-  const std::uint64_t bucket = sig & dir_mask();
-  auto table = load_table(gen_, bucket, nullptr);
+  // Window-routed like put: update the record where it lives, without
+  // forcing the bucket through migration on the GC path.
+  const Home home = window_home(sig);
+  auto table = load_table(home.gen, home.bucket, nullptr);
   if (!table) return table.status();
   if ((*table)->find(sig)) {
     if (Status s = (*table)->insert(sig, new_ppa); !ok(s)) return s;
-    cache_.mark_dirty(make_key(gen_, bucket));
+    cache_.mark_dirty(make_key(home.gen, home.bucket));
     if (journal_) journal_->journal_put(sig, new_ppa);
     return Status::kOk;
   }
-  if (has_overflow(gen_, bucket)) {
-    auto ov = load_table(gen_, bucket | kOvBit, nullptr);
+  if (has_overflow(home.gen, home.bucket)) {
+    auto ov = load_table(home.gen, home.bucket | kOvBit, nullptr);
     if (!ov) return ov.status();
     if ((*ov)->find(sig)) {
       if (Status s = (*ov)->insert(sig, new_ppa); !ok(s)) return s;
-      cache_.mark_dirty(make_key(gen_, bucket | kOvBit));
+      cache_.mark_dirty(make_key(home.gen, home.bucket | kOvBit));
       if (journal_) journal_->journal_put(sig, new_ppa);
       return Status::kOk;
     }
@@ -552,14 +600,28 @@ Status RhikIndex::load_image(ByteSpan image) {
 Status RhikIndex::apply_journal_repoint(
     std::uint64_t slot_key, Ppa ppa,
     const std::function<bool(Ppa)>& data_durable) {
-  if (mig_) return Status::kBusy;
   const std::uint32_t gen = key_gen(slot_key);
-  // All replayable records carry the image's generation: a resize emits a
-  // barrier first, and recovery falls back to the full scan past one.
-  if (gen != gen_) return Status::kCorruption;
   const std::uint64_t keyed = key_bucket(slot_key);
   const std::uint64_t b = keyed & ~kOvBit;
-  if (b >= dir_size()) return Status::kCorruption;
+  const bool ov = (keyed & kOvBit) != 0;
+
+  // Generation-tagged routing: records carry either the current
+  // generation or — inside a replayed migration window — the source
+  // generation (dirty write-backs of not-yet-migrated old buckets).
+  Ppa* slot = nullptr;
+  bool count_ov = false;
+  if (gen == gen_) {
+    if (b >= dir_size()) return Status::kCorruption;
+    slot = ov ? &ov_dir_[b] : &dir_[b];
+    count_ov = ov;
+  } else if (mig_ && gen == mig_->old_gen) {
+    if (b >= mig_->old_dir.size()) return Status::kCorruption;
+    if (mig_->migrated[b]) return Status::kCorruption;  // retired bucket
+    slot = ov ? &mig_->old_ov[b] : &mig_->old_dir[b];
+  } else {
+    return Status::kCorruption;
+  }
+
   if (data_durable && ppa != kInvalidPpa) {
     ByteSpan page, spare;
     if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) return s;
@@ -572,21 +634,95 @@ Status RhikIndex::apply_journal_repoint(
     table.for_each([&](const hash::Record& r) {
       all_durable = all_durable && data_durable(static_cast<Ppa>(r.ppa));
     });
-    if (!all_durable) return Status::kOk;  // reject: keep the image's slot
+    if (!all_durable) {
+      // Reject: keep the image's slot. For a plain write-back the page's
+      // durable content is reconstructible from image + tail; but a
+      // rejected *migration target* would be retired away by the source
+      // bucket's upcoming migrate record, losing pre-checkpoint
+      // mappings — force the full scan instead.
+      if (mig_ && gen == gen_ &&
+          !mig_->migrated[b & ((std::uint64_t{1} << mig_->old_bits) - 1)]) {
+        return Status::kCorruption;
+      }
+      return Status::kOk;
+    }
   }
-  const bool ov = (keyed & kOvBit) != 0;
-  Ppa& slot = ov ? ov_dir_[b] : dir_[b];
-  if (slot == ppa) return Status::kOk;
+
+  if (*slot == ppa) return Status::kOk;
   // Any cached copy predates the repointed page; drop it without
   // write-back so the next load reads the journaled location.
   cache_.erase(make_key(gen, keyed));
-  if (slot != kInvalidPpa) page_owner_.erase(slot);
-  if (ov) {
-    if (slot != kInvalidPpa && ppa == kInvalidPpa) ov_pages_--;
-    if (slot == kInvalidPpa && ppa != kInvalidPpa) ov_pages_++;
+  if (*slot != kInvalidPpa) page_owner_.erase(*slot);
+  if (count_ov) {
+    if (*slot != kInvalidPpa && ppa == kInvalidPpa) ov_pages_--;
+    if (*slot == kInvalidPpa && ppa != kInvalidPpa) ov_pages_++;
   }
-  slot = ppa;
+  *slot = ppa;
   if (ppa != kInvalidPpa) page_owner_[ppa] = slot_key;
+  return Status::kOk;
+}
+
+Status RhikIndex::apply_journal_resize(std::uint32_t new_gen,
+                                       std::uint32_t new_bits) {
+  // A second resize record is only legal once the first window fully
+  // drained (all its migrate records preceded this one).
+  if (mig_) return Status::kCorruption;
+  if (new_gen != gen_ + 1 || new_bits != dir_bits_ + 1 || new_bits >= 39) {
+    return Status::kCorruption;
+  }
+  open_migration_window();
+  return Status::kOk;
+}
+
+Status RhikIndex::apply_journal_migrate(std::uint64_t old_slot_key) {
+  if (!mig_) return Status::kCorruption;
+  if (key_gen(old_slot_key) != mig_->old_gen) return Status::kCorruption;
+  const std::uint64_t ob = key_bucket(old_slot_key);
+  if ((ob & kOvBit) != 0 || ob >= mig_->migrated.size()) {
+    return Status::kCorruption;
+  }
+  if (mig_->migrated[ob]) return Status::kOk;  // idempotent
+  // Retire the source slots. DRAM-only: the caller owns allocator
+  // liveness accounting (it re-inits from flash after replay), and the
+  // new-generation repoints for this bucket were applied from earlier
+  // records in the same durable prefix.
+  for (const std::uint64_t keyed : {ob, ob | kOvBit}) {
+    cache_.erase(make_key(mig_->old_gen, keyed));
+    Ppa& slot = (keyed & kOvBit) != 0 ? mig_->old_ov[ob] : mig_->old_dir[ob];
+    if (slot != kInvalidPpa) {
+      page_owner_.erase(slot);
+      slot = kInvalidPpa;
+    }
+  }
+  mig_->migrated[ob] = true;
+  if (--mig_->pending == 0) {
+    // The crashed index completed this migration; close the window
+    // without the live path's directory checkpoint (replay must not
+    // program flash).
+    mig_.reset();
+  }
+  return Status::kOk;
+}
+
+Status RhikIndex::apply_journal_put(std::uint64_t sig, Ppa ppa) {
+  // Replay is window-routed like the live put but must never trigger
+  // structural work (resize / bucket migration): structure replays only
+  // from explicit resize/migrate records. A record that cannot be placed
+  // without it sends the caller to the full scan.
+  std::uint64_t reads = 0;
+  bool existed = false;
+  const Home home = window_home(sig);
+  if (Status s = insert_at(home, sig, ppa, &existed, &reads); !ok(s)) return s;
+  if (!existed) num_keys_++;
+  return Status::kOk;
+}
+
+Status RhikIndex::apply_journal_erase(std::uint64_t sig) {
+  std::uint64_t reads = 0;
+  bool had = false;
+  const Home home = window_home(sig);
+  if (Status s = erase_at(home, sig, &had, &reads); !ok(s)) return s;
+  if (had) num_keys_--;
   return Status::kOk;
 }
 
@@ -669,6 +805,15 @@ std::uint64_t RhikIndex::dram_bytes() const {
 }
 
 Status RhikIndex::flush() {
+  // Drain any in-flight migration first: the serialized directory only
+  // describes the current generation, so "persist all dirty state" must
+  // close the window before checkpointing it. An explicit flush is a
+  // durability barrier and may absorb the remaining quanta.
+  while (mig_) {
+    const std::uint64_t before = mig_->pending;
+    if (Status s = pump_migration(cfg_.incremental_batch); !ok(s)) return s;
+    if (mig_ && mig_->pending >= before) return Status::kBusy;  // wedged
+  }
   cache_.flush_all();
   return checkpoint_directory();
 }

@@ -14,10 +14,12 @@
 // page — which is the paper's headline property.
 //
 // Resizing (§IV-A2): when global occupancy crosses the threshold the
-// index doubles. Stop-the-world mode migrates everything at once while
-// the submission queue is held (the stall is measured for Fig. 7);
-// incremental mode (§VI "real-time index scaling") migrates a bounded
-// number of old buckets per foreground operation instead.
+// index doubles. Legacy stop-the-world mode migrates everything at once
+// while the submission queue is held (the stall is measured for Fig. 7);
+// incremental mode (§VI "real-time index scaling", the default) opens a
+// migration window instead: foreground ops are routed to whichever
+// generation still owns their bucket, and the window drains in bounded
+// background quanta via pump_maintenance() (DESIGN.md §11).
 #pragma once
 
 #include <cassert>
@@ -44,6 +46,7 @@ class RhikIndex final : public IIndex {
   // -- IIndex ---------------------------------------------------------------
   Status put(std::uint64_t sig, flash::Ppa ppa) override;
   std::optional<flash::Ppa> get(std::uint64_t sig) override;
+  Result<std::optional<flash::Ppa>> lookup(std::uint64_t sig) override;
   Status erase(std::uint64_t sig) override;
   [[nodiscard]] std::uint64_t size() const override { return num_keys_; }
   [[nodiscard]] std::uint64_t capacity() const override {
@@ -113,9 +116,15 @@ class RhikIndex final : public IIndex {
   Status apply_journal_repoint(
       std::uint64_t slot_key, flash::Ppa ppa,
       const std::function<bool(flash::Ppa)>& data_durable = {}) override;
+  Status apply_journal_resize(std::uint32_t new_gen,
+                              std::uint32_t new_bits) override;
+  Status apply_journal_migrate(std::uint64_t old_slot_key) override;
+  Status apply_journal_put(std::uint64_t sig, flash::Ppa ppa) override;
+  Status apply_journal_erase(std::uint64_t sig) override;
   [[nodiscard]] bool maintenance_active() const override {
     return migration_active();
   }
+  bool pump_maintenance(std::uint32_t budget) override;
 
  private:
   /// Cache/owner key: generation in the top bits, bucket below. PPAs are
@@ -151,12 +160,32 @@ class RhikIndex final : public IIndex {
   Status write_table(std::uint32_t gen, std::uint64_t bucket,
                      const hash::HopscotchTable& table, bool for_gc);
 
+  /// Which generation/bucket currently owns a signature: the migration
+  /// source while its old bucket is unmigrated, else the current
+  /// generation. Foreground ops target this home so a doubling charges
+  /// them no migration work.
+  struct Home {
+    std::uint32_t gen;
+    std::uint64_t bucket;
+  };
+  [[nodiscard]] Home window_home(std::uint64_t sig) const noexcept;
+
+  /// Insert/update of sig->ppa in its home (primary or bucket-private
+  /// overflow table); sets *existed to whether the signature was already
+  /// mapped. No resize, no migration work.
+  Status insert_at(const Home& home, std::uint64_t sig, flash::Ppa ppa,
+                   bool* existed, std::uint64_t* reads);
+  /// Removes sig from its home; sets *had.
+  Status erase_at(const Home& home, std::uint64_t sig, bool* had,
+                  std::uint64_t* reads);
+
   /// Splits one source bucket of a doubling into its two target buckets
   /// and persists them. Shared by both resize modes.
   Status migrate_bucket(std::uint64_t old_bucket);
 
-  Status resize_stop_the_world();
-  Status start_incremental_resize();
+  /// Moves the live directory into the migration snapshot and opens the
+  /// doubled, empty new generation. Shared by maybe_resize and replay.
+  void open_migration_window();
   /// Migrates up to `budget` pending source buckets.
   Status pump_migration(std::uint32_t budget);
   Status ensure_bucket_migrated(std::uint64_t old_bucket);

@@ -166,9 +166,15 @@ void CheckpointManager::journal_repoint(std::uint64_t slot_key, Ppa ppa) {
   append(kRecRepoint, slot_key, ppa);
 }
 
-void CheckpointManager::journal_barrier() {
-  stats_.barriers++;
-  append(kRecBarrier, 0, 0);
+void CheckpointManager::journal_resize(std::uint32_t new_gen,
+                                       std::uint32_t new_bits) {
+  stats_.resizes_journaled++;
+  append(kRecResize, (std::uint64_t{new_gen} << 32) | new_bits, 0);
+}
+
+void CheckpointManager::journal_migrated(std::uint64_t old_slot_key) {
+  stats_.resizes_journaled++;
+  append(kRecMigrate, old_slot_key, 0);
 }
 
 Status CheckpointManager::rotate_journal() {

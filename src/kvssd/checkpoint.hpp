@@ -54,7 +54,7 @@ struct CheckpointStats {
   std::uint64_t journal_pages_written = 0;
   std::uint64_t journal_flushes = 0;
   std::uint64_t journal_forced_checkpoints = 0;  ///< ring-full forced
-  std::uint64_t barriers = 0;
+  std::uint64_t resizes_journaled = 0;  ///< resize + migrate records emitted
   std::uint64_t invalidations = 0;  ///< both slots erased (poison to full scan)
   std::uint64_t version = 0;        ///< newest durable checkpoint version
 
@@ -69,7 +69,7 @@ struct CheckpointStats {
     snap.add_counter("checkpoint.journal_flushes", journal_flushes);
     snap.add_counter("checkpoint.journal_forced_checkpoints",
                      journal_forced_checkpoints);
-    snap.add_counter("checkpoint.barriers", barriers);
+    snap.add_counter("checkpoint.resizes_journaled", resizes_journaled);
     snap.add_counter("checkpoint.invalidations", invalidations);
     snap.set_gauge("checkpoint.version", static_cast<std::int64_t>(version),
                    obs::MergeMode::kMax);
@@ -90,11 +90,17 @@ class CheckpointManager final : public index::IndexJournal {
   /// with flush_journal's store-first ordering, a durable kRecDelAt
   /// implies a durable tombstone, so a fast restore honoring it can
   /// never disagree with a later full scan.
+  /// kRecBarrier is a legacy kind (pre-replayable resizes); it is no
+  /// longer produced, but a tail containing one still forces the full
+  /// scan. kRecResize keys (new_gen << 32) | new_bits; kRecMigrate keys
+  /// the retired source bucket's generation-tagged slot.
   static constexpr std::uint8_t kRecPut = 1;
   static constexpr std::uint8_t kRecDel = 2;
   static constexpr std::uint8_t kRecRepoint = 3;
   static constexpr std::uint8_t kRecBarrier = 4;
   static constexpr std::uint8_t kRecDelAt = 5;
+  static constexpr std::uint8_t kRecResize = 6;
+  static constexpr std::uint8_t kRecMigrate = 7;
 
   CheckpointManager(flash::NandDevice* nand, index::IIndex* index,
                     ftl::FlashKvStore* store, ftl::PageAllocator* alloc,
@@ -123,7 +129,8 @@ class CheckpointManager final : public index::IndexJournal {
   void journal_put(std::uint64_t sig, flash::Ppa ppa) override;
   void journal_erase(std::uint64_t sig) override;
   void journal_repoint(std::uint64_t slot_key, flash::Ppa ppa) override;
-  void journal_barrier() override;
+  void journal_resize(std::uint32_t new_gen, std::uint32_t new_bits) override;
+  void journal_migrated(std::uint64_t old_slot_key) override;
 
   /// Deletion record the replay acts on; emitted by the device once the
   /// deletion's tombstone landed at `ppa` (see kRecDelAt above).

@@ -225,8 +225,9 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
       CheckpointManager::read_journal_tail(*nand_, cfg_.checkpoint,
                                            found.journal_mark);
   // A gap means part of the tail was erased (interrupted invalidation); a
-  // barrier means a resize ran after the checkpoint and repoint records
-  // straddle generations. Both are full-scan conditions.
+  // barrier is a legacy record from a journal written before resizes were
+  // replayable (generation-tagged resize/migrate records express them
+  // now). Both are full-scan conditions.
   if (!tail.contiguous || tail.has_barrier) return Status::kCorruption;
 
   // Journal pages flush on their own cadence, so a durable put record may
@@ -258,8 +259,8 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   };
 
   // Fold the tail into each key's final durable state, in record order.
-  // Put/del records live in the signature namespace; repoint records key
-  // a directory SLOT (metadata page moved) and fold separately. A
+  // Put/del records live in the signature namespace and fold to a
+  // last-write-wins overlay, applied after the structural pass below. A
   // non-durable put is a no-op rather than an error: no flush can have
   // succeeded after it (flush persists the store buffer before the
   // journal), so the previous resolved state is still at-or-after the
@@ -267,14 +268,43 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   // chains — an early put's page may have been legitimately erased
   // before the cut, but the collector's pre-erase journal flush then
   // guarantees the superseding repoint record is in this same tail.
+  //
+  // Repoint / resize / migrate records key directory SLOTS (or the
+  // directory itself) and are applied inline, in record order: a resize
+  // re-opens the crashed migration window, subsequent generation-tagged
+  // repoints land in whichever generation owns their bucket, and a
+  // migrate record retires its source bucket only after the records for
+  // its split products — the exact order the live index produced them.
+  // A record page written back under cache pressure can reference data
+  // still in the store's RAM buffer at the cut, so each repointed page
+  // is vetted: any entry at-or-past its block's adopted write point
+  // rejects the repoint (the image's page plus this tail reconstructs
+  // the same durable mappings). Below the write point is sufficient —
+  // the index never references an incomplete extent (puts ack only
+  // after the store programs the whole extent).
+  const auto page_durable = [&](flash::Ppa p) -> bool {
+    const std::uint32_t block = flash::ppa_block(g, p);
+    return block < valid_pages.size() &&
+           flash::ppa_page(g, p) < valid_pages[block];
+  };
+  // Only a slot's LAST repoint is applied (at its position in the
+  // order): an intermediate repoint's page may have been index-GC-erased
+  // before the cut, and the pre-erase journal flush guarantees the
+  // superseding record is in this same tail.
+  std::unordered_map<std::uint64_t, std::size_t> last_repoint;
+  for (std::size_t i = 0; i < tail.records.size(); ++i) {
+    if (tail.records[i].kind == CheckpointManager::kRecRepoint) {
+      last_repoint[tail.records[i].key] = i;
+    }
+  }
   struct Resolved {
     enum class From : std::uint8_t { kImage, kMapped, kAbsent };
     From from = From::kImage;
     flash::Ppa ppa = flash::kInvalidPpa;
   };
   std::unordered_map<std::uint64_t, Resolved> resolved;
-  std::unordered_map<std::uint64_t, flash::Ppa> repoints;
-  for (const auto& rec : tail.records) {
+  for (std::size_t i = 0; i < tail.records.size(); ++i) {
+    const auto& rec = tail.records[i];
     switch (rec.kind) {
       case CheckpointManager::kRecPut:
         if (extent_durable(rec.key, rec.ppa)) {
@@ -282,11 +312,25 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
         }
         break;
       case CheckpointManager::kRecRepoint:
-        // No durability probe needed: the index programs a metadata page
-        // before journaling its move, so a durable record implies a
-        // durable page; a page erased later (index GC) is superseded by
-        // a newer repoint in this same tail. Last write wins per slot.
-        repoints[rec.key] = rec.ppa;
+        if (last_repoint[rec.key] != i) break;  // superseded in this tail
+        if (Status s =
+                index_->apply_journal_repoint(rec.key, rec.ppa, page_durable);
+            !ok(s)) {
+          return s;
+        }
+        break;
+      case CheckpointManager::kRecResize:
+        if (Status s = index_->apply_journal_resize(
+                static_cast<std::uint32_t>(rec.key >> 32),
+                static_cast<std::uint32_t>(rec.key & 0xFFFFFFFFu));
+            !ok(s)) {
+          return s;
+        }
+        break;
+      case CheckpointManager::kRecMigrate:
+        if (Status s = index_->apply_journal_migrate(rec.key); !ok(s)) {
+          return s;
+        }
         break;
       case CheckpointManager::kRecDel:
         // Provisional: the index erased the mapping, but this record can
@@ -307,39 +351,21 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
         return Status::kCorruption;
     }
   }
-  // Repoints first: they bring the loaded directory up to the newest
-  // metadata page locations; a stale slot would serve checkpoint-era
-  // mappings for every signature the put/del overlay doesn't touch. A
-  // record page written back under cache pressure can reference data
-  // still in the store's RAM buffer at the cut, so each repointed page
-  // is vetted: any entry at-or-past its block's adopted write point
-  // rejects the repoint (the image's page plus this tail reconstructs
-  // the same durable mappings). Below the write point is sufficient —
-  // the index never references an incomplete extent (puts ack only
-  // after the store programs the whole extent).
-  const auto page_durable = [&](flash::Ppa p) -> bool {
-    const std::uint32_t block = flash::ppa_block(g, p);
-    return block < valid_pages.size() &&
-           flash::ppa_page(g, p) < valid_pages[block];
-  };
-  for (const auto& [slot_key, ppa] : repoints) {
-    if (Status s = index_->apply_journal_repoint(slot_key, ppa, page_durable);
-        !ok(s)) {
-      return s;
-    }
-  }
+  // The put/del overlay replays through the non-structural appliers: a
+  // replay-triggered resize or bucket migration would be unjournaled and
+  // desynchronize this restore from the crashed index, so a record that
+  // cannot be placed without structural work aborts to the full scan.
   for (const auto& [sig, r] : resolved) {
     switch (r.from) {
       case Resolved::From::kImage:
         break;  // keep the checkpoint image's mapping (or absence)
       case Resolved::From::kMapped:
-        if (Status s = index_->put(sig, r.ppa); !ok(s)) return s;
+        if (Status s = index_->apply_journal_put(sig, r.ppa); !ok(s)) return s;
         break;
       case Resolved::From::kAbsent: {
         // Idempotent; a racing flush may have persisted the erase into
         // the image already.
-        const Status s = index_->erase(sig);
-        if (!ok(s) && s != Status::kNotFound) return s;
+        if (Status s = index_->apply_journal_erase(sig); !ok(s)) return s;
         break;
       }
     }
@@ -398,10 +424,9 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   rejournal_.clear();
   for (const Ghost& gh : ghosts) {
     if (gh.tombstone) {
-      const Status s = index_->erase(gh.sig);
-      if (!ok(s) && s != Status::kNotFound) return s;
+      if (Status s = index_->apply_journal_erase(gh.sig); !ok(s)) return s;
     } else {
-      if (Status s = index_->put(gh.sig, gh.ppa); !ok(s)) return s;
+      if (Status s = index_->apply_journal_put(gh.sig, gh.ppa); !ok(s)) return s;
     }
     rejournal_.push_back(Rejournal{gh.sig, gh.ppa, gh.tombstone});
   }
@@ -457,11 +482,15 @@ void KvssdDevice::gc_tick() {
   // resurfaces on the next foreground op; the quantum itself must never
   // fail an already-completed command.
   (void)gc_->background_tick();
+  // An in-flight index doubling drains on the same quantum cadence as
+  // GC, so foreground ops are never charged migration work.
+  (void)index_->pump_maintenance(0);
 }
 
 bool KvssdDevice::pump_background() {
   bool did_work = false;
   (void)gc_->background_tick(&did_work);
+  if (index_->pump_maintenance(0)) did_work = true;
   return did_work;
 }
 
@@ -490,10 +519,14 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
   // must fetch its key — an update keeps the index entry, while a
   // different key with the same signature is an uncorrectable collision
   // the device rejects (§VI "Collision Management").
-  const std::optional<Ppa> old_ppa = [&] {
+  const auto looked = [&] {
     obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
-    return index_->get(sig);
+    return index_->lookup(sig);
   }();
+  // A metadata read failure must fail the put: treating it as "not found"
+  // would let this write orphan a live pair under the same signature.
+  if (!looked) return looked.status();
+  const std::optional<Ppa> old_ppa = *looked;
   std::uint64_t old_total = 0;
   if (old_ppa) {
     obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
@@ -554,10 +587,12 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
 Status KvssdDevice::get_locked(ByteSpan key, Bytes* value_out) {
   if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
   const std::uint64_t sig = signature(key);
-  const std::optional<Ppa> ppa = [&] {
+  const auto looked = [&] {
     obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
-    return index_->get(sig);
+    return index_->lookup(sig);
   }();
+  if (!looked) return looked.status();  // I/O error, not a miss
+  const std::optional<Ppa> ppa = *looked;
   if (!ppa) {
     stats_.not_found++;
     return Status::kNotFound;
@@ -585,10 +620,12 @@ Status KvssdDevice::get_locked(ByteSpan key, Bytes* value_out) {
 Status KvssdDevice::del_locked(ByteSpan key) {
   if (key.empty() || key.size() > cfg_.max_key_size) return Status::kInvalidArgument;
   const std::uint64_t sig = signature(key);
-  const std::optional<Ppa> ppa = [&] {
+  const auto looked = [&] {
     obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
-    return index_->get(sig);
+    return index_->lookup(sig);
   }();
+  if (!looked) return looked.status();  // I/O error, not a miss
+  const std::optional<Ppa> ppa = *looked;
   if (!ppa) {
     stats_.not_found++;
     return Status::kNotFound;

@@ -132,10 +132,11 @@ void ShardedKvssd::worker_loop(Shard& s) {
   while (open) {
     batch.clear();
     if (!s.ring->try_pop_all(batch)) {
-      // Ring idle: fold background GC quanta into the window — one
-      // bounded quantum per ring re-check, so a submitter never waits
-      // behind more than quantum_pages of relocation. Block for new
-      // work only once the device has nothing pending.
+      // Ring idle: fold background GC and index-migration quanta into
+      // the window — one bounded quantum per ring re-check, so a
+      // submitter never waits behind more than quantum_pages of
+      // relocation (or incremental_batch buckets of migration). Block
+      // for new work only once the device has nothing pending.
       if (s.dev->pump_background()) continue;
       open = s.ring->pop_all(batch);
     }

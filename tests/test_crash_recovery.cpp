@@ -344,6 +344,131 @@ TEST(CrashRecovery, CutDuringResizeStormKeepsFlushedKeys) {
   EXPECT_GT(floor.size(), 200u);
 }
 
+TEST(CrashRecovery, CutInsideIndexMigrationQuantumKeepsFloor) {
+  // Incremental doubling drains in background quanta, so a cut routinely
+  // lands between bucket migrations: the resize record journaled, some
+  // buckets' migrate records durable, others not. Walk the cut across
+  // the first destructive ops of the drain (record-page write-backs,
+  // journal flushes, directory checkpoints) and require the floor intact
+  // whichever restart path the surviving state allows.
+  for (const std::uint32_t arm : {1u, 2u, 3u, 4u}) {
+    DeviceConfig cfg = crash_config();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.slot_blocks = 2;
+    cfg.checkpoint.journal_blocks = 2;
+    cfg.checkpoint.dirty_pages = 48;
+    cfg.checkpoint.pump_pages = 4;
+    cfg.rhik.incremental_resize = true;  // pin, regardless of RHIK_STW_RESIZE
+    cfg.rhik.incremental_batch = 1;      // one bucket per quantum: wide window
+    auto dev = std::make_unique<KvssdDevice>(cfg);
+    std::map<std::string, std::string> ref;
+    int next = 0;
+    for (int i = 0; i < 600; ++i) {
+      const std::string k = "m" + std::to_string(next++);
+      ASSERT_EQ(dev->put(key(k), key("mv-" + k)), Status::kOk);
+      ref[k] = "mv-" + k;
+    }
+    ASSERT_EQ(dev->flush(), Status::kOk);  // drains any window: clean floor
+    ASSERT_FALSE(dev->index().maintenance_active());
+
+    // Acked-but-unflushed puts until a doubling opens its window.
+    std::map<std::string, std::string> pending;
+    while (!dev->index().maintenance_active()) {
+      const std::string k = "m" + std::to_string(next++);
+      ASSERT_EQ(dev->put(key(k), key("mv-" + k)), Status::kOk);
+      pending[k] = "mv-" + k;
+    }
+
+    flash::FaultInjector fi(4100 + arm);
+    dev->nand().set_fault_injector(&fi);
+    fi.arm_after(arm);
+    for (int i = 0; i < 5000 && !fi.powered_off(); ++i) {
+      (void)dev->pump_background();
+    }
+    EXPECT_TRUE(fi.powered_off()) << "arm=" << arm;
+
+    auto nand = dev->release_nand();
+    dev.reset();
+    RecoveryStats rs;
+    auto recovered = KvssdDevice::recover(cfg, std::move(nand), &rs);
+    ASSERT_TRUE(recovered.has_value()) << "arm=" << arm;
+    dev = std::move(recovered).value();
+    EXPECT_EQ(rs.checkpoint_restored + rs.full_scan_fallback, 1u);
+    // A fast restore may legitimately re-open the window (the cut left
+    // it half-drained on flash); the restored device finishes it in the
+    // background, exactly like the live one would.
+    for (int i = 0; i < 20000 && dev->index().maintenance_active(); ++i) {
+      (void)dev->pump_background();
+    }
+    EXPECT_FALSE(dev->index().maintenance_active()) << "arm=" << arm;
+    for (const auto& [k, v] : ref) {
+      Bytes value;
+      ASSERT_EQ(dev->get(key(k), &value), Status::kOk) << k << " arm=" << arm;
+      EXPECT_EQ(rhik::to_string(value), v) << k << " arm=" << arm;
+    }
+    for (const auto& [k, v] : pending) {
+      Bytes value;
+      const Status st = dev->get(key(k), &value);
+      if (st == Status::kOk) {
+        EXPECT_EQ(rhik::to_string(value), v) << k << " arm=" << arm;
+      } else {
+        EXPECT_EQ(st, Status::kNotFound) << k << " arm=" << arm;
+      }
+    }
+  }
+}
+
+TEST(CrashRecovery, FastRestoreReplaysAcrossResizeWithoutFullScan) {
+  // Acceptance check for generation-tagged journaling: a doubling that
+  // happens entirely AFTER the last checkpoint rides on the journal —
+  // the resize record, per-bucket migrate records and generation-tagged
+  // repoints replay on restart with no full-scan fallback.
+  DeviceConfig cfg = crash_config();
+  cfg.checkpoint.enabled = true;
+  cfg.checkpoint.slot_blocks = 2;
+  cfg.checkpoint.journal_blocks = 2;
+  cfg.checkpoint.dirty_pages = 1u << 30;  // explicit checkpoints only
+  cfg.rhik.incremental_resize = true;  // pin, regardless of RHIK_STW_RESIZE
+  cfg.rhik.incremental_batch = 1;
+  auto dev = std::make_unique<KvssdDevice>(cfg);
+  std::map<std::string, std::string> ref;
+  int next = 0;
+  const auto put_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const std::string k = "f" + std::to_string(next++);
+      ASSERT_EQ(dev->put(key(k), key("fv-" + k)), Status::kOk);
+      ref[k] = "fv-" + k;
+    }
+  };
+  put_n(200);
+  ASSERT_EQ(dev->flush(), Status::kOk);
+  ASSERT_EQ(dev->checkpoint_now(), Status::kOk);  // durable image, clean journal
+
+  // Grow through a full doubling, drained by the background pump.
+  const std::uint64_t resizes0 = dev->index().op_stats().resizes;
+  while (dev->index().op_stats().resizes == resizes0 ||
+         dev->index().maintenance_active()) {
+    put_n(10);
+    (void)dev->pump_background();
+  }
+  ASSERT_EQ(dev->flush(), Status::kOk);  // journal durable, not rotated
+
+  auto nand = dev->release_nand();
+  dev.reset();
+  RecoveryStats rs;
+  auto recovered = KvssdDevice::recover(cfg, std::move(nand), &rs);
+  ASSERT_TRUE(recovered.has_value());
+  dev = std::move(recovered).value();
+  EXPECT_EQ(rs.checkpoint_restored, 1u);
+  EXPECT_EQ(rs.full_scan_fallback, 0u);  // the doubling rode on the journal
+  EXPECT_GT(rs.journal_records_replayed, 0u);
+  for (const auto& [k, v] : ref) {
+    Bytes value;
+    ASSERT_EQ(dev->get(key(k), &value), Status::kOk) << k;
+    EXPECT_EQ(rhik::to_string(value), v) << k;
+  }
+}
+
 // --- Sharded array recovery --------------------------------------------------
 
 TEST(ShardedRecovery, FlushedStateSurvivesAcrossAllShards) {

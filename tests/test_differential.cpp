@@ -42,7 +42,7 @@ struct Op {
     kExist,
     kFlush,
     kCollect,  // synchronous GC: collect_one()
-    kPump,     // one background GC quantum
+    kPump,     // one background quantum: GC + index-migration drain
     kReopen,   // clean close + recover (no fault): full differential check
   };
   Kind kind = Kind::kPut;

@@ -94,6 +94,35 @@ TEST(RhikOverflow, LookupsCostAtMostTwoReads) {
   EXPECT_GT(h.max(), 1u);   // and overflowed buckets do pay the 2nd read
 }
 
+TEST(RhikOverflow, UpdateWithSinglePageCacheKeepsCountsExact) {
+  // Regression: with a one-page cache the update path's overflow probe
+  // evicts the primary table between the `existed` probe and the final
+  // insert. The reloaded primary must be re-verified rather than trusting
+  // the stale probe, or updates of primary-resident keys drift num_keys_.
+  Rig rig(overflow_config(), /*cache_bytes=*/4096);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(29);
+  for (int i = 0; i < 1500; ++i) {
+    rig.maybe_gc();
+    const std::uint64_t sig = rng.next();
+    if (ok(rig.index.put(sig, i))) ref[sig] = i;
+  }
+  ASSERT_GT(rig.index.op_stats().overflow_inserts, 0u);
+  ASSERT_EQ(rig.index.size(), ref.size());
+  for (auto& [sig, ppa] : ref) {
+    rig.maybe_gc();
+    ASSERT_EQ(rig.index.put(sig, ppa + 100), Status::kOk) << sig;
+    ppa += 100;
+  }
+  // An update is not an insert: the key count must not drift.
+  EXPECT_EQ(rig.index.size(), ref.size());
+  rig.expect_no_lost_writebacks();
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
+  }
+}
+
 TEST(RhikOverflow, ScanCoversOverflowRecords) {
   Rig rig(overflow_config());
   std::unordered_map<std::uint64_t, std::uint64_t> ref;

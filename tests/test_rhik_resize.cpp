@@ -23,7 +23,9 @@ struct Rig : testutil::IndexRig<RhikIndex, RhikConfig> {
       : testutil::IndexRig<RhikIndex, RhikConfig>(cfg, cache_bytes, blocks) {}
 };
 
-/// Inserts until the index has performed `target` resizes.
+/// Inserts until the index has performed `target` resizes. Pumps
+/// maintenance after every op, standing in for the device background
+/// tick that drains incremental migrations (no-op in STW mode).
 std::unordered_map<std::uint64_t, std::uint64_t> fill_through_resizes(
     Rig& rig, int target, std::uint64_t seed = 1) {
   std::unordered_map<std::uint64_t, std::uint64_t> ref;
@@ -32,8 +34,15 @@ std::unordered_map<std::uint64_t, std::uint64_t> fill_through_resizes(
     rig.maybe_gc();
     const std::uint64_t sig = rng.next();
     if (ok(rig.index.put(sig, ref.size()))) ref[sig] = ref.size();
+    rig.index.pump_maintenance(0);
   }
   return ref;
+}
+
+/// Drains an in-flight migration the way an idle device would.
+void drain_migration(Rig& rig) {
+  while (rig.index.pump_maintenance(0)) {
+  }
 }
 
 TEST(RhikResize, TriggersAtOccupancyThreshold) {
@@ -51,6 +60,7 @@ TEST(RhikResize, TriggersAtOccupancyThreshold) {
   }
   EXPECT_EQ(rig.index.dir_bits(), 1u);
   EXPECT_EQ(rig.index.capacity(), 2u * 240);
+  drain_migration(rig);  // history records at completion
   ASSERT_EQ(rig.index.resize_history().size(), 1u);
   EXPECT_EQ(rig.index.resize_history()[0].capacity_before, 240u);
 }
@@ -61,7 +71,9 @@ TEST(RhikResize, CustomThresholdHonored) {
   Rig rig(cfg);
   Rng rng(2);
   while (rig.index.op_stats().resizes == 0) rig.index.put(rng.next(), 1);
+  drain_migration(rig);
   // Triggered at ~50% of 240, not 80%.
+  ASSERT_EQ(rig.index.resize_history().size(), 1u);
   EXPECT_LE(rig.index.resize_history()[0].keys_before, 125u);
 }
 
@@ -77,7 +89,9 @@ TEST(RhikResize, AllMappingsSurviveManyDoublings) {
 }
 
 TEST(RhikResize, StallTimeRecordedForStopTheWorld) {
-  Rig rig;
+  RhikConfig cfg;
+  cfg.incremental_resize = false;  // legacy stop-the-world path
+  Rig rig(cfg);
   fill_through_resizes(rig, 3);
   EXPECT_GT(rig.clock.total_stall(), 0u);
   ASSERT_EQ(rig.index.resize_history().size(), 3u);
@@ -90,7 +104,9 @@ TEST(RhikResize, StallTimeRecordedForStopTheWorld) {
 }
 
 TEST(RhikResize, ResizeDurationScalesLinearly) {
-  Rig rig;
+  RhikConfig cfg;
+  cfg.incremental_resize = false;  // duration == stall window in STW mode
+  Rig rig(cfg);
   fill_through_resizes(rig, 7);
   const auto& h = rig.index.resize_history();
   ASSERT_GE(h.size(), 7u);
@@ -175,10 +191,8 @@ TEST(RhikResize, IncrementalModeCompletesAndPreservesAll) {
     const std::uint64_t sig = rng.next();
     if (ok(rig.index.put(sig, i))) ref[sig] = i;
   }
-  // Drive any in-flight migration to completion with reads.
-  for (int i = 0; i < 10000 && rig.index.migration_active(); ++i) {
-    rig.index.get(rng.next());
-  }
+  // Foreground reads no longer migrate; the background pump drains it.
+  drain_migration(rig);
   EXPECT_FALSE(rig.index.migration_active());
   EXPECT_GE(rig.index.op_stats().resizes, 1u);
   for (const auto& [sig, ppa] : ref) {
@@ -218,6 +232,29 @@ TEST(RhikResize, ErasesDuringMigrationLandCorrectly) {
   }
   for (std::size_t i = 0; i < sigs.size(); i += 2) {
     EXPECT_FALSE(rig.index.get(sigs[i]).has_value());
+  }
+}
+
+TEST(RhikResize, GrowthPastDirBitsCapReturnsIndexFull) {
+  RhikConfig cfg;
+  cfg.max_dir_bits = 1;
+  Rig rig(cfg);
+  const auto ref = fill_through_resizes(rig, 1);
+  drain_migration(rig);
+  EXPECT_EQ(rig.index.dir_bits(), 1u);
+  // Fill to the next threshold: the doubling is refused, not asserted.
+  Rng rng(31);
+  Status st = Status::kOk;
+  for (int i = 0; i < 4000 && st != Status::kIndexFull; ++i) {
+    st = rig.index.put(rng.next(), i);
+  }
+  EXPECT_EQ(st, Status::kIndexFull);
+  EXPECT_GE(rig.index.op_stats().index_full, 1u);
+  EXPECT_EQ(rig.index.dir_bits(), 1u);
+  // The index still serves everything it already holds.
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa);
   }
 }
 
