@@ -36,9 +36,10 @@ struct RhikConfig {
   /// conservative minimal directory (one entry) that grows on demand.
   std::uint64_t anticipated_keys = 0;
   /// Hard ceiling on directory bits: a doubling that would exceed it is
-  /// refused with Status::kIndexFull (counted in op stats) instead of
-  /// growing. Bucket ids must stay below the overflow bit, so values
-  /// above 38 are clamped to 38.
+  /// refused instead of growing. Updates of existing keys and inserts
+  /// that still fit keep succeeding; a NEW key whose insert fails at the
+  /// cap gets Status::kIndexFull (counted in op stats). Bucket ids must
+  /// stay below the overflow bit, so values above 38 are clamped to 38.
   std::uint32_t max_dir_bits = 38;
   /// §VI extension: migrate incrementally instead of halting the queue.
   /// On by default (halt-free resizing, DESIGN.md §11); RHIK_STW_RESIZE=1

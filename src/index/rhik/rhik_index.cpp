@@ -276,6 +276,13 @@ Status RhikIndex::put(std::uint64_t sig, Ppa ppa) {
   stats_.reads_per_lookup.record(reads);
   if (!ok(st)) {
     if (!table_full(st)) return st;
+    if (!existed && growth_capped()) {
+      // The doubling that would have made room is refused at the dir-bits
+      // cap: a new key that does not fit is the index genuinely full, not
+      // a correctable collision.
+      stats_.index_full++;
+      return Status::kIndexFull;
+    }
     // Both displacement failure and a full table are surfaced as the
     // paper's uncorrectable-collision abort (§IV-A1).
     stats_.collision_aborts++;
@@ -326,11 +333,11 @@ Status RhikIndex::maybe_resize() {
 
   // Bucket ids must stay below the overflow bit (2^38 directory entries)
   // regardless of the configured cap: past it the index cannot double
-  // again and refuses further growth instead of asserting.
-  if (dir_bits_ + 1 > std::min(cfg_.max_dir_bits, 38u)) {
-    stats_.index_full++;
-    return Status::kIndexFull;
-  }
+  // again. Let the put proceed anyway — overwrites of existing keys and
+  // inserts into buckets with room still fit under the threshold's
+  // headroom; put() surfaces kIndexFull only when an insert of a new key
+  // actually fails.
+  if (growth_capped()) return Status::kOk;
 
   stats_.resizes++;
   open_migration_window();
@@ -594,6 +601,7 @@ Status RhikIndex::load_image(ByteSpan image) {
   // confuse gc_is_live_index_page.
   checkpoint_pages_.clear();
   writes_since_checkpoint_ = 0;
+  replay_saw_resize_ = false;
   return load_directory(image);
 }
 
@@ -636,12 +644,18 @@ Status RhikIndex::apply_journal_repoint(
     });
     if (!all_durable) {
       // Reject: keep the image's slot. For a plain write-back the page's
-      // durable content is reconstructible from image + tail; but a
-      // rejected *migration target* would be retired away by the source
-      // bucket's upcoming migrate record, losing pre-checkpoint
-      // mappings — force the full scan instead.
-      if (mig_ && gen == gen_ &&
-          !mig_->migrated[b & ((std::uint64_t{1} << mig_->old_bits) - 1)]) {
+      // durable content is reconstructible from image + tail. But once a
+      // resize record has replayed in this tail, a rejected repoint into
+      // the current (new) generation may be — or, via last-repoint-wins,
+      // may have superseded — a migration-target write whose source
+      // bucket a migrate record retires (earlier or later in the same
+      // tail). Keeping the image's slot (kInvalidPpa for a fresh split
+      // target) would then silently drop every pre-checkpoint mapping
+      // migrated into this bucket: phantom misses over intact data.
+      // Force the full scan for any post-resize current-gen rejection;
+      // the window having fully drained (mig_ already reset) makes the
+      // retirement more certain, not less.
+      if (gen == gen_ && (replay_saw_resize_ || mig_)) {
         return Status::kCorruption;
       }
       return Status::kOk;
@@ -671,6 +685,9 @@ Status RhikIndex::apply_journal_resize(std::uint32_t new_gen,
     return Status::kCorruption;
   }
   open_migration_window();
+  // Outlives the window (which a later migrate record may close): repoint
+  // rejection must stay full-scan-strict for the rest of this replay.
+  replay_saw_resize_ = true;
   return Status::kOk;
 }
 
@@ -811,8 +828,15 @@ Status RhikIndex::flush() {
   // durability barrier and may absorb the remaining quanta.
   while (mig_) {
     const std::uint64_t before = mig_->pending;
-    if (Status s = pump_migration(cfg_.incremental_batch); !ok(s)) return s;
-    if (mig_ && mig_->pending >= before) return Status::kBusy;  // wedged
+    const Status s = pump_migration(cfg_.incremental_batch);
+    const bool wedged = ok(s) && mig_ && mig_->pending >= before;
+    if (!ok(s) || wedged) {
+      // The barrier fails, but still write back whatever dirty tables the
+      // device will take so a failed flush leaves as much state durable
+      // as possible (write-back failures land in writeback_failures).
+      cache_.flush_all();
+      return ok(s) ? Status::kBusy : s;
+    }
   }
   cache_.flush_all();
   return checkpoint_directory();

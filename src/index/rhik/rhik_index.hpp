@@ -22,6 +22,7 @@
 // background quanta via pump_maintenance() (DESIGN.md §11).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -192,6 +193,12 @@ class RhikIndex final : public IIndex {
   void finish_migration();
 
   Status maybe_resize();
+  /// True once the next doubling would exceed min(max_dir_bits, 38): the
+  /// index can no longer grow, so a failed insert of a NEW key is
+  /// kIndexFull (updates and fitting inserts still succeed).
+  [[nodiscard]] bool growth_capped() const noexcept {
+    return dir_bits_ + 1 > std::min(cfg_.max_dir_bits, 38u);
+  }
   Status checkpoint_directory();
 
   /// get() without op accounting, for GC and internal exist checks.
@@ -243,6 +250,12 @@ class RhikIndex final : public IIndex {
   };
   std::optional<Migration> mig_;
   bool in_maintenance_ = false;  ///< guards reentrant resize/migration
+  /// A kRecResize replayed since load_image(): journal repoints rejected
+  /// by the durability vet must fall back to the full scan, because
+  /// last-repoint-wins may have skipped a migration-target repoint whose
+  /// source bucket a migrate record in the same tail retires — keeping
+  /// the image's (empty) slot would lose pre-checkpoint mappings.
+  bool replay_saw_resize_ = false;
   /// Delta-record sink for device-level checkpointing (may be null).
   IndexJournal* journal_ = nullptr;
 };

@@ -5,6 +5,7 @@
 
 #include <unordered_map>
 
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
 #include "index/rhik/rhik_index.hpp"
@@ -242,10 +243,12 @@ TEST(RhikResize, GrowthPastDirBitsCapReturnsIndexFull) {
   const auto ref = fill_through_resizes(rig, 1);
   drain_migration(rig);
   EXPECT_EQ(rig.index.dir_bits(), 1u);
-  // Fill to the next threshold: the doubling is refused, not asserted.
+  // Fill past the refused doubling: new keys keep landing while they fit,
+  // and the first insert that genuinely fails surfaces kIndexFull.
   Rng rng(31);
   Status st = Status::kOk;
   for (int i = 0; i < 4000 && st != Status::kIndexFull; ++i) {
+    rig.maybe_gc();
     st = rig.index.put(rng.next(), i);
   }
   EXPECT_EQ(st, Status::kIndexFull);
@@ -256,6 +259,84 @@ TEST(RhikResize, GrowthPastDirBitsCapReturnsIndexFull) {
     ASSERT_TRUE(rig.index.get(sig).has_value()) << sig;
     EXPECT_EQ(*rig.index.get(sig), ppa);
   }
+}
+
+TEST(RhikResize, UpdatesOfExistingKeysSucceedAtDirBitsCap) {
+  // Regression: the bits cap used to make maybe_resize fail EVERY put
+  // once occupancy crossed the threshold — including overwrites, which
+  // add no key and always fit. A capped index must keep taking updates.
+  RhikConfig cfg;
+  cfg.max_dir_bits = 1;
+  Rig rig(cfg);
+  const auto ref = fill_through_resizes(rig, 1);
+  drain_migration(rig);
+  // Push occupancy over the next resize threshold so a doubling is wanted
+  // (and refused at the cap) on every subsequent put.
+  Rng rng(33);
+  const std::uint64_t over =
+      static_cast<std::uint64_t>(cfg.resize_threshold * rig.index.capacity()) + 2;
+  while (rig.index.size() < over) {
+    rig.maybe_gc();
+    rig.index.put(rng.next(), 1);
+  }
+  EXPECT_EQ(rig.index.dir_bits(), 1u);
+  const std::uint64_t keys = rig.index.size();
+  for (const auto& [sig, ppa] : ref) {
+    ASSERT_EQ(rig.index.put(sig, ppa + 1000), Status::kOk) << sig;
+    EXPECT_EQ(*rig.index.get(sig), ppa + 1000);
+  }
+  EXPECT_EQ(rig.index.size(), keys);  // overwrites added nothing
+  EXPECT_EQ(rig.index.op_stats().index_full, 0u);
+}
+
+TEST(RhikResize, ReplayRejectedRepointAfterMigrateForcesFullScan) {
+  // Regression for a silent-loss window in journal replay. Tail order:
+  //   resize; repoint(new-gen B -> P1) [migration target]; migrate(B_src);
+  //   repoint(new-gen B -> P2) [post-migration write-back, non-durable data]
+  // Replay applies only a slot's LAST repoint, so P1 is skipped; P2 is
+  // rejected by the durability vet. Keeping the image's slot (kInvalidPpa
+  // for a fresh split target) would phantom-drop every pre-checkpoint
+  // mapping migrated into B, because the migrate record has already
+  // retired the source bucket — and may even have closed the window.
+  // The index must force the full-scan fallback (kCorruption) instead.
+  Rig rig;
+  Rng rng(17);
+  while (rig.index.size() < 150) rig.index.put(rng.next(), rig.index.size());
+  ASSERT_EQ(rig.index.flush(), Status::kOk);
+  const Bytes image0 = rig.index.serialize_directory();  // gen 0, bits 0
+
+  // Grow through one full doubling so genuine new-generation record
+  // pages exist on flash to stand in for P2.
+  while (rig.index.op_stats().resizes == 0) rig.index.put(rng.next(), 1);
+  drain_migration(rig);
+  ASSERT_EQ(rig.index.flush(), Status::kOk);
+  ASSERT_EQ(rig.index.dir_bits(), 1u);
+  const Bytes image1 = rig.index.serialize_directory();  // gen 1, bits 1
+  const Ppa target = get_u40(image1, 20);  // new-gen bucket 0 record page
+  ASSERT_NE(target, flash::kInvalidPpa);
+
+  // Journal slot-key layout: generation in bits 40+, bucket below.
+  const auto slot_key = [](std::uint32_t gen, std::uint64_t bucket) {
+    return (std::uint64_t{gen} << 40) | bucket;
+  };
+  const auto never_durable = [](Ppa) { return false; };
+
+  // Replay the tail above against the pre-resize image.
+  ASSERT_EQ(rig.index.load_image(image0), Status::kOk);
+  ASSERT_EQ(rig.index.apply_journal_resize(1, 1), Status::kOk);
+  // Retires bucket 0 — the only source bucket, so the window closes too.
+  ASSERT_EQ(rig.index.apply_journal_migrate(slot_key(0, 0)), Status::kOk);
+  ASSERT_FALSE(rig.index.maintenance_active());
+  EXPECT_EQ(
+      rig.index.apply_journal_repoint(slot_key(1, 0), target, never_durable),
+      Status::kCorruption);
+
+  // Control: in a tail with no resize record, a rejected write-back keeps
+  // the image's slot and replay continues — image + tail reconstructs it.
+  ASSERT_EQ(rig.index.load_image(image1), Status::kOk);
+  EXPECT_EQ(
+      rig.index.apply_journal_repoint(slot_key(1, 0), target, never_durable),
+      Status::kOk);
 }
 
 TEST(RhikResize, CapacityDoublesDirectoryEachTime) {
