@@ -1,0 +1,621 @@
+// Serving-layer connection scaling (DESIGN.md §12).
+//
+// Three phases against one 4-shard api::KvsDevice:
+//
+//   0. anchor — bench_sharded_throughput's Part-A closed loop (same
+//      array geometry, preload, mix, drain cadence) replicated on a
+//      fresh array. This is the closed-loop wall-clock number the
+//      serving layer is held to.
+//   1. connection scaling — an epoll load driver opens N pipelined
+//      loopback connections per step (up to 1024+) against net::KvServer
+//      and reports wall-clock Mops/s plus p50/p99 per connection count.
+//      Guard: peak served throughput (driver-CPU-corrected) >= 80% of
+//      an anchor run measured adjacent to the step.
+//   2. multi-tenant isolation — tenant A solo, then A + a rate-limited
+//      tenant B concurrently, then A solo again. Guards: B is actually
+//      capped near its quota (and sees KVS_ERR_QUEUE_FULL, never
+//      silence), and A's p99 under flood stays <= 1.5x the slower of
+//      its two bracketing solo runs.
+//
+// The connection-count vs p50/p99 curve and both tenant runs land in
+// the metrics JSON (RHIK_METRICS_JSON) as bench.* counters/timers, with
+// the server's own net.* metrics merged in. --smoke shrinks the op
+// counts for CI; guards stay on. Any guard failure exits nonzero.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/kvs.hpp"
+#include "bench_util.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+using namespace rhik;
+
+namespace {
+
+// Workload and array parameters track bench_sharded_throughput Part A
+// exactly: the guard compares against that bench's closed-loop number,
+// so both sides must run the same mix on the same geometry.
+constexpr std::uint32_t kValueSize = 1024;
+constexpr std::uint64_t kKeySpace = 20'000;
+constexpr std::uint32_t kKeyBytes = 16;
+// The write-heavy Part-A mix (5% get / 95% put): insert throughput is
+// the paper's headline metric, and puts keep the device's flash-write +
+// index cost in the denominator on both sides of the guard.
+constexpr unsigned kGetPct = 5;
+constexpr std::uint64_t kArrayCapacity = 256ull << 20;
+constexpr std::uint64_t kArrayDram = 4ull << 20;
+constexpr std::size_t kDrainEvery = 512;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t backend_shards() {
+  // RHIK_BENCH_SHARDS overrides the 4-shard default — a single-core
+  // host can compare against a shard-free backend, where the server's
+  // event loop drives the device itself and no worker threads compete.
+  if (const char* env = std::getenv("RHIK_BENCH_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 64) return static_cast<std::uint32_t>(v);
+  }
+  return 4;
+}
+
+api::KvsDeviceOptions device_opts() {
+  api::KvsDeviceOptions opts;
+  opts.capacity_bytes = kArrayCapacity;
+  opts.dram_cache_bytes = kArrayDram;
+  // Same scaled erase blocks the anchor array uses (bench_util's
+  // scaled_geometry default): geometry parity is part of the guard.
+  opts.pages_per_block = 64;
+  opts.num_shards = backend_shards();
+  opts.anticipated_keys = kKeySpace;
+  return opts;
+}
+
+// -- Phase 0: the anchor ------------------------------------------------------
+
+struct Anchor {
+  double mops = 0;           ///< ops / wall seconds (millions)
+  double cpu_us_per_op = 0;  ///< process CPU burned per op (all threads)
+};
+
+Anchor anchor_run(std::uint64_t ops);
+
+// -- The epoll load driver ----------------------------------------------------
+
+struct DriverConn {
+  int fd = -1;
+  std::uint64_t index = 0;
+  net::ResponseDecoder dec;
+  Bytes out;
+  std::size_t out_pos = 0;
+  bool want_write = false;  ///< EPOLLOUT armed (only while out is nonempty)
+  std::unordered_map<std::uint64_t, std::uint64_t> sent_ns;
+  std::uint64_t next_id = 1;
+  Rng rng{0};
+};
+
+struct DriverResult {
+  std::uint64_t completed = 0;  ///< responses received (any status)
+  std::uint64_t ok = 0;
+  std::uint64_t queue_full = 0;
+  double mops = 0;        ///< completed / wall seconds (millions)
+  double wall_s = 0;      ///< wall-clock seconds of the drive loop
+  double driver_cpu_s = 0;  ///< CPU the load driver itself burned
+  /// Server-side saturated throughput: completed divided by the wall
+  /// time not spent running the load generator. On a multi-core host
+  /// the driver overlaps the server and this approaches `mops`; on a
+  /// single core the driver steals server cycles one-for-one, so the
+  /// serving layer's own capacity is the colocation-corrected number.
+  double srv_mops = 0;
+  /// Process CPU per op with the load driver's own CPU subtracted: the
+  /// serving layer + device cost of one networked op. CPU time ignores
+  /// scheduler noise, CPU steal and frequency drift, so this is the
+  /// number the throughput guard compares against the closed loop.
+  double srv_cpu_us_per_op = 0;
+  Histogram latency;
+};
+
+double thread_cpu_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+/// CPU seconds burned by the whole process (every thread: server
+/// workers, shard workers, drivers). Robust against scheduler noise,
+/// CPU steal and frequency drift in a way wall clock is not.
+double process_cpu_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+/// bench_sharded_throughput's Part-A loop, verbatim: fresh array, same
+/// geometry/preload/mix/drain cadence, raw backend seam, counting sink.
+/// A fresh array per call keeps the anchor free of aging drift, and
+/// calling it adjacent to each scaling step keeps it free of machine
+/// drift (the host slows measurably over a multi-second run).
+Anchor anchor_run(std::uint64_t ops) {
+  shard::ShardedConfig sc;
+  sc.num_shards = backend_shards();
+  sc.device.geometry = bench::scaled_geometry(kArrayCapacity / sc.num_shards);
+  sc.device.dram_cache_bytes = kArrayDram / sc.num_shards;
+  sc.device.index_kind = kvssd::IndexKind::kRhik;
+  sc.device.rhik.anticipated_keys = kKeySpace / sc.num_shards;
+  shard::ShardedKvssd arr(sc);
+  std::atomic<std::uint64_t> completed{0};
+  arr.set_completion_sink(
+      [&completed](std::vector<api::TaggedCompletion>&& batch) {
+        completed.fetch_add(batch.size(), std::memory_order_relaxed);
+      });
+  Bytes value(kValueSize);
+  for (std::uint64_t id = 0; id < kKeySpace; ++id) {
+    workload::fill_value(id, value);
+    arr.submit_put_tagged(id, workload::key_for_id(id, kKeyBytes), value);
+    if (id % kDrainEvery == 0) arr.drain();
+  }
+  arr.drain();
+
+  Rng rng(42);
+  const double cpu0 = process_cpu_s();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t id = rng.next_below(kKeySpace);
+    if (rng.next_below(100) < kGetPct) {
+      arr.submit_get_tagged(i, workload::key_for_id(id, kKeyBytes));
+    } else {
+      workload::fill_value(id, value);
+      arr.submit_put_tagged(i, workload::key_for_id(id, kKeyBytes), value);
+    }
+    if (i % kDrainEvery == 0) arr.drain();
+  }
+  arr.drain();
+  Anchor a;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  a.mops = secs > 0 ? static_cast<double>(ops) / secs / 1e6 : 0;
+  a.cpu_us_per_op =
+      ops > 0 ? (process_cpu_s() - cpu0) / static_cast<double>(ops) * 1e6 : 0;
+  return a;
+}
+
+/// Opens `conns` connections for `tenant`, keeps `window` requests
+/// pipelined on each, stops after `total_ops` responses. Latency is
+/// measured per request, encode-to-decode. With `pace_ops_s` nonzero
+/// the driver is open-loop instead: submissions are released at that
+/// fixed rate (still window-capped per connection), which models an
+/// abusive-but-remote tenant without turning the load generator into
+/// a CPU hog on the server's own host.
+DriverResult drive(std::uint16_t port, std::uint32_t tenant,
+                   std::size_t conns, std::size_t window,
+                   std::uint64_t total_ops, std::uint64_t pace_ops_s = 0) {
+  DriverResult res;
+  const int ep = epoll_create1(EPOLL_CLOEXEC);
+  std::vector<std::unique_ptr<DriverConn>> cs;
+  cs.reserve(conns);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (std::size_t i = 0; i < conns; ++i) {
+    auto c = std::make_unique<DriverConn>();
+    c->fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (c->fd < 0 ||
+        connect(c->fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      std::fprintf(stderr, "connect %zu failed: %s\n", i, strerror(errno));
+      std::exit(1);
+    }
+    int one = 1;
+    setsockopt(c->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    // Non-blocking after connect: the driver itself must never park.
+    const int fl = fcntl(c->fd, F_GETFL);
+    fcntl(c->fd, F_SETFL, fl | O_NONBLOCK);
+    c->rng = Rng(static_cast<std::uint64_t>(i) * 7919 + 13);
+    c->index = i;
+    epoll_event ev{};
+    // EPOLLOUT is armed only while a send backs up: a level-triggered
+    // always-writable socket would turn every epoll_wait into a busy
+    // spin, and on this single-core host the spinning driver would
+    // steal the very cycles the server is being measured on.
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    epoll_ctl(ep, EPOLL_CTL_ADD, c->fd, &ev);
+    cs.push_back(std::move(c));
+  }
+
+  std::uint64_t submitted = 0;
+  Bytes value(kValueSize);
+  auto submit_one = [&](DriverConn& c) {
+    net::RequestFrame f;
+    f.tenant_id = tenant;
+    f.request_id = c.next_id++;
+    const std::uint64_t id = c.rng.next_below(kKeySpace);
+    f.key = workload::key_for_id(id, kKeyBytes);
+    if (c.rng.next_below(100) < kGetPct) {
+      f.opcode = net::Opcode::kGet;
+    } else {
+      f.opcode = net::Opcode::kPut;
+      workload::fill_value(id, value);
+      f.value = value;
+    }
+    c.sent_ns[f.request_id] = now_ns();
+    encode_request(f, &c.out);
+    submitted++;
+  };
+  auto set_write_interest = [&](DriverConn& c, bool on) {
+    if (c.want_write == on) return;
+    c.want_write = on;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.u64 = c.index;
+    epoll_ctl(ep, EPOLL_CTL_MOD, c.fd, &ev);
+  };
+  auto flush = [&](DriverConn& c) {
+    while (c.out_pos < c.out.size()) {
+      const ssize_t s = send(c.fd, c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
+      if (s <= 0) {
+        set_write_interest(c, true);  // EAGAIN: EPOLLOUT resumes us
+        return;
+      }
+      c.out_pos += static_cast<std::size_t>(s);
+    }
+    c.out.clear();
+    c.out_pos = 0;
+    set_write_interest(c, false);
+  };
+
+  // Prime every connection with a full window (paced drivers start
+  // cold and release work from the loop instead).
+  if (pace_ops_s == 0) {
+    for (auto& c : cs) {
+      for (std::size_t j = 0; j < window && submitted < total_ops; ++j) {
+        submit_one(*c);
+      }
+      flush(*c);
+    }
+  }
+
+  std::vector<epoll_event> events(256);
+  std::uint8_t buf[64 * 1024];
+  const double pcpu0 = process_cpu_s();
+  const double cpu0 = thread_cpu_s();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (res.completed < total_ops) {
+    if (pace_ops_s != 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const auto budget = static_cast<std::uint64_t>(
+          elapsed * static_cast<double>(pace_ops_s));
+      for (auto& c : cs) {
+        while (submitted < total_ops && submitted < budget &&
+               c->sent_ns.size() < window) {
+          submit_one(*c);
+        }
+        flush(*c);
+      }
+    }
+    const int n = epoll_wait(ep, events.data(),
+                             static_cast<int>(events.size()),
+                             pace_ops_s != 0 ? 1 : 1000);
+    for (int i = 0; i < n; ++i) {
+      DriverConn& c = *cs[events[static_cast<std::size_t>(i)].data.u64];
+      if (events[static_cast<std::size_t>(i)].events & EPOLLOUT) flush(c);
+      if (!(events[static_cast<std::size_t>(i)].events & EPOLLIN)) continue;
+      for (;;) {
+        const ssize_t r = recv(c.fd, buf, sizeof buf, 0);
+        if (r <= 0) break;
+        c.dec.feed(ByteSpan(buf, static_cast<std::size_t>(r)));
+        net::ResponseFrame f;
+        while (c.dec.next(&f) == net::DecodeStatus::kFrame) {
+          const auto it = c.sent_ns.find(f.request_id);
+          if (it != c.sent_ns.end()) {
+            res.latency.record(now_ns() - it->second);
+            c.sent_ns.erase(it);
+          }
+          res.completed++;
+          if (f.status == api::KvsResult::KVS_SUCCESS ||
+              f.status == api::KvsResult::KVS_ERR_KEY_NOT_EXIST) {
+            res.ok++;
+          } else if (f.status == api::KvsResult::KVS_ERR_QUEUE_FULL) {
+            res.queue_full++;
+          }
+        }
+        if (r < static_cast<ssize_t>(sizeof buf)) break;
+      }
+      // Burst refill: top the window back up once it half-drains,
+      // rather than replacing one request per response. One-for-one
+      // replacement degenerates into lockstep at steady state — every
+      // op pays its own send and recv on both sides — where a real
+      // pipelined client (and the anchor's closed loop, which submits
+      // 512 ops per drain) amortizes syscalls over bursts.
+      if (pace_ops_s == 0 && c.sent_ns.size() * 2 <= window) {
+        while (submitted < total_ops && c.sent_ns.size() < window) {
+          submit_one(c);
+        }
+      }
+      flush(c);
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.wall_s = secs;
+  res.driver_cpu_s = thread_cpu_s() - cpu0;
+  res.mops = secs > 0 ? static_cast<double>(res.completed) / secs / 1e6 : 0;
+  // Colocation correction: the share of the wall the driver spent on
+  // the CPU was unavailable to the server on a saturated single-core
+  // host. Floored at half the wall so a mismeasured clock can never
+  // more than double the raw number.
+  const double srv_secs = std::max(secs - res.driver_cpu_s, secs * 0.5);
+  res.srv_mops =
+      srv_secs > 0 ? static_cast<double>(res.completed) / srv_secs / 1e6 : 0;
+  const double srv_cpu = process_cpu_s() - pcpu0 - res.driver_cpu_s;
+  res.srv_cpu_us_per_op =
+      res.completed > 0
+          ? std::max(srv_cpu, 0.0) / static_cast<double>(res.completed) * 1e6
+          : 0;
+  for (auto& c : cs) close(c->fd);
+  close(ep);
+  return res;
+}
+
+void record_result(obs::MetricsSnapshot* snap, const std::string& base,
+                   const DriverResult& r) {
+  snap->add_counter(base + ".ops", r.completed);
+  snap->add_counter(base + ".queue_full", r.queue_full);
+  snap->set_gauge(base + ".kops_s", static_cast<std::int64_t>(r.mops * 1e3));
+  snap->set_gauge(base + ".srv_kops_s",
+                  static_cast<std::int64_t>(r.srv_mops * 1e3));
+  snap->set_gauge(base + ".driver_cpu_pct",
+                  static_cast<std::int64_t>(
+                      r.wall_s > 0 ? 100.0 * r.driver_cpu_s / r.wall_s : 0));
+  snap->add_timer(base + ".latency_ns", r.latency);
+}
+
+/// Writes the full keyspace through the facade so gets hit — the same
+/// preload the anchor array gets, behind tenant 0's namespace prefix.
+void preload(api::KvsDevice& dev) {
+  Bytes value(kValueSize);
+  for (std::uint64_t id = 0; id < kKeySpace; ++id) {
+    workload::fill_value(id, value);
+    dev.store_async(Bytes(workload::key_for_id(id, kKeyBytes)), Bytes(value));
+  }
+  std::vector<api::KvsCompletion> done;
+  std::uint64_t got = 0;
+  while (got < kKeySpace) got += dev.poll_completions(&done);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  bench::heading("Serving layer: connection scaling + tenant isolation",
+                 "networked front-end over the §II-A array (DESIGN.md §12)");
+
+  const std::uint64_t scale_ops = smoke ? 20'000 : 120'000;
+  const std::vector<std::size_t> conn_steps =
+      smoke ? std::vector<std::size_t>{16, 128, 1024}
+            : std::vector<std::size_t>{16, 64, 256, 1024};
+  // Per-connection pipeline depth. Saturating a flash array through a
+  // network takes deep queues: at shallow windows every connection has
+  // ~one response in flight per round trip, so neither side can batch
+  // its syscalls and per-op overhead is dominated by send/recv, not
+  // serving. 64 keeps the device backlogged and lets responses coalesce
+  // per connection (the wire protocol pipelines by contract).
+  const std::size_t window = 64;
+  const std::size_t tenant_window = 16;
+
+  net::ServerConfig scfg;
+  scfg.num_workers = 1;  // one event loop; the host decides core count
+  // 1024 conns x window 64 = 65536 requests legitimately in flight;
+  // leave the global brake well above the bench's working depth (the
+  // admission path itself is exercised by the tenant phase and tests).
+  scfg.max_global_inflight = 1u << 17;
+  obs::MetricsSnapshot out;
+
+  bench::note("backend: %u shard(s), %u B values, %llu-key space, %u%% get mix",
+              backend_shards(), kValueSize,
+              static_cast<unsigned long long>(kKeySpace), kGetPct);
+
+  std::printf("\nconnection scaling (%llu ops per step, window %zu)\n",
+              static_cast<unsigned long long>(scale_ops), window);
+  std::printf("%-8s %9s %9s %8s %9s %9s %11s %11s %9s\n", "conns", "Mops/s",
+              "srv Mops", "drv cpu", "cpu/op", "anchor", "p50 us", "p99 us",
+              "vs anchr");
+  double peak_mops = 0;
+  double peak_srv_mops = 0;
+  double best_ratio = 0;
+  double anchor_mops_sum = 0;
+  // Tail-latency sanity per step: with W requests pipelined against a
+  // server running at rate R, p50 sits near W/R by Little's law — an
+  // absolute p99 cap would just re-test the chosen window depth. The
+  // guard instead allows 4x the queueing delay the step's own measured
+  // rate implies (floored at 50 ms for fast steps), which still catches
+  // head-of-line blocking, starvation and stall regressions.
+  double worst_p99_ratio = 0;
+  for (const std::size_t conns : conn_steps) {
+    // Anchor adjacent to the step: the host drifts over a run (turbo
+    // ramp, ambient load on a shared box) — early phases can measure 2x
+    // faster than late ones, so a single up-front anchor would make the
+    // comparison depend on WHEN a step ran.
+    const Anchor base = anchor_run(scale_ops);
+    anchor_mops_sum += base.mops;
+    // A fresh device + server per step, mirroring the anchor's fresh
+    // array: a device carried across steps accumulates log wrap and GC
+    // state the anchor never sees, and the guard would then compare a
+    // steady-state device against a pristine one.
+    api::KvsDevice dev(device_opts());
+    net::KvServer server(dev, scfg);
+    if (server.start() != Status::kOk) {
+      std::fprintf(stderr, "server start failed\n");
+      return 1;
+    }
+    preload(dev);
+    const DriverResult r = drive(server.port(), /*tenant=*/0, conns, window,
+                                 scale_ops);
+    server.stop();
+    peak_mops = std::max(peak_mops, r.mops);
+    peak_srv_mops = std::max(peak_srv_mops, r.srv_mops);
+    const double ratio = base.mops > 0 ? r.srv_mops / base.mops : 0;
+    best_ratio = std::max(best_ratio, ratio);
+    const double p99_us = r.latency.percentile(99) / 1e3;
+    const double outstanding = static_cast<double>(conns * window);
+    const double queueing_us =
+        r.mops > 0 ? outstanding / (r.mops * 1e6) * 1e6 : 0;
+    const double bound_us = std::max(50'000.0, 4.0 * queueing_us);
+    worst_p99_ratio = std::max(worst_p99_ratio, p99_us / bound_us);
+    std::printf("%-8zu %9.3f %9.3f %7.0f%% %9.2f %9.3f %11.1f %11.1f %8.1f%%\n",
+                conns, r.mops, r.srv_mops,
+                r.wall_s > 0 ? 100.0 * r.driver_cpu_s / r.wall_s : 0,
+                r.srv_cpu_us_per_op, base.mops,
+                r.latency.percentile(50) / 1e3, p99_us, 100.0 * ratio);
+    record_result(&out, "bench.conns." + std::to_string(conns), r);
+  }
+  out.set_gauge("bench.anchor.kops_s",
+                static_cast<std::int64_t>(
+                    anchor_mops_sum / conn_steps.size() * 1e3));
+  out.set_gauge("bench.net.best_ratio_pct",
+                static_cast<std::int64_t>(best_ratio * 100));
+
+  // -- Phase 2: tenant isolation ---------------------------------------------
+  const std::uint64_t tenant_ops = smoke ? 8'000 : 40'000;
+  const std::uint64_t cap_ops_s = 2'000;
+  api::KvsDevice dev(device_opts());
+  net::KvServer server(dev, scfg);
+  if (server.start() != Status::kOk) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  preload(dev);
+  net::TenantConfig quota;
+  quota.ops_per_sec = cap_ops_s;
+  quota.burst = 256;
+  server.tenants().configure(2, quota, net::KvServer::wall_now_ns());
+
+  std::printf("\ntenant isolation (A unlimited, B capped at %llu ops/s)\n",
+              static_cast<unsigned long long>(cap_ops_s));
+  const DriverResult solo = drive(server.port(), /*tenant=*/1, 32,
+                                  tenant_window, tenant_ops);
+  const double solo_p99_us = solo.latency.percentile(99) / 1e3;
+  std::printf("%-22s %10.3f Mops/s  p99 %10.1f us\n", "A solo", solo.mops,
+              solo_p99_us);
+  record_result(&out, "bench.tenant.solo_a", solo);
+
+  DriverResult duo_a, duo_b;
+  {
+    // B floods from its own driver thread while A runs, paced at twice
+    // its quota: persistently over-limit (so the bucket must reject),
+    // but open-loop — a remote abuser's client cycles don't come out of
+    // this host's server budget. B counts its QUEUE_FULL rejections
+    // (each one is still a delivered response).
+    std::thread b_thread([&] {
+      duo_b = drive(server.port(), /*tenant=*/2, 4, 2, tenant_ops / 4,
+                    /*pace_ops_s=*/2 * cap_ops_s);
+    });
+    // Let B's flood reach steady state before A's measured run starts.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    duo_a = drive(server.port(), /*tenant=*/1, 32, tenant_window, tenant_ops);
+    b_thread.join();
+  }
+  // Bracket: a second solo run after the duo. The host is slower late
+  // in a run than early, and the duo sits between the two solos — with
+  // only the leading solo as reference, machine drift reads as tenant
+  // interference. The guard references the slower bracket.
+  const DriverResult solo2 = drive(server.port(), /*tenant=*/1, 32,
+                                   tenant_window, tenant_ops);
+  const double solo2_p99_us = solo2.latency.percentile(99) / 1e3;
+  const double duo_p99_us = duo_a.latency.percentile(99) / 1e3;
+  const double b_secs = duo_b.mops > 0
+      ? static_cast<double>(duo_b.completed) / (duo_b.mops * 1e6)
+      : 1;
+  const double b_goodput_s = static_cast<double>(duo_b.ok) / b_secs;
+  std::printf("%-22s %10.3f Mops/s  p99 %10.1f us\n", "A with B flooding",
+              duo_a.mops, duo_p99_us);
+  std::printf("%-22s %10.3f Mops/s  p99 %10.1f us\n", "A solo (re-run)",
+              solo2.mops, solo2_p99_us);
+  std::printf("%-22s goodput %.0f ops/s (cap %llu), %llu QUEUE_FULL\n",
+              "B (rate limited)", b_goodput_s,
+              static_cast<unsigned long long>(cap_ops_s),
+              static_cast<unsigned long long>(duo_b.queue_full));
+  record_result(&out, "bench.tenant.duo_a", duo_a);
+  record_result(&out, "bench.tenant.duo_b", duo_b);
+  record_result(&out, "bench.tenant.solo_a_post", solo2);
+
+  // Server-side view (net.* incl. per-tenant slices) merges into the
+  // export next to the bench.* curve.
+  out.merge_from(server.metrics_snapshot());
+  bench::maybe_export_json(out);
+  server.stop();
+
+  // -- Guards (exit nonzero so CI catches regressions) -----------------------
+  int rc = 0;
+  // Throughput guard: at saturation the serving layer must deliver at
+  // least 80% of bench_sharded_throughput's closed-loop wall-clock rate
+  // ("within 20%"). Each scaling step is compared against an anchor run
+  // measured adjacent to it (same machine state), and the served rate is
+  // driver-CPU-corrected: the load generator shares this host's single
+  // core with the server, and its cycles (encode, epoll, decode, latency
+  // bookkeeping) are work a remote client would burn on its own machine.
+  // The best step must clear the bar — the curve's low-connection steps
+  // are expected to sit below saturation.
+  if (best_ratio < 0.8) {
+    std::printf("FAIL: served throughput peaked at %.0f%% of the adjacent "
+                "closed-loop anchor (need >= 80%%; peak %.3f Mops/s srv, "
+                "%.3f raw)\n", 100.0 * best_ratio, peak_srv_mops, peak_mops);
+    rc = 1;
+  }
+  if (worst_p99_ratio > 1.0) {
+    std::printf("FAIL: a scaling step's p99 exceeded its queueing-delay "
+                "bound by %.1fx (tail blowup)\n", worst_p99_ratio);
+    rc = 1;
+  }
+  if (duo_b.queue_full == 0) {
+    std::printf("FAIL: rate-limited tenant saw no QUEUE_FULL rejections\n");
+    rc = 1;
+  }
+  // 3x the configured cap leaves room for burst credit + timing noise
+  // while still proving the quota binds (an uncapped B would push Mops).
+  if (b_goodput_s > 3.0 * static_cast<double>(cap_ops_s)) {
+    std::printf("FAIL: capped tenant pushed %.0f ops/s through a %llu cap\n",
+                b_goodput_s, static_cast<unsigned long long>(cap_ops_s));
+    rc = 1;
+  }
+  const double solo_ref_us =
+      std::max(std::max(solo_p99_us, solo2_p99_us), 100.0);
+  if (duo_p99_us > 1.5 * solo_ref_us) {
+    std::printf("FAIL: tenant A p99 %.1f us > 1.5x solo %.1f us\n",
+                duo_p99_us, solo_ref_us);
+    rc = 1;
+  }
+  std::printf("\n%s\n", rc == 0 ? "all serving-layer guards passed"
+                                : "serving-layer guards FAILED");
+  return rc;
+}

@@ -81,6 +81,15 @@ class IKvsBackend {
   virtual void submit_get_tagged(std::uint64_t tag, Bytes key) = 0;
   virtual void submit_del_tagged(std::uint64_t tag, Bytes key) = 0;
 
+  /// Runs one bounded quantum of background maintenance (GC relocation,
+  /// incremental index migration) if any is pending; returns true when
+  /// work was done, so idle callers may keep pumping until false. The
+  /// serving layer calls this from its event loop's idle windows — a
+  /// single device has no other thread to make background progress, and
+  /// a sharded array's workers already pump when their rings are idle
+  /// (its override is a no-op returning false).
+  virtual bool pump_background() = 0;
+
   // -- Durability -----------------------------------------------------------
   virtual Status flush() = 0;
   /// Synchronous index checkpoint (DESIGN.md §8); kUnsupported when

@@ -18,6 +18,7 @@ KvsResult from_status(Status s) noexcept {
     case Status::kIoError: return KvsResult::KVS_ERR_SYS_IO;
     case Status::kBusy: return KvsResult::KVS_ERR_DEV_BUSY;
     case Status::kUnsupported: return KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED;
+    case Status::kQueueFull: return KvsResult::KVS_ERR_QUEUE_FULL;
   }
   return KvsResult::KVS_ERR_SYS_IO;
 }
@@ -36,6 +37,7 @@ const char* to_string(KvsResult r) noexcept {
     case KvsResult::KVS_ERR_OPTION_INVALID: return "KVS_ERR_OPTION_INVALID";
     case KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED:
       return "KVS_ERR_ITERATOR_NOT_SUPPORTED";
+    case KvsResult::KVS_ERR_QUEUE_FULL: return "KVS_ERR_QUEUE_FULL";
   }
   return "KVS_ERR_UNKNOWN";
 }
@@ -47,7 +49,8 @@ KvsDevice::KvsDevice(const KvsDeviceOptions& opts)
   kvssd::DeviceConfig cfg;
   // With num_shards > 1 each shard gets an even slice of the array's
   // capacity, DRAM budget and sizing hint.
-  cfg.geometry = flash::Geometry::with_capacity(opts.capacity_bytes / num_shards_);
+  cfg.geometry = flash::Geometry::with_capacity(
+      opts.capacity_bytes / num_shards_, opts.pages_per_block);
   cfg.dram_cache_bytes = opts.dram_cache_bytes / num_shards_;
   cfg.prefix_signatures = opts.enable_iterator;
   cfg.checkpoint.enabled = opts.enable_checkpoints;
@@ -107,6 +110,11 @@ KvsResult KvsDevice::iterate(std::string_view prefix,
   std::vector<Bytes> keys;
   const Status s = backend_->iterate_prefix(key_span(prefix), &keys, SIZE_MAX);
   if (!ok(s)) return from_status(s);
+  // The sharded backend merges per-shard scans into lexicographic order;
+  // the single device enumerates in index (hash) order. Sort here so the
+  // facade's order is deterministic and identical across shard counts —
+  // networked ITER responses must be stable regardless of deployment.
+  std::sort(keys.begin(), keys.end());
   keys_out->clear();
   keys_out->reserve(keys.size());
   for (const auto& k : keys) keys_out->push_back(rhik::to_string(k));
@@ -135,7 +143,14 @@ void KvsDevice::install_sink() {
       out.push_back(std::move(c));
     }
     ring_.push_batch(std::move(out));
+    std::lock_guard lk(notify_mu_);
+    if (notify_) notify_();
   });
+}
+
+void KvsDevice::set_completion_notify(std::function<void()> notify) {
+  std::lock_guard lk(notify_mu_);
+  notify_ = std::move(notify);
 }
 
 std::uint64_t KvsDevice::store_async(std::string_view key, ByteSpan value) {
@@ -143,24 +158,33 @@ std::uint64_t KvsDevice::store_async(std::string_view key, ByteSpan value) {
 }
 
 std::uint64_t KvsDevice::store_async(std::string_view key, Bytes&& value) {
+  return store_async(Bytes(key_span(key).begin(), key_span(key).end()),
+                     std::move(value));
+}
+
+std::uint64_t KvsDevice::store_async(Bytes&& key, Bytes&& value) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_put_tagged(id,
-                              Bytes(key_span(key).begin(), key_span(key).end()),
-                              std::move(value));
+  backend_->submit_put_tagged(id, std::move(key), std::move(value));
   return id;
 }
 
 std::uint64_t KvsDevice::retrieve_async(std::string_view key) {
+  return retrieve_async(Bytes(key_span(key).begin(), key_span(key).end()));
+}
+
+std::uint64_t KvsDevice::retrieve_async(Bytes&& key) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_get_tagged(
-      id, Bytes(key_span(key).begin(), key_span(key).end()));
+  backend_->submit_get_tagged(id, std::move(key));
   return id;
 }
 
 std::uint64_t KvsDevice::remove_async(std::string_view key) {
+  return remove_async(Bytes(key_span(key).begin(), key_span(key).end()));
+}
+
+std::uint64_t KvsDevice::remove_async(Bytes&& key) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  backend_->submit_del_tagged(
-      id, Bytes(key_span(key).begin(), key_span(key).end()));
+  backend_->submit_del_tagged(id, std::move(key));
   return id;
 }
 
@@ -171,6 +195,11 @@ std::size_t KvsDevice::poll_completions(std::vector<KvsCompletion>* out,
   // Nothing finished yet: drive the backend queue (a cross-shard barrier
   // on an array), so submit → poll always makes progress.
   backend_->drain();
+  return ring_.pop_batch(out, max);
+}
+
+std::size_t KvsDevice::try_poll_completions(std::vector<KvsCompletion>* out,
+                                            std::size_t max) {
   return ring_.pop_batch(out, max);
 }
 

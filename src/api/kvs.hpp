@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +37,12 @@ enum class KvsResult {
   KVS_ERR_SYS_IO,
   KVS_ERR_OPTION_INVALID,
   KVS_ERR_ITERATOR_NOT_SUPPORTED,
+  /// Admission control / per-tenant quota rejection (serving layer,
+  /// DESIGN.md §12). Transient by contract: the request was never
+  /// executed and retrying after backoff is expected to succeed —
+  /// unlike KVS_ERR_CONT_FULL, which says the device/index itself is
+  /// out of room and retrying is pointless.
+  KVS_ERR_QUEUE_FULL,
 };
 
 [[nodiscard]] KvsResult from_status(Status s) noexcept;
@@ -44,6 +52,11 @@ enum class KvsResult {
 struct KvsDeviceOptions {
   std::uint64_t capacity_bytes = std::uint64_t{4} << 30;  ///< emulated size
   std::uint64_t dram_cache_bytes = 10ull << 20;
+  /// Erase-block granularity (pages per block); 0 keeps the paper
+  /// default (256). Small emulated capacities must scale this down with
+  /// them: a 64 MiB shard at the default is 8 monolithic blocks, which
+  /// leaves GC no room to rotate and degrades every write to thrash.
+  std::uint32_t pages_per_block = 0;
   bool use_rhik = true;               ///< false: multi-level hash baseline
   std::uint64_t anticipated_keys = 0; ///< Eq. 2 initial sizing hint
   bool enable_iterator = false;       ///< §VI prefix-signature iteration
@@ -118,8 +131,14 @@ class KvsDevice {
   /// Move overload: hands the value buffer straight down the submission
   /// path — zero copies between the caller and the flash write buffer.
   std::uint64_t store_async(std::string_view key, Bytes&& value);
+  /// Full move overload: both buffers travel down without a copy. The
+  /// serving layer builds the tenant-prefixed key once and moves it
+  /// here, so a networked op costs no more key copies than a local one.
+  std::uint64_t store_async(Bytes&& key, Bytes&& value);
   std::uint64_t retrieve_async(std::string_view key);
+  std::uint64_t retrieve_async(Bytes&& key);
   std::uint64_t remove_async(std::string_view key);
+  std::uint64_t remove_async(Bytes&& key);
   /// Harvests up to `max` finished commands into `out` (appended);
   /// returns how many were harvested. When nothing has finished yet the
   /// backend's queue is driven first, so a submit → poll loop always
@@ -127,6 +146,19 @@ class KvsDevice {
   /// batches (one ring lock per batch), not one callback at a time.
   std::size_t poll_completions(std::vector<KvsCompletion>* out,
                                std::size_t max = SIZE_MAX);
+  /// Non-blocking poll_completions: harvests whatever the backend has
+  /// already pushed into the ring, never driving the queue. On a sharded
+  /// backend poll_completions' drive is a cross-shard *barrier* — an
+  /// event loop that only wants "what's finished so far" (the serving
+  /// layer) must use this instead and rely on set_completion_notify.
+  std::size_t try_poll_completions(std::vector<KvsCompletion>* out,
+                                   std::size_t max = SIZE_MAX);
+  /// Registers a callback fired after each completion batch lands in the
+  /// ring — from a shard worker thread on a sharded backend, so it must
+  /// be thread-safe and cheap (an eventfd write, not work). Pass nullptr
+  /// to clear. The serving layer uses this to wake its epoll loop
+  /// instead of timer-polling the ring.
+  void set_completion_notify(std::function<void()> notify);
 
   // -- Durability / maintenance -----------------------------------------------
   /// Persists buffered data, index state and journal records.
@@ -181,6 +213,10 @@ class KvsDevice {
   /// worker threads (the ring locks per batch, not per op). Declared
   /// before the backends so it outlives their worker shutdown.
   BatchRing<KvsCompletion> ring_;
+  /// Post-push wakeup hook (serving layer). Swapped under a mutex so
+  /// install/clear races with in-flight sink batches stay defined.
+  std::mutex notify_mu_;
+  std::function<void()> notify_;
 
   std::unique_ptr<kvssd::KvssdDevice> dev_;
   std::unique_ptr<shard::ShardedKvssd> array_;

@@ -15,6 +15,7 @@ std::string_view to_string(Status s) noexcept {
     case Status::kIoError: return "IO_ERROR";
     case Status::kBusy: return "BUSY";
     case Status::kUnsupported: return "UNSUPPORTED";
+    case Status::kQueueFull: return "QUEUE_FULL";
   }
   return "UNKNOWN";
 }

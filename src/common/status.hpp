@@ -29,6 +29,7 @@ enum class Status : std::uint8_t {
   kIoError,             ///< flash-level failure (bad block, rule violation)
   kBusy,                ///< device is resizing / migrating and queueing halted
   kUnsupported,         ///< operation not supported by this configuration
+  kQueueFull,           ///< admission/quota rejection — transient, retry later
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).

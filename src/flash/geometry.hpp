@@ -34,9 +34,15 @@ struct Geometry {
            spare_divisor > 0 && page_size % spare_divisor == 0;
   }
 
-  /// Paper-default geometry scaled to a given capacity.
-  static constexpr Geometry with_capacity(std::uint64_t bytes) noexcept {
+  /// Paper-default geometry scaled to a given capacity. `pages_per_block`
+  /// overrides the paper's 256 when nonzero: small capacities need
+  /// proportionally smaller erase blocks so the device keeps enough
+  /// blocks (>= ~32) for GC to rotate — 256-page blocks on a 64 MiB
+  /// device leave 8 monolithic blocks and permanent GC thrash.
+  static constexpr Geometry with_capacity(
+      std::uint64_t bytes, std::uint32_t pages_per_block = 0) noexcept {
     Geometry g;
+    if (pages_per_block != 0) g.pages_per_block = pages_per_block;
     const std::uint64_t blocks = bytes / g.block_bytes();
     g.num_blocks = blocks == 0 ? 1 : static_cast<std::uint32_t>(blocks);
     return g;

@@ -184,7 +184,7 @@ class KvssdDevice : public api::IKvsBackend {
   /// workers call this while their submission ring is empty, and the
   /// device itself ticks it after every foreground op. Returns true when
   /// work was done (callers may keep pumping until false).
-  bool pump_background();
+  bool pump_background() override;
 
   /// Synchronously takes an index checkpoint (DESIGN.md §8). kUnsupported
   /// unless DeviceConfig::checkpoint.enabled; kBusy while the index is

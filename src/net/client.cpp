@@ -1,0 +1,215 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rhik::net {
+
+Status KvClient::connect(const std::string& host, std::uint16_t port) {
+  if (fd_ >= 0) return Status::kAlreadyExists;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::kIoError;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::kIoError;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Status::kOk;
+}
+
+void KvClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+  stash_.clear();
+  decoder_ = ResponseDecoder(opts_.limits);
+}
+
+Status KvClient::send_all(const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t s = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (s < 0) {
+      if (errno == EINTR) continue;
+      return Status::kIoError;
+    }
+    off += static_cast<std::size_t>(s);
+  }
+  return Status::kOk;
+}
+
+std::uint64_t KvClient::encode_pending(Opcode op, std::string_view key,
+                                       std::string_view value,
+                                       std::uint32_t limit) {
+  RequestFrame f;
+  f.opcode = op;
+  f.tenant_id = opts_.tenant_id;
+  f.request_id = next_id_++;
+  f.limit = limit;
+  f.key.assign(key.begin(), key.end());
+  f.value.assign(value.begin(), value.end());
+  encode_request(f, &pending_);
+  return f.request_id;
+}
+
+std::uint64_t KvClient::submit_put(std::string_view key,
+                                   std::string_view value) {
+  return encode_pending(Opcode::kPut, key, value, 0);
+}
+
+std::uint64_t KvClient::submit_get(std::string_view key) {
+  return encode_pending(Opcode::kGet, key, {}, 0);
+}
+
+std::uint64_t KvClient::submit_del(std::string_view key) {
+  return encode_pending(Opcode::kDel, key, {}, 0);
+}
+
+Status KvClient::flush() {
+  if (fd_ < 0) return Status::kIoError;
+  if (pending_.empty()) return Status::kOk;
+  const Status s = send_all(pending_.data(), pending_.size());
+  pending_.clear();
+  return s;
+}
+
+Status KvClient::recv_response(ResponseFrame* out) {
+  if (!stash_.empty()) {
+    auto it = stash_.begin();
+    *out = std::move(it->second);
+    stash_.erase(it);
+    return Status::kOk;
+  }
+  if (fd_ < 0) return Status::kIoError;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const DecodeStatus ds = decoder_.next(out);
+    if (ds == DecodeStatus::kFrame) return Status::kOk;
+    if (ds != DecodeStatus::kNeedMore) return Status::kCorruption;
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      decoder_.feed(ByteSpan(buf, static_cast<std::size_t>(r)));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Status::kIoError;  // EOF or socket error
+  }
+}
+
+Status KvClient::wait_for(std::uint64_t request_id, ResponseFrame* out) {
+  auto it = stash_.find(request_id);
+  if (it != stash_.end()) {
+    *out = std::move(it->second);
+    stash_.erase(it);
+    return Status::kOk;
+  }
+  for (;;) {
+    ResponseFrame f;
+    // Bypass the arrival-order stash drain: we want one specific id.
+    if (!stash_.empty()) {
+      auto hit = stash_.find(request_id);
+      if (hit != stash_.end()) {
+        *out = std::move(hit->second);
+        stash_.erase(hit);
+        return Status::kOk;
+      }
+    }
+    std::uint8_t buf[64 * 1024];
+    const DecodeStatus ds = decoder_.next(&f);
+    if (ds == DecodeStatus::kFrame) {
+      if (f.request_id == request_id) {
+        *out = std::move(f);
+        return Status::kOk;
+      }
+      stash_.emplace(f.request_id, std::move(f));
+      continue;
+    }
+    if (ds != DecodeStatus::kNeedMore) return Status::kCorruption;
+    if (fd_ < 0) return Status::kIoError;
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      decoder_.feed(ByteSpan(buf, static_cast<std::size_t>(r)));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Status::kIoError;
+  }
+}
+
+Status KvClient::round_trip(Opcode op, std::string_view key,
+                            std::string_view value, std::uint32_t limit,
+                            ResponseFrame* out) {
+  const std::uint64_t id = encode_pending(op, key, value, limit);
+  Status s = flush();
+  if (s != Status::kOk) return s;
+  return wait_for(id, out);
+}
+
+api::KvsResult KvClient::put(std::string_view key, std::string_view value) {
+  ResponseFrame f;
+  if (round_trip(Opcode::kPut, key, value, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::get(std::string_view key, Bytes* value_out) {
+  ResponseFrame f;
+  if (round_trip(Opcode::kGet, key, {}, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  if (f.status == api::KvsResult::KVS_SUCCESS && value_out != nullptr) {
+    *value_out = std::move(f.value);
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::del(std::string_view key) {
+  ResponseFrame f;
+  if (round_trip(Opcode::kDel, key, {}, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::iterate(std::string_view prefix, std::uint32_t limit,
+                                 std::vector<std::string>* keys_out) {
+  ResponseFrame f;
+  if (round_trip(Opcode::kIter, prefix, {}, limit, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  if (f.status != api::KvsResult::KVS_SUCCESS) return f.status;
+  if (keys_out != nullptr &&
+      !decode_key_list(ByteSpan(f.value), f.extra, keys_out)) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::status_json(std::string* json_out) {
+  ResponseFrame f;
+  if (round_trip(Opcode::kStatus, {}, {}, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  if (f.status == api::KvsResult::KVS_SUCCESS && json_out != nullptr) {
+    json_out->assign(f.value.begin(), f.value.end());
+  }
+  return f.status;
+}
+
+}  // namespace rhik::net

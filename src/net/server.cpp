@@ -1,0 +1,704 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace rhik::net {
+
+namespace {
+
+/// epoll user-data tags below the first connection id.
+constexpr std::uint64_t kTagListen = 0;
+constexpr std::uint64_t kTagEvent = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+/// The emulated device's key ceiling (kvssd::DeviceConfig::max_key_size
+/// default); the tenant prefix rides inside it.
+constexpr std::size_t kDeviceMaxKey = 255;
+
+std::string_view as_sv(const Bytes& b) noexcept {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace
+
+std::uint64_t KvServer::wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+KvServer::KvServer(api::KvsDevice& dev, ServerConfig cfg)
+    : dev_(dev),
+      cfg_(std::move(cfg)),
+      serialize_backend_(!dev.sharded()),
+      tenants_(metrics_) {
+  next_conn_id_.store(kFirstConnId);
+  m_accepted_ = &metrics_.counter("net.accepted");
+  m_closed_ = &metrics_.counter("net.closed");
+  m_rx_bytes_ = &metrics_.counter("net.rx_bytes");
+  m_tx_bytes_ = &metrics_.counter("net.tx_bytes");
+  m_requests_ = &metrics_.counter("net.requests");
+  m_responses_ = &metrics_.counter("net.responses");
+  m_throttled_ = &metrics_.counter("net.throttled");
+  m_admission_rejects_ = &metrics_.counter("net.admission_rejects");
+  m_decode_errors_ = &metrics_.counter("net.decode_errors");
+  m_orphaned_ = &metrics_.counter("net.orphaned_completions");
+  m_idle_pumps_ = &metrics_.counter("net.idle_pumps");
+  m_recv_calls_ = &metrics_.counter("net.recv_calls");
+  m_send_calls_ = &metrics_.counter("net.send_calls");
+  m_loop_iters_ = &metrics_.counter("net.loop_iters");
+  m_harvest_batches_ = &metrics_.counter("net.harvest_batches");
+  m_connections_ = &metrics_.gauge("net.connections");
+  m_inflight_ = &metrics_.gauge("net.inflight");
+}
+
+KvServer::~KvServer() { stop(); }
+
+Status KvServer::start() {
+  if (running_.load()) return Status::kAlreadyExists;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::kIoError;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 1024) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::kIoError;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg_.num_workers);
+  workers_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epfd < 0 || w->event_fd < 0) {
+      if (w->epfd >= 0) ::close(w->epfd);
+      if (w->event_fd >= 0) ::close(w->event_fd);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      workers_.clear();
+      return Status::kIoError;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagEvent;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->event_fd, &ev);
+    if (i == 0) {
+      epoll_event lv{};
+      lv.events = EPOLLIN;
+      lv.data.u64 = kTagListen;
+      ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, listen_fd_, &lv);
+    }
+    workers_.push_back(std::move(w));
+  }
+  draining_.store(false);
+  running_.store(true);
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, wp = w.get()] { worker_main(*wp); });
+  }
+  // Completion batches land on the ring from shard worker threads; an
+  // eventfd kick per batch replaces timer-polling the ring. (On a
+  // non-sharded device completions only appear when a worker drives the
+  // queue itself, so the self-wake is harmless.)
+  dev_.set_completion_notify([this] {
+    for (auto& w : workers_) wake(*w);
+  });
+  return Status::kOk;
+}
+
+void KvServer::stop() {
+  if (workers_.empty()) return;
+  draining_.store(true);
+  running_.store(false);
+  for (auto& w : workers_) wake(*w);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Straggler completions (commands orphaned past the drain deadline)
+  // may still fire the notify from shard workers: detach it before the
+  // eventfds it writes to are closed.
+  dev_.set_completion_notify(nullptr);
+  for (auto& w : workers_) {
+    ::close(w->event_fd);
+    ::close(w->epfd);
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Anything still registered here belonged to connections whose workers
+  // force-closed at the drain deadline.
+  std::lock_guard lk(pending_mu_);
+  pending_.clear();
+  stray_.clear();
+  inflight_total_.store(0);
+  draining_.store(false);
+}
+
+void KvServer::wake(Worker& w) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(w.event_fd, &one, sizeof one);
+}
+
+bool KvServer::fully_drained() {
+  std::lock_guard lk(pending_mu_);
+  return pending_.empty() && stray_.empty();
+}
+
+void KvServer::worker_main(Worker& w) {
+  std::vector<epoll_event> events(512);
+  std::uint64_t drain_deadline_ns = 0;
+  bool pumping = false;
+  for (;;) {
+    const bool stopping = draining_.load(std::memory_order_relaxed);
+    int timeout = cfg_.idle_timeout_ms;
+    if (stopping) {
+      timeout = 1;
+    } else if (pumping ||
+               (serialize_backend_ &&
+                inflight_total_.load(std::memory_order_relaxed) > 0)) {
+      // A non-sharded device completes work only when this loop drives
+      // it, so keep driving. A sharded backend's completion batches
+      // arrive via the eventfd notify — block normally.
+      timeout = 0;
+    }
+    const int n = ::epoll_wait(w.epfd, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    m_loop_iters_->inc();
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      if (ev.data.u64 == kTagListen) {
+        accept_ready(w);
+        continue;
+      }
+      if (ev.data.u64 == kTagEvent) {
+        std::uint64_t buf;
+        while (::read(w.event_fd, &buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      auto it = w.conns.find(ev.data.u64);
+      if (it == w.conns.end()) continue;  // closed earlier this batch
+      Conn& c = *it->second;
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        close_conn(w, c);
+        continue;
+      }
+      if ((ev.events & EPOLLIN) && !c.read_closed) {
+        read_ready(w, c);
+        // read_ready may close the connection; re-check before EPOLLOUT.
+        if (w.conns.find(ev.data.u64) == w.conns.end()) continue;
+      }
+      if (ev.events & EPOLLOUT) write_ready(w, c);
+    }
+
+    // Adopt handed-off connections and apply routed responses.
+    {
+      std::vector<int> handoff;
+      {
+        std::lock_guard lk(w.inbox_mu);
+        handoff.swap(w.handoff);
+      }
+      for (const int fd : handoff) adopt_conn(w, fd);
+    }
+    drain_inbox(w);
+
+    const std::size_t done = harvest_completions(w);
+
+    if (stopping) {
+      const std::uint64_t now = wall_now_ns();
+      if (drain_deadline_ns == 0) {
+        drain_deadline_ns =
+            now + static_cast<std::uint64_t>(cfg_.drain_timeout_ms) * 1'000'000;
+        // No further requests: stop reading everywhere, keep writing.
+        for (auto& [id, conn] : w.conns) {
+          conn->read_closed = true;
+          update_write_interest(w, *conn);
+        }
+      }
+      bool flushed = true;
+      for (auto& [id, conn] : w.conns) {
+        if (conn->out_pos < conn->out.size()) flushed = false;
+      }
+      bool inbox_empty;
+      {
+        std::lock_guard lk(w.inbox_mu);
+        inbox_empty = w.inbox.empty() && w.handoff.empty();
+      }
+      if ((fully_drained() && flushed && inbox_empty) ||
+          now > drain_deadline_ns) {
+        break;
+      }
+      continue;
+    }
+
+    // Fully idle: let the backend make background progress (GC quanta,
+    // incremental index migration). A sharded array reports false here —
+    // its own workers pump whenever their rings go idle.
+    if (n == 0 && done == 0 &&
+        inflight_total_.load(std::memory_order_relaxed) == 0) {
+      bool worked;
+      if (serialize_backend_) {
+        std::lock_guard lk(backend_mu_);
+        worked = dev_.backend().pump_background();
+      } else {
+        worked = dev_.backend().pump_background();
+      }
+      if (worked) m_idle_pumps_->inc();
+      pumping = worked;
+    } else {
+      pumping = false;
+    }
+  }
+  // Worker teardown: close whatever is left (drained or past deadline).
+  for (auto& [id, conn] : w.conns) {
+    ::close(conn->fd);
+    m_closed_->inc();
+    m_connections_->add(-1);
+  }
+  w.conns.clear();
+}
+
+void KvServer::accept_ready(Worker& w) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: back to epoll
+    if (draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::uint32_t target =
+        next_accept_worker_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<std::uint32_t>(workers_.size());
+    if (target == w.index) {
+      adopt_conn(w, fd);
+    } else {
+      Worker& t = *workers_[target];
+      {
+        std::lock_guard lk(t.inbox_mu);
+        t.handoff.push_back(fd);
+      }
+      wake(t);
+    }
+  }
+}
+
+void KvServer::adopt_conn(Worker& w, int fd) {
+  auto c = std::make_unique<Conn>(cfg_.limits);
+  c->fd = fd;
+  c->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = c->id;
+  if (::epoll_ctl(w.epfd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  m_accepted_->inc();
+  m_connections_->add(1);
+  w.conns.emplace(c->id, std::move(c));
+}
+
+void KvServer::close_conn(Worker& w, Conn& c) {
+  // Pending completions for this connection stay registered; whoever
+  // harvests them finds the connection gone and reaps them as orphans —
+  // reaped exactly once, delivered zero times.
+  ::epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  m_closed_->inc();
+  m_connections_->add(-1);
+  w.conns.erase(c.id);  // destroys c — callers must not touch it again
+}
+
+void KvServer::update_write_interest(Worker& w, Conn& c) {
+  const bool want_write = c.out_pos < c.out.size();
+  if (want_write == c.want_write && !c.read_closed) return;
+  c.want_write = want_write;
+  epoll_event ev{};
+  ev.events = (c.read_closed ? 0u : static_cast<unsigned>(EPOLLIN)) |
+              (want_write ? static_cast<unsigned>(EPOLLOUT) : 0u);
+  ev.data.u64 = c.id;
+  ::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void KvServer::read_ready(Worker& w, Conn& c) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+    m_recv_calls_->inc();
+    if (r > 0) {
+      m_rx_bytes_->inc(static_cast<std::uint64_t>(r));
+      c.decoder.feed(ByteSpan(buf, static_cast<std::size_t>(r)));
+      RequestFrame f;
+      for (;;) {
+        const DecodeStatus ds = c.decoder.next(&f);
+        if (ds == DecodeStatus::kFrame) {
+          handle_request(w, c, std::move(f));
+          if (w.conns.find(c.id) == w.conns.end()) return;  // closed
+          continue;
+        }
+        if (ds == DecodeStatus::kNeedMore) break;
+        // Framing is untrusted from here on: answer with a best-effort
+        // error frame, then close.
+        m_decode_errors_->inc();
+        ResponseFrame err;
+        err.opcode = Opcode::kStatus;
+        err.status = api::KvsResult::KVS_ERR_SYS_IO;
+        Bytes enc;
+        encode_response(err, &enc);
+        [[maybe_unused]] const ssize_t sent =
+            ::send(c.fd, enc.data(), enc.size(), MSG_NOSIGNAL);
+        close_conn(w, c);
+        return;
+      }
+      if (r < static_cast<ssize_t>(sizeof buf)) return;  // drained socket
+      continue;
+    }
+    if (r == 0) {
+      // Peer finished sending. Keep the connection until every pipelined
+      // response has been delivered (write side still open).
+      c.read_closed = true;
+      update_write_interest(w, c);
+      if (c.inflight == 0 && c.out_pos >= c.out.size()) close_conn(w, c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(w, c);
+    return;
+  }
+}
+
+void KvServer::write_ready(Worker& w, Conn& c) {
+  flush_out(w, c);
+}
+
+void KvServer::flush_out(Worker& w, Conn& c) {
+  while (c.out_pos < c.out.size()) {
+    const ssize_t s = ::send(c.fd, c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    m_send_calls_->inc();
+    if (s > 0) {
+      m_tx_bytes_->inc(static_cast<std::uint64_t>(s));
+      c.out_pos += static_cast<std::size_t>(s);
+      continue;
+    }
+    if (s < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      update_write_interest(w, c);
+      return;
+    }
+    if (s < 0 && errno == EINTR) continue;
+    close_conn(w, c);  // EPIPE / ECONNRESET: peer died
+    return;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  update_write_interest(w, c);
+  if (c.read_closed && c.inflight == 0) close_conn(w, c);
+}
+
+void KvServer::enqueue_response(Conn& c, const ResponseFrame& resp) {
+  encode_response(resp, &c.out);
+  m_responses_->inc();
+}
+
+void KvServer::send_response(Worker& w, Conn& c, const ResponseFrame& resp) {
+  enqueue_response(c, resp);
+  flush_out(w, c);
+}
+
+void KvServer::flush_touched(Worker& w, std::vector<std::uint64_t>& touched) {
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint64_t id : touched) {
+    auto it = w.conns.find(id);
+    if (it != w.conns.end()) flush_out(w, *it->second);
+  }
+}
+
+void KvServer::respond_now(Worker& w, Conn& c, const RequestFrame& f,
+                           api::KvsResult result, Bytes&& value,
+                           std::uint32_t extra) {
+  ResponseFrame resp;
+  resp.opcode = f.opcode;
+  resp.status = result;
+  resp.request_id = f.request_id;
+  resp.extra = extra;
+  resp.value = std::move(value);
+  send_response(w, c, resp);
+}
+
+void KvServer::handle_request(Worker& w, Conn& c, RequestFrame&& f) {
+  m_requests_->inc();
+  const std::uint64_t now = wall_now_ns();
+
+  Tenant* tenant;
+  if (cfg_.allow_unknown_tenants) {
+    tenant = &tenants_.find_or_default(f.tenant_id, now);
+  } else {
+    tenant = tenants_.find(f.tenant_id);
+    if (tenant == nullptr) {
+      respond_now(w, c, f, api::KvsResult::KVS_ERR_OPTION_INVALID);
+      return;
+    }
+  }
+
+  if (f.opcode == Opcode::kStatus) {
+    // Monitoring stays exempt from quotas so a throttled tenant can
+    // still observe its own throttling.
+    const std::string json = metrics_snapshot().to_json();
+    respond_now(w, c, f, api::KvsResult::KVS_SUCCESS,
+                Bytes(json.begin(), json.end()));
+    return;
+  }
+
+  // Per-tenant quota, then the global and per-connection admission
+  // caps. All three answer with the retryable KVS_ERR_QUEUE_FULL —
+  // an over-limit request is never silently dropped.
+  if (!tenant->bucket.try_take(now)) {
+    tenant->throttled->inc();
+    m_throttled_->inc();
+    respond_now(w, c, f, api::KvsResult::KVS_ERR_QUEUE_FULL);
+    return;
+  }
+
+  if (f.opcode == Opcode::kIter) {
+    const std::size_t limit =
+        std::min<std::size_t>(f.limit == 0 ? cfg_.max_iter_keys : f.limit,
+                              cfg_.max_iter_keys);
+    const Bytes prefix = namespaced_key(tenant->id, f.key);
+    std::vector<std::string> keys;
+    api::KvsResult r;
+    if (serialize_backend_) {
+      std::lock_guard lk(backend_mu_);
+      r = dev_.iterate(as_sv(prefix), &keys);
+    } else {
+      r = dev_.iterate(as_sv(prefix), &keys);
+    }
+    Bytes payload;
+    std::uint32_t count = 0;
+    if (r == api::KvsResult::KVS_SUCCESS) {
+      if (keys.size() > limit) keys.resize(limit);
+      for (auto& k : keys) k.erase(0, kTenantPrefixLen);
+      encode_key_list(keys, &payload);
+      count = static_cast<std::uint32_t>(keys.size());
+      std::uint64_t bytes_out = payload.size();
+      tenant->ops->inc();
+      tenant->bytes->inc(f.key.size() + bytes_out);
+      tenant->latency->record(wall_now_ns() - now);
+    }
+    respond_now(w, c, f, r, std::move(payload), count);
+    return;
+  }
+
+  // PUT / GET / DEL: the async path.
+  if (f.key.empty() ||
+      f.key.size() + kTenantPrefixLen > kDeviceMaxKey) {
+    respond_now(w, c, f, api::KvsResult::KVS_ERR_KEY_LENGTH_INVALID);
+    return;
+  }
+  if (inflight_total_.load(std::memory_order_relaxed) >=
+          cfg_.max_global_inflight ||
+      c.inflight >= cfg_.max_conn_inflight) {
+    m_admission_rejects_->inc();
+    respond_now(w, c, f, api::KvsResult::KVS_ERR_QUEUE_FULL);
+    return;
+  }
+
+  Bytes nk = namespaced_key(tenant->id, f.key);
+  Pending p;
+  p.worker = w.index;
+  p.conn_id = c.id;
+  p.request_id = f.request_id;
+  p.opcode = f.opcode;
+  p.tenant = tenant->id;
+  p.t0_ns = now;
+  p.req_bytes = f.key.size() + f.value.size();
+
+  std::uint64_t id;
+  {
+    std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+    if (serialize_backend_) lk.lock();
+    switch (f.opcode) {
+      case Opcode::kPut:
+        id = dev_.store_async(std::move(nk), std::move(f.value));
+        break;
+      case Opcode::kGet:
+        id = dev_.retrieve_async(std::move(nk));
+        break;
+      default:
+        id = dev_.remove_async(std::move(nk));
+        break;
+    }
+  }
+  c.inflight++;
+  inflight_total_.fetch_add(1, std::memory_order_relaxed);
+  m_inflight_->add(1);
+
+  // Register the pending entry — unless another worker already
+  // harvested this command's completion (it parked it in stray_).
+  bool routed = false;
+  api::KvsCompletion early;
+  {
+    std::lock_guard lk(pending_mu_);
+    auto sit = stray_.find(id);
+    if (sit != stray_.end()) {
+      early = std::move(sit->second);
+      stray_.erase(sit);
+      routed = true;
+    } else {
+      pending_.emplace(id, p);
+    }
+  }
+  if (routed) {
+    std::vector<std::uint64_t> touched;
+    route_completion(w, p, std::move(early), &touched);
+    flush_touched(w, touched);
+    inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+    m_inflight_->add(-1);
+  }
+}
+
+std::size_t KvServer::harvest_completions(Worker& w) {
+  if (inflight_total_.load(std::memory_order_relaxed) == 0) return 0;
+  std::vector<api::KvsCompletion> comps;
+  if (serialize_backend_) {
+    // Single-threaded device: poll_completions drives its queue inline
+    // (cheap, synchronous) — this loop IS the device's engine.
+    std::lock_guard lk(backend_mu_);
+    dev_.poll_completions(&comps);
+  } else {
+    // Sharded: poll_completions' queue drive is a cross-shard barrier
+    // that would park this event loop mid-pipeline. Harvest only what
+    // the shard workers already pushed; the notify eventfd guarantees
+    // we run again when more lands.
+    dev_.try_poll_completions(&comps);
+  }
+  std::vector<std::uint64_t> touched;
+  for (api::KvsCompletion& comp : comps) {
+    bool found = false;
+    Pending p;
+    {
+      std::lock_guard lk(pending_mu_);
+      auto it = pending_.find(comp.id);
+      if (it == pending_.end()) {
+        // Submit/harvest race: the submitter has not registered yet.
+        // Park the completion; handle_request matches it on insert.
+        stray_.emplace(comp.id, std::move(comp));
+        continue;
+      }
+      p = it->second;
+      found = true;
+    }
+    if (!found) continue;
+    // Route BEFORE erasing the pending entry: a draining worker treats
+    // "pending empty + inbox empty" as termination, so a message must
+    // never be in flight to an inbox while the map looks empty.
+    route_completion(w, p, std::move(comp), &touched);
+    {
+      std::lock_guard lk(pending_mu_);
+      pending_.erase(comp.id);
+    }
+    inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+    m_inflight_->add(-1);
+  }
+  if (!comps.empty()) m_harvest_batches_->inc();
+  flush_touched(w, touched);
+  return comps.size();
+}
+
+void KvServer::route_completion(Worker& w, const Pending& p,
+                                api::KvsCompletion&& comp,
+                                std::vector<std::uint64_t>* touched) {
+  // Tenant accounting happens at completion (the command actually ran).
+  if (Tenant* t = tenants_.find(p.tenant)) {
+    t->ops->inc();
+    t->bytes->inc(p.req_bytes + comp.value.size());
+    t->latency->record(wall_now_ns() - p.t0_ns);
+  }
+
+  ResponseFrame resp;
+  resp.opcode = p.opcode;
+  resp.status = comp.result;
+  resp.request_id = p.request_id;
+  if (p.opcode == Opcode::kGet && comp.result == api::KvsResult::KVS_SUCCESS) {
+    resp.value = std::move(comp.value);
+  }
+
+  if (p.worker == w.index) {
+    auto it = w.conns.find(p.conn_id);
+    if (it == w.conns.end()) {
+      m_orphaned_->inc();
+      return;
+    }
+    Conn& c = *it->second;
+    if (c.inflight > 0) c.inflight--;
+    enqueue_response(c, resp);
+    touched->push_back(c.id);
+    return;
+  }
+  Worker& owner = *workers_[p.worker];
+  OutMsg m;
+  m.conn_id = p.conn_id;
+  encode_response(resp, &m.data);
+  {
+    std::lock_guard lk(owner.inbox_mu);
+    owner.inbox.push_back(std::move(m));
+  }
+  wake(owner);
+}
+
+void KvServer::drain_inbox(Worker& w) {
+  std::vector<OutMsg> msgs;
+  {
+    std::lock_guard lk(w.inbox_mu);
+    msgs.swap(w.inbox);
+  }
+  std::vector<std::uint64_t> touched;
+  for (OutMsg& m : msgs) apply_out_msg(w, std::move(m), &touched);
+  flush_touched(w, touched);
+}
+
+void KvServer::apply_out_msg(Worker& w, OutMsg&& m,
+                             std::vector<std::uint64_t>* touched) {
+  auto it = w.conns.find(m.conn_id);
+  if (it == w.conns.end()) {
+    m_orphaned_->inc();
+    return;
+  }
+  Conn& c = *it->second;
+  if (c.inflight > 0) c.inflight--;
+  c.out.insert(c.out.end(), m.data.begin(), m.data.end());
+  m_responses_->inc();
+  touched->push_back(c.id);
+}
+
+}  // namespace rhik::net

@@ -1,0 +1,236 @@
+// net::KvServer — the networked multi-tenant serving layer
+// (DESIGN.md §12).
+//
+// A non-blocking epoll TCP front-end over one `api::KvsDevice`. Each of
+// M worker threads owns an epoll instance and a disjoint subset of the
+// client connections (accepted round-robin); a worker's loop
+//
+//   1. drains its epoll: accepts, reads (decode → admission → dispatch
+//      through the async verb set), writes back-pressured buffers;
+//   2. harvests the device's batched completion ring
+//      (api::KvsDevice::poll_completions) and routes each completion to
+//      the connection that issued it — directly when this worker owns
+//      it, via the owning worker's inbox (eventfd-signalled) otherwise;
+//   3. when fully idle, pumps backend background maintenance
+//      (IKvsBackend::pump_background) so GC quanta and incremental
+//      index migrations keep progressing on a single-device backend
+//      with no other thread (a sharded array's own workers already
+//      pump in their ring-idle windows).
+//
+// No thread is ever parked per request: requests pipeline freely per
+// connection, and a response goes out whenever the device completes the
+// command — out-of-order responses are the contract (clients match by
+// request id).
+//
+// Admission control is two-layer and never silent: a global in-flight
+// cap plus a per-connection pipeline cap answer with the retryable
+// KVS_ERR_QUEUE_FULL, and per-tenant token buckets (net/tenant.hpp) do
+// the same for quota overruns. Every accepted request is answered
+// exactly once; completions whose connection died are reaped and
+// counted (net.orphaned_completions), never delivered twice.
+//
+// Server metrics (MetricsRegistry, exported via metrics_snapshot):
+//   net.accepted / net.closed / net.connections (gauge)
+//   net.rx_bytes / net.tx_bytes
+//   net.requests / net.responses / net.inflight (gauge)
+//   net.throttled / net.admission_rejects / net.decode_errors
+//   net.orphaned_completions / net.idle_pumps
+//   net.recv_calls / net.send_calls / net.loop_iters /
+//   net.harvest_batches (syscall- and batching-efficiency ratios:
+//   requests/recv_calls, responses/send_calls, responses/harvest_batches)
+//   net.tenant.<id>.{ops,bytes,throttled,latency_ns}
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/kvs.hpp"
+#include "net/protocol.hpp"
+#include "net/tenant.hpp"
+#include "obs/metrics.hpp"
+
+namespace rhik::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  std::uint32_t num_workers = 1;
+  /// Global admission cap: async commands in flight across the whole
+  /// server. Above it, requests are answered KVS_ERR_QUEUE_FULL.
+  std::size_t max_global_inflight = 16384;
+  /// Per-connection pipeline cap (same retryable rejection).
+  std::size_t max_conn_inflight = 4096;
+  /// Ceiling on keys in one kIter response.
+  std::size_t max_iter_keys = 65536;
+  /// Unknown tenant ids get an unlimited namespace on first sight when
+  /// true; otherwise they are answered KVS_ERR_OPTION_INVALID.
+  bool allow_unknown_tenants = true;
+  WireLimits limits{};
+  /// epoll timeout while fully idle (nothing in flight, no background
+  /// work). Bounds stop() latency; idle CPU is ~zero either way.
+  int idle_timeout_ms = 20;
+  /// Graceful-stop bound: after this long stop() force-closes whatever
+  /// is still in flight instead of waiting forever.
+  int drain_timeout_ms = 10000;
+};
+
+class KvServer {
+ public:
+  /// The server dispatches into `dev` via the async verb set. For a
+  /// non-sharded device (no internal threading) every backend call is
+  /// serialized behind an internal mutex; a sharded backend's verbs are
+  /// thread-safe already and workers run them concurrently.
+  KvServer(api::KvsDevice& dev, ServerConfig cfg = {});
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Binds, listens and spawns the workers. kIoError on socket failure.
+  Status start();
+  /// Graceful shutdown: stops accepting and reading, keeps harvesting
+  /// completions until every in-flight command has been answered and
+  /// every response buffer flushed (bounded by drain_timeout_ms), then
+  /// closes all sockets and joins the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  /// Bound port (after start(); the ephemeral port when cfg.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] TenantTable& tenants() noexcept { return tenants_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Snapshot of the server-side registry (net.* metrics). Device-side
+  /// metrics stay on dev.metrics_snapshot() — merging implies a
+  /// cross-shard barrier the serving layer should not hide.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+
+  /// Wall-clock monotonic ns (the serving layer's time domain).
+  [[nodiscard]] static std::uint64_t wall_now_ns() noexcept;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    RequestDecoder decoder;
+    Bytes out;                 ///< encoded responses awaiting write
+    std::size_t out_pos = 0;   ///< already-written prefix of `out`
+    std::size_t inflight = 0;  ///< async commands not yet answered
+    bool want_write = false;   ///< EPOLLOUT armed
+    bool read_closed = false;  ///< peer EOF or stop(): no more requests
+    explicit Conn(WireLimits limits) : decoder(limits) {}
+  };
+
+  struct OutMsg {
+    std::uint64_t conn_id = 0;
+    Bytes data;  ///< encoded response frame
+  };
+
+  struct Worker {
+    std::uint32_t index = 0;
+    int epfd = -1;
+    int event_fd = -1;  ///< stop/inbox/handoff wakeup
+    std::thread thread;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+    std::mutex inbox_mu;
+    std::vector<OutMsg> inbox;    ///< responses routed from other workers
+    std::vector<int> handoff;     ///< accepted fds to adopt
+  };
+
+  /// One submitted-but-unanswered command.
+  struct Pending {
+    std::uint32_t worker = 0;
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    Opcode opcode = Opcode::kPut;
+    std::uint32_t tenant = 0;
+    std::uint64_t t0_ns = 0;       ///< dispatch wall time (latency metric)
+    std::uint64_t req_bytes = 0;   ///< key+value bytes in (tenant accounting)
+  };
+
+  void worker_main(Worker& w);
+  void accept_ready(Worker& w);
+  void adopt_conn(Worker& w, int fd);
+  void close_conn(Worker& w, Conn& c);
+  void read_ready(Worker& w, Conn& c);
+  void write_ready(Worker& w, Conn& c);
+  /// Encodes `resp` onto the connection and tries to flush.
+  void send_response(Worker& w, Conn& c, const ResponseFrame& resp);
+  /// Encode only — callers batching many responses flush the touched
+  /// connections once (one send syscall per harvest, not per response).
+  void enqueue_response(Conn& c, const ResponseFrame& resp);
+  void flush_out(Worker& w, Conn& c);
+  /// flush_out for each distinct id in `touched` that still exists.
+  void flush_touched(Worker& w, std::vector<std::uint64_t>& touched);
+  void update_write_interest(Worker& w, Conn& c);
+  void handle_request(Worker& w, Conn& c, RequestFrame&& f);
+  /// Immediate (non-device) answer: throttles, validation errors,
+  /// ITER/STATUS results.
+  void respond_now(Worker& w, Conn& c, const RequestFrame& f,
+                   api::KvsResult result, Bytes&& value = {},
+                   std::uint32_t extra = 0);
+  /// Harvests the completion ring and routes completions; returns how
+  /// many were handled.
+  std::size_t harvest_completions(Worker& w);
+  /// Routes one completion; own-worker deliveries are appended without
+  /// flushing and their conn id is pushed onto `touched`.
+  void route_completion(Worker& w, const Pending& p, api::KvsCompletion&& c,
+                        std::vector<std::uint64_t>* touched);
+  void drain_inbox(Worker& w);
+  void apply_out_msg(Worker& w, OutMsg&& m,
+                     std::vector<std::uint64_t>* touched);
+  void wake(Worker& w);
+  [[nodiscard]] bool fully_drained();
+
+  api::KvsDevice& dev_;
+  ServerConfig cfg_;
+  /// Serializes backend access for a non-sharded device (the emulated
+  /// device is single-threaded). Unused when dev_.sharded().
+  std::mutex backend_mu_;
+  const bool serialize_backend_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::uint32_t> next_accept_worker_{0};
+
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Completions harvested before the submitter registered its Pending
+  /// (poll from another worker can win that race); matched on insert.
+  std::unordered_map<std::uint64_t, api::KvsCompletion> stray_;
+  std::atomic<std::size_t> inflight_total_{0};
+
+  obs::MetricsRegistry metrics_;
+  TenantTable tenants_;
+  obs::Counter* m_accepted_;
+  obs::Counter* m_closed_;
+  obs::Counter* m_rx_bytes_;
+  obs::Counter* m_tx_bytes_;
+  obs::Counter* m_requests_;
+  obs::Counter* m_responses_;
+  obs::Counter* m_throttled_;
+  obs::Counter* m_admission_rejects_;
+  obs::Counter* m_decode_errors_;
+  obs::Counter* m_orphaned_;
+  obs::Counter* m_idle_pumps_;
+  obs::Counter* m_recv_calls_;
+  obs::Counter* m_send_calls_;
+  obs::Counter* m_loop_iters_;
+  obs::Counter* m_harvest_batches_;
+  obs::Gauge* m_connections_;
+  obs::Gauge* m_inflight_;
+};
+
+}  // namespace rhik::net

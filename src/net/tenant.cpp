@@ -1,0 +1,71 @@
+#include "net/tenant.hpp"
+
+#include <algorithm>
+
+namespace rhik::net {
+
+void TokenBucket::configure(std::uint64_t ops_per_sec, std::uint64_t burst,
+                            std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  rate_ = ops_per_sec;
+  const std::uint64_t b = burst != 0 ? burst : std::max<std::uint64_t>(ops_per_sec, 1);
+  cap_nano_ = b * kScale;
+  tokens_nano_ = cap_nano_;  // start full: a fresh tenant gets its burst
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_take(std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  if (rate_ == 0) return true;
+  if (now_ns > last_ns_) {
+    // rate_ tokens/s == rate_ nano-tokens/ns, so the refill is exact
+    // integer math at any rate.
+    const std::uint64_t refill = (now_ns - last_ns_) * rate_;
+    tokens_nano_ = std::min(cap_nano_, tokens_nano_ + refill);
+    last_ns_ = now_ns;
+  }
+  if (tokens_nano_ < kScale) return false;
+  tokens_nano_ -= kScale;
+  return true;
+}
+
+Tenant& TenantTable::configure(std::uint32_t id, TenantConfig cfg,
+                               std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) return create_locked(id, cfg, now_ns);
+  it->second->cfg = cfg;
+  it->second->bucket.configure(cfg.ops_per_sec, cfg.burst, now_ns);
+  return *it->second;
+}
+
+Tenant* TenantTable::find(std::uint32_t id) {
+  std::lock_guard lk(mu_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+Tenant& TenantTable::find_or_default(std::uint32_t id, std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return *it->second;
+  return create_locked(id, TenantConfig{}, now_ns);
+}
+
+Tenant& TenantTable::create_locked(std::uint32_t id, TenantConfig cfg,
+                                   std::uint64_t now_ns) {
+  auto t = std::make_unique<Tenant>();
+  t->id = id;
+  t->cfg = cfg;
+  t->bucket.configure(cfg.ops_per_sec, cfg.burst, now_ns);
+  const std::string base = "net.tenant." + std::to_string(id) + ".";
+  t->ops = &registry_.counter(base + "ops");
+  t->bytes = &registry_.counter(base + "bytes");
+  t->throttled = &registry_.counter(base + "throttled");
+  t->latency = &registry_.timer(base + "latency_ns");
+  auto [it, inserted] = tenants_.emplace(id, std::move(t));
+  (void)inserted;
+  return *it->second;
+}
+
+}  // namespace rhik::net

@@ -103,6 +103,13 @@ class ShardedKvssd : public api::IKvsBackend {
   void submit_get_tagged(std::uint64_t tag, Bytes key) override;
   void submit_del_tagged(std::uint64_t tag, Bytes key) override;
 
+  /// Idle-window maintenance is already owned by the shard workers —
+  /// each pumps its own device whenever its submission ring is empty
+  /// (see worker_loop), including under event-loop dispatch where the
+  /// serving layer never blocks in a worker. Nothing for an outside
+  /// caller to drive, so this reports "no work" unconditionally.
+  bool pump_background() override { return false; }
+
   /// Cross-shard barrier: waits until every command submitted before the
   /// call has completed on its shard. Returns how many commands
   /// completed since the previous barrier (approximate under concurrent

@@ -35,6 +35,7 @@ TEST(KvsApi, StatusMappingExhaustive) {
       {Status::kIoError, KvsResult::KVS_ERR_SYS_IO},
       {Status::kBusy, KvsResult::KVS_ERR_DEV_BUSY},
       {Status::kUnsupported, KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED},
+      {Status::kQueueFull, KvsResult::KVS_ERR_QUEUE_FULL},
   };
   for (const auto& row : kTable) {
     EXPECT_EQ(from_status(row.in), row.want)
@@ -54,6 +55,7 @@ TEST(KvsApi, ResultStringsExhaustive) {
       KvsResult::KVS_ERR_SYS_IO,
       KvsResult::KVS_ERR_OPTION_INVALID,
       KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED,
+      KvsResult::KVS_ERR_QUEUE_FULL,
   };
   std::set<std::string> seen;
   for (const KvsResult r : kAll) {
@@ -65,6 +67,8 @@ TEST(KvsApi, ResultStringsExhaustive) {
   EXPECT_STREQ(to_string(KvsResult::KVS_SUCCESS), "KVS_SUCCESS");
   EXPECT_STREQ(to_string(KvsResult::KVS_ERR_KEY_NOT_EXIST),
                "KVS_ERR_KEY_NOT_EXIST");
+  EXPECT_STREQ(to_string(KvsResult::KVS_ERR_QUEUE_FULL),
+               "KVS_ERR_QUEUE_FULL");
 }
 
 TEST(KvsApi, StoreRetrieveRemove) {
@@ -154,6 +158,32 @@ TEST(KvsApi, ShardedIterateMergesShards) {
   for (const auto& k : keys) EXPECT_EQ(k.substr(0, 5), "sess:");
   // Deterministic order: the merged result is sorted.
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(KvsApi, IterateOrderDeterministicAcrossShardCounts) {
+  // iterate() promises the same sorted key order no matter how the
+  // keyspace is partitioned — a single device must not leak its hash
+  // order where a 2- or 4-shard array would return sorted output.
+  std::vector<std::vector<std::string>> per_config;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    KvsDeviceOptions opts = small_opts();
+    opts.capacity_bytes = 1ull << 30;
+    opts.enable_iterator = true;
+    opts.num_shards = shards;
+    KvsDevice dev(opts);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(dev.store("ord:" + std::to_string(i), "v"),
+                KvsResult::KVS_SUCCESS);
+    }
+    std::vector<std::string> keys;
+    ASSERT_EQ(dev.iterate("ord:", &keys), KvsResult::KVS_SUCCESS);
+    ASSERT_EQ(keys.size(), 64u) << shards << " shards";
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()))
+        << shards << " shards";
+    per_config.push_back(std::move(keys));
+  }
+  EXPECT_EQ(per_config[0], per_config[1]);
+  EXPECT_EQ(per_config[0], per_config[2]);
 }
 
 TEST(KvsApi, AsyncStoreRetrievePoll) {
