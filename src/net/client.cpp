@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 namespace rhik::net {
@@ -53,9 +54,23 @@ Status KvClient::send_all(const std::uint8_t* data, std::size_t n) {
   return Status::kOk;
 }
 
+api::KvsResult KvClient::validate_frame(std::string_view key,
+                                        std::string_view value) const noexcept {
+  if (key.size() > opts_.limits.max_key_len ||
+      key.size() > std::numeric_limits<std::uint16_t>::max()) {
+    return api::KvsResult::KVS_ERR_KEY_LENGTH_INVALID;
+  }
+  if (value.size() > opts_.limits.max_value_len ||
+      value.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return api::KvsResult::KVS_ERR_VALUE_LENGTH_INVALID;
+  }
+  return api::KvsResult::KVS_SUCCESS;
+}
+
 std::uint64_t KvClient::encode_pending(Opcode op, std::string_view key,
                                        std::string_view value,
                                        std::uint32_t limit) {
+  if (validate_frame(key, value) != api::KvsResult::KVS_SUCCESS) return 0;
   RequestFrame f;
   f.opcode = op;
   f.tenant_id = opts_.tenant_id;
@@ -155,12 +170,17 @@ Status KvClient::round_trip(Opcode op, std::string_view key,
                             std::string_view value, std::uint32_t limit,
                             ResponseFrame* out) {
   const std::uint64_t id = encode_pending(op, key, value, limit);
+  if (id == 0) return Status::kInvalidArgument;
   Status s = flush();
   if (s != Status::kOk) return s;
   return wait_for(id, out);
 }
 
 api::KvsResult KvClient::put(std::string_view key, std::string_view value) {
+  if (const auto v = validate_frame(key, value);
+      v != api::KvsResult::KVS_SUCCESS) {
+    return v;
+  }
   ResponseFrame f;
   if (round_trip(Opcode::kPut, key, value, 0, &f) != Status::kOk) {
     return api::KvsResult::KVS_ERR_SYS_IO;
@@ -169,6 +189,10 @@ api::KvsResult KvClient::put(std::string_view key, std::string_view value) {
 }
 
 api::KvsResult KvClient::get(std::string_view key, Bytes* value_out) {
+  if (const auto v = validate_frame(key, {});
+      v != api::KvsResult::KVS_SUCCESS) {
+    return v;
+  }
   ResponseFrame f;
   if (round_trip(Opcode::kGet, key, {}, 0, &f) != Status::kOk) {
     return api::KvsResult::KVS_ERR_SYS_IO;
@@ -180,6 +204,10 @@ api::KvsResult KvClient::get(std::string_view key, Bytes* value_out) {
 }
 
 api::KvsResult KvClient::del(std::string_view key) {
+  if (const auto v = validate_frame(key, {});
+      v != api::KvsResult::KVS_SUCCESS) {
+    return v;
+  }
   ResponseFrame f;
   if (round_trip(Opcode::kDel, key, {}, 0, &f) != Status::kOk) {
     return api::KvsResult::KVS_ERR_SYS_IO;
@@ -189,6 +217,10 @@ api::KvsResult KvClient::del(std::string_view key) {
 
 api::KvsResult KvClient::iterate(std::string_view prefix, std::uint32_t limit,
                                  std::vector<std::string>* keys_out) {
+  if (const auto v = validate_frame(prefix, {});
+      v != api::KvsResult::KVS_SUCCESS) {
+    return v;
+  }
   ResponseFrame f;
   if (round_trip(Opcode::kIter, prefix, {}, limit, &f) != Status::kOk) {
     return api::KvsResult::KVS_ERR_SYS_IO;

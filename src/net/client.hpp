@@ -72,7 +72,10 @@ class KvClient {
 
   // -- Pipelining -------------------------------------------------------------
   /// Encode into the pending batch; returns the request id to match the
-  /// response with. Nothing hits the socket until flush().
+  /// response with. Nothing hits the socket until flush(). Returns 0
+  /// (never a valid id) without encoding anything when the key/value
+  /// exceed the wire limits or header field widths — an unframeable
+  /// request must fail per-call, not desync the stream.
   std::uint64_t submit_put(std::string_view key, std::string_view value);
   std::uint64_t submit_get(std::string_view key);
   std::uint64_t submit_del(std::string_view key);
@@ -92,6 +95,11 @@ class KvClient {
   }
 
  private:
+  /// Client-side wire validation: KVS_ERR_KEY/VALUE_LENGTH_INVALID when
+  /// the request cannot be framed (WireLimits or the u16 key-len / u32
+  /// value-len header fields would overflow), else KVS_SUCCESS.
+  [[nodiscard]] api::KvsResult validate_frame(
+      std::string_view key, std::string_view value) const noexcept;
   std::uint64_t encode_pending(Opcode op, std::string_view key,
                                std::string_view value, std::uint32_t limit);
   Status send_all(const std::uint8_t* data, std::size_t n);

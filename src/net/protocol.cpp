@@ -141,9 +141,11 @@ DecodeStatus ResponseDecoder::next(ResponseFrame* out) {
   }
   const std::size_t value_len = get_u32(b, 16);
   // Responses carry ITER key lists and STATUS JSON, which legitimately
-  // exceed a request's value ceiling; the key-list cap is the server's
-  // max_iter_keys, so allow (max_key_len + 2) per key on top.
-  if (value_len > limits_.max_value_len + (limits_.max_key_len + 2) * 1024) {
+  // exceed a request's value ceiling; allow (max_key_len + 2) bytes per
+  // key for up to max_iter_keys keys on top — the same limit the server
+  // clamps its ITER responses to, so a valid frame is never rejected.
+  if (value_len >
+      limits_.max_value_len + (limits_.max_key_len + 2) * limits_.max_iter_keys) {
     poisoned_ = true;
     return DecodeStatus::kTooLarge;
   }

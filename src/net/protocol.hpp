@@ -74,6 +74,11 @@ constexpr std::size_t kResponseHeaderSize = 28;
 struct WireLimits {
   std::size_t max_key_len = 1024;
   std::size_t max_value_len = 4u << 20;
+  /// Ceiling on keys in one kIter response payload. The response
+  /// decoder derives its kTooLarge cap from this, so client and server
+  /// must agree on it (the server clamps ServerConfig::max_iter_keys to
+  /// this value when building ITER responses).
+  std::size_t max_iter_keys = 65536;
 };
 
 struct RequestFrame {

@@ -68,6 +68,11 @@ KvServer::KvServer(api::KvsDevice& dev, ServerConfig cfg)
 
 KvServer::~KvServer() { stop(); }
 
+KvServer::Worker::~Worker() {
+  if (event_fd >= 0) ::close(event_fd);
+  if (epfd >= 0) ::close(epfd);
+}
+
 Status KvServer::start() {
   if (running_.load()) return Status::kAlreadyExists;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -96,10 +101,10 @@ Status KvServer::start() {
     w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
     w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (w->epfd < 0 || w->event_fd < 0) {
-      if (w->epfd >= 0) ::close(w->epfd);
-      if (w->event_fd >= 0) ::close(w->event_fd);
       ::close(listen_fd_);
       listen_fd_ = -1;
+      // Worker dtors close the fds of `w` and every already-created
+      // worker — no descriptor survives a partial start.
       workers_.clear();
       return Status::kIoError;
     }
@@ -142,11 +147,7 @@ void KvServer::stop() {
   // may still fire the notify from shard workers: detach it before the
   // eventfds it writes to are closed.
   dev_.set_completion_notify(nullptr);
-  for (auto& w : workers_) {
-    ::close(w->event_fd);
-    ::close(w->epfd);
-  }
-  workers_.clear();
+  workers_.clear();  // Worker dtors close each epfd/event_fd
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -350,6 +351,10 @@ void KvServer::update_write_interest(Worker& w, Conn& c) {
 }
 
 void KvServer::read_ready(Worker& w, Conn& c) {
+  // handle_request can destroy `c` (a flush hitting EPIPE/ECONNRESET
+  // closes the connection), so every post-dispatch liveness check must
+  // use a saved id — reading c.id after the close is a use-after-free.
+  const std::uint64_t conn_id = c.id;
   std::uint8_t buf[64 * 1024];
   for (;;) {
     const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
@@ -362,20 +367,24 @@ void KvServer::read_ready(Worker& w, Conn& c) {
         const DecodeStatus ds = c.decoder.next(&f);
         if (ds == DecodeStatus::kFrame) {
           handle_request(w, c, std::move(f));
-          if (w.conns.find(c.id) == w.conns.end()) return;  // closed
+          if (w.conns.find(conn_id) == w.conns.end()) return;  // closed
           continue;
         }
         if (ds == DecodeStatus::kNeedMore) break;
         // Framing is untrusted from here on: answer with a best-effort
-        // error frame, then close.
+        // error frame, then close. The raw send is only safe on an idle
+        // stream — with a response partially flushed (out_pos mid-frame)
+        // the error bytes would interleave mid-frame; just close then.
         m_decode_errors_->inc();
-        ResponseFrame err;
-        err.opcode = Opcode::kStatus;
-        err.status = api::KvsResult::KVS_ERR_SYS_IO;
-        Bytes enc;
-        encode_response(err, &enc);
-        [[maybe_unused]] const ssize_t sent =
-            ::send(c.fd, enc.data(), enc.size(), MSG_NOSIGNAL);
+        if (c.out_pos >= c.out.size()) {
+          ResponseFrame err;
+          err.opcode = Opcode::kStatus;
+          err.status = api::KvsResult::KVS_ERR_SYS_IO;
+          Bytes enc;
+          encode_response(err, &enc);
+          [[maybe_unused]] const ssize_t sent =
+              ::send(c.fd, enc.data(), enc.size(), MSG_NOSIGNAL);
+        }
         close_conn(w, c);
         return;
       }
@@ -491,9 +500,12 @@ void KvServer::handle_request(Worker& w, Conn& c, RequestFrame&& f) {
   }
 
   if (f.opcode == Opcode::kIter) {
+    // Clamp to the wire limit too: a response above limits.max_iter_keys
+    // would be rejected as kTooLarge by any same-config client decoder.
+    const std::size_t ceiling =
+        std::min(cfg_.max_iter_keys, cfg_.limits.max_iter_keys);
     const std::size_t limit =
-        std::min<std::size_t>(f.limit == 0 ? cfg_.max_iter_keys : f.limit,
-                              cfg_.max_iter_keys);
+        std::min<std::size_t>(f.limit == 0 ? ceiling : f.limit, ceiling);
     const Bytes prefix = namespaced_key(tenant->id, f.key);
     std::vector<std::string> keys;
     api::KvsResult r;

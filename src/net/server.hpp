@@ -143,6 +143,9 @@ class KvServer {
     std::mutex inbox_mu;
     std::vector<OutMsg> inbox;    ///< responses routed from other workers
     std::vector<int> handoff;     ///< accepted fds to adopt
+    /// Closes epfd/event_fd, so a partially-started server (or stop())
+    /// never leaks descriptors.
+    ~Worker();
   };
 
   /// One submitted-but-unanswered command.

@@ -191,6 +191,39 @@ TEST(NetProtocol, OversizedDeclarationRejectedBeforeBody) {
   EXPECT_EQ(dec2.next(&out), DecodeStatus::kTooLarge);
 }
 
+// Regression: the response decoder's kTooLarge ceiling must scale with
+// WireLimits::max_iter_keys — a full-sized ITER key list (max_iter_keys
+// keys of max_key_len bytes) is a valid frame the server can send, so
+// the client must never reject it. A hardcoded smaller allowance used
+// to poison the decoder on legitimate large responses.
+TEST(NetProtocol, ResponseCapScalesWithMaxIterKeys) {
+  WireLimits limits;
+  limits.max_key_len = 8;
+  limits.max_value_len = 16;
+  limits.max_iter_keys = 4;
+  const std::size_t cap =
+      limits.max_value_len + (limits.max_key_len + 2) * limits.max_iter_keys;
+
+  ResponseFrame f;
+  f.opcode = Opcode::kIter;
+  f.status = api::KvsResult::KVS_SUCCESS;
+  f.value.resize(cap);  // exactly at the ceiling: must decode
+  Bytes stream;
+  encode_response(f, &stream);
+  ResponseDecoder dec(limits);
+  dec.feed(ByteSpan(stream));
+  ResponseFrame out;
+  EXPECT_EQ(dec.next(&out), DecodeStatus::kFrame);
+  EXPECT_EQ(out.value.size(), cap);
+
+  f.value.resize(cap + 1);  // one byte over: rejected from the header
+  Bytes stream2;
+  encode_response(f, &stream2);
+  ResponseDecoder dec2(limits);
+  dec2.feed(ByteSpan(stream2.data(), kResponseHeaderSize));
+  EXPECT_EQ(dec2.next(&out), DecodeStatus::kTooLarge);
+}
+
 TEST(NetProtocol, RandomGarbageNeverDecodes) {
   const std::uint64_t seed = test::harness_seed(0xDEADBEEFull);
   std::mt19937_64 rng(seed);

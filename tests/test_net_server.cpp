@@ -78,6 +78,33 @@ TEST(NetServer, EmptyAndOversizedKeysRejected) {
   EXPECT_EQ(c.put(std::string(251, 'k'), "v"), KvsResult::KVS_SUCCESS);
 }
 
+// Regression: requests that cannot be framed fail per-call on the
+// client — they used to be encoded anyway, either killing the
+// connection (key > wire max_key_len → server kTooLarge) or desyncing
+// the stream (key > 65535 → u16 header truncation with all key bytes
+// appended).
+TEST(NetServer, ClientRejectsUnframeableRequestsPerCall) {
+  ServerFixture fx;
+  KvClient c = fx.client();
+  // Over the wire key limit (default 1024) but within the u16 field.
+  EXPECT_EQ(c.put(std::string(2000, 'k'), "v"),
+            KvsResult::KVS_ERR_KEY_LENGTH_INVALID);
+  // Over the u16 key-len field width.
+  EXPECT_EQ(c.put(std::string(70000, 'k'), "v"),
+            KvsResult::KVS_ERR_KEY_LENGTH_INVALID);
+  // Over the wire value limit (default 4 MiB).
+  EXPECT_EQ(c.put("k", std::string((4u << 20) + 1, 'v')),
+            KvsResult::KVS_ERR_VALUE_LENGTH_INVALID);
+  // Pipelined submits return the 0 sentinel and encode nothing.
+  EXPECT_EQ(c.submit_put(std::string(70000, 'k'), "v"), 0u);
+  EXPECT_EQ(c.flush(), Status::kOk);  // empty batch: nothing was queued
+  // The connection survives every rejection.
+  EXPECT_EQ(c.put("alive", "yes"), KvsResult::KVS_SUCCESS);
+  Bytes v;
+  EXPECT_EQ(c.get("alive", &v), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(v), "yes");
+}
+
 TEST(NetServer, PipelinedBatchAllAnswered) {
   ServerFixture fx;
   KvClient c = fx.client();
