@@ -5,9 +5,10 @@
 // (`shard::ShardedKvssd`). Both implement this narrow interface, so the
 // API layer issues every verb through one call path instead of branching
 // per backend. The interface is intentionally small: the SNIA-style verb
-// set, the async submission queue, and the durability / introspection
-// hooks the facade exposes. Anything richer (iterator handles, GC
-// internals, per-shard access) stays on the concrete classes.
+// set (including the snapshot / streaming-iterator handles), the async
+// submission queue, and the durability / introspection hooks the facade
+// exposes. Anything richer (value-carrying iterators, GC internals,
+// per-shard access) stays on the concrete classes.
 //
 // Header-only and dependency-light on purpose: the emulated device
 // implements it, so it must not pull API-layer or device-layer headers.
@@ -40,6 +41,17 @@ struct TaggedCompletion {
   Bytes value;
 };
 
+/// An MVCC snapshot: one device-global epoch pinned against GC and
+/// version reclaim until released (DESIGN.md §13). `read_at` and
+/// snapshot-bound iterators resolve every key as of this epoch, across
+/// all shards of an array. A pin that outlives the retention budget or a
+/// power cycle yields kSnapshotTooOld — retryable with a fresh snapshot;
+/// a snapshot read never returns torn (mixed-epoch) data.
+struct SnapshotHandle {
+  std::uint64_t id = 0;     ///< pin-registry id (0 is never a valid pin)
+  std::uint64_t epoch = 0;  ///< pinned epoch (diagnostics / wire echo)
+};
+
 class IKvsBackend {
  public:
   using Callback = std::function<void(Status)>;
@@ -62,6 +74,37 @@ class IKvsBackend {
   /// only; kUnsupported otherwise).
   virtual Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
                                 std::size_t limit) = 0;
+
+  // -- MVCC snapshots (DESIGN.md §13) ----------------------------------------
+  /// Pins the current epoch; the snapshot stays readable until released,
+  /// expired by the retention budget, or lost to a power cycle.
+  virtual Result<SnapshotHandle> open_snapshot() = 0;
+  /// Releases a pin (idempotent: releasing an expired pin is kOk-ish —
+  /// kSnapshotTooOld only ever comes from reads). Unknown ids error.
+  virtual Status release_snapshot(const SnapshotHandle& snap) = 0;
+  /// Point read as of the snapshot's epoch: the value the key had when
+  /// the snapshot was opened, regardless of later puts/deletes.
+  /// kNotFound when the key did not exist then; kSnapshotTooOld when the
+  /// pin expired.
+  virtual Status read_at(const SnapshotHandle& snap, ByteSpan key,
+                         Bytes* value_out) = 0;
+
+  // -- Streaming iterator handles (SNIA-style; §II-A) ------------------------
+  /// Opens a streaming key iterator over `prefix`. With `snap` the view
+  /// is the snapshot's epoch; with nullptr an internal snapshot is
+  /// pinned for the iterator's lifetime, so every iterator is consistent
+  /// (keys mutated mid-scan resolve to their as-of-open versions).
+  /// kIteratorMax when all handles are in use; kUnsupported without
+  /// prefix signatures.
+  virtual Result<std::uint64_t> kvs_open_iterator(ByteSpan prefix,
+                                                  const SnapshotHandle* snap) = 0;
+  /// Appends up to `max_keys` further keys. kOk while keys remain;
+  /// kNotFound once exhausted (the SNIA ITERATOR_END condition);
+  /// kSnapshotTooOld when the backing pin expired mid-scan.
+  virtual Status kvs_iterator_next(std::uint64_t handle, std::size_t max_keys,
+                                   std::vector<Bytes>* keys_out) = 0;
+  /// Closes the handle (and releases an internally pinned snapshot).
+  virtual Status kvs_close_iterator(std::uint64_t handle) = 0;
 
   // -- Asynchronous submission ----------------------------------------------
   virtual void submit_put(Bytes key, Bytes value, Callback cb) = 0;

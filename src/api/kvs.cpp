@@ -19,6 +19,8 @@ KvsResult from_status(Status s) noexcept {
     case Status::kBusy: return KvsResult::KVS_ERR_DEV_BUSY;
     case Status::kUnsupported: return KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED;
     case Status::kQueueFull: return KvsResult::KVS_ERR_QUEUE_FULL;
+    case Status::kIteratorMax: return KvsResult::KVS_ERR_ITERATOR_MAX;
+    case Status::kSnapshotTooOld: return KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD;
   }
   return KvsResult::KVS_ERR_SYS_IO;
 }
@@ -38,6 +40,9 @@ const char* to_string(KvsResult r) noexcept {
     case KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED:
       return "KVS_ERR_ITERATOR_NOT_SUPPORTED";
     case KvsResult::KVS_ERR_QUEUE_FULL: return "KVS_ERR_QUEUE_FULL";
+    case KvsResult::KVS_ERR_ITERATOR_MAX: return "KVS_ERR_ITERATOR_MAX";
+    case KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD:
+      return "KVS_ERR_SNAPSHOT_TOO_OLD";
   }
   return "KVS_ERR_UNKNOWN";
 }
@@ -57,6 +62,7 @@ KvsDevice::KvsDevice(const KvsDeviceOptions& opts)
   cfg.checkpoint.dirty_pages = opts.checkpoint_dirty_pages;
   cfg.checkpoint.slot_blocks = opts.checkpoint_slot_blocks;
   cfg.checkpoint.journal_blocks = opts.checkpoint_journal_blocks;
+  cfg.snapshot_retention_bytes = opts.snapshot_retention_bytes;
   const std::uint64_t keys_hint = opts.anticipated_keys / num_shards_;
   if (opts.use_rhik) {
     cfg.index_kind = kvssd::IndexKind::kRhik;
@@ -101,23 +107,81 @@ KvsResult KvsDevice::exist(std::string_view key) {
   return from_status(backend_->exist(key_span(key)));
 }
 
-KvsResult KvsDevice::iterate(std::string_view prefix,
-                             std::vector<std::string>* keys_out) {
+// -- MVCC snapshots ------------------------------------------------------------
+
+KvsResult KvsDevice::open_snapshot(SnapshotHandle* snap_out) {
+  if (snap_out == nullptr) return KvsResult::KVS_ERR_OPTION_INVALID;
+  auto snap = backend_->open_snapshot();
+  if (!snap) return from_status(snap.status());
+  *snap_out = *snap;
+  return KvsResult::KVS_SUCCESS;
+}
+
+KvsResult KvsDevice::release_snapshot(const SnapshotHandle& snap) {
+  return from_status(backend_->release_snapshot(snap));
+}
+
+KvsResult KvsDevice::retrieve_at(const SnapshotHandle& snap,
+                                 std::string_view key, Bytes* value_out) {
+  return from_status(backend_->read_at(snap, key_span(key), value_out));
+}
+
+// -- Streaming iterators -------------------------------------------------------
+
+KvsResult KvsDevice::kvs_open_iterator(std::string_view prefix,
+                                       std::uint64_t* iter_out,
+                                       const SnapshotHandle* snap) {
   // Opened without the iterator option: the request is invalid, not the
   // device incapable — distinct result codes so callers can tell a
   // missing open flag from a backend that cannot iterate at all.
   if (!iterator_enabled_) return KvsResult::KVS_ERR_OPTION_INVALID;
+  if (iter_out == nullptr) return KvsResult::KVS_ERR_OPTION_INVALID;
+  auto handle = backend_->kvs_open_iterator(key_span(prefix), snap);
+  if (!handle) return from_status(handle.status());
+  *iter_out = *handle;
+  return KvsResult::KVS_SUCCESS;
+}
+
+KvsResult KvsDevice::kvs_iterator_next(std::uint64_t iter,
+                                       std::size_t max_keys,
+                                       std::vector<std::string>* keys_out) {
+  if (keys_out == nullptr) return KvsResult::KVS_ERR_OPTION_INVALID;
   std::vector<Bytes> keys;
-  const Status s = backend_->iterate_prefix(key_span(prefix), &keys, SIZE_MAX);
-  if (!ok(s)) return from_status(s);
-  // The sharded backend merges per-shard scans into lexicographic order;
-  // the single device enumerates in index (hash) order. Sort here so the
-  // facade's order is deterministic and identical across shard counts —
-  // networked ITER responses must be stable regardless of deployment.
-  std::sort(keys.begin(), keys.end());
+  const Status s = backend_->kvs_iterator_next(iter, max_keys, &keys);
   keys_out->clear();
+  if (!ok(s)) return from_status(s);
   keys_out->reserve(keys.size());
   for (const auto& k : keys) keys_out->push_back(rhik::to_string(k));
+  return KvsResult::KVS_SUCCESS;
+}
+
+KvsResult KvsDevice::kvs_close_iterator(std::uint64_t iter) {
+  return from_status(backend_->kvs_close_iterator(iter));
+}
+
+KvsResult KvsDevice::iterate(std::string_view prefix,
+                             std::vector<std::string>* keys_out) {
+  // Deprecated collect-all wrapper: one consistent streamed scan over
+  // the handle API, drained to completion.
+  std::uint64_t handle = 0;
+  const KvsResult opened = kvs_open_iterator(prefix, &handle);
+  if (opened != KvsResult::KVS_SUCCESS) return opened;
+  keys_out->clear();
+  std::vector<std::string> batch;
+  KvsResult r = KvsResult::KVS_SUCCESS;
+  for (;;) {
+    r = kvs_iterator_next(handle, 256, &batch);
+    if (r != KvsResult::KVS_SUCCESS) break;
+    keys_out->insert(keys_out->end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+  }
+  (void)kvs_close_iterator(handle);
+  if (r != KvsResult::KVS_ERR_KEY_NOT_EXIST) return r;
+  // The single device enumerates in index (hash) order and the sharded
+  // backend in shard-major order. Sort here so the facade's order is
+  // deterministic and identical across shard counts — networked ITER
+  // responses must be stable regardless of deployment.
+  std::sort(keys_out->begin(), keys_out->end());
   return KvsResult::KVS_SUCCESS;
 }
 

@@ -43,6 +43,14 @@ enum class KvsResult {
   /// unlike KVS_ERR_CONT_FULL, which says the device/index itself is
   /// out of room and retrying is pointless.
   KVS_ERR_QUEUE_FULL,
+  /// All iterator handles are in use (SNIA caps concurrently open
+  /// iterators per device). Close one and retry.
+  KVS_ERR_ITERATOR_MAX,
+  /// The pinned snapshot outlived the version-retention budget (or did
+  /// not survive a power cycle) and its versions were reclaimed
+  /// (DESIGN.md §13). Retryable by contract: release the handle, open a
+  /// fresh snapshot and restart the scan.
+  KVS_ERR_SNAPSHOT_TOO_OLD,
 };
 
 [[nodiscard]] KvsResult from_status(Status s) noexcept;
@@ -86,6 +94,14 @@ struct KvsDeviceOptions {
   /// dropped — so this only sets the allocation-free steady state;
   /// size it to the expected in-flight command count.
   std::size_t completion_ring_capacity = 4096;
+
+  /// Byte budget for superseded versions retained only because a
+  /// snapshot pins them (DESIGN.md §13). When retention would exceed
+  /// this, the OLDEST pin is expired and its holder gets
+  /// KVS_ERR_SNAPSHOT_TOO_OLD on next use — a retryable eviction, never
+  /// torn data. 0 = unbounded. Shared across shards of an array (the
+  /// pin registry is device-global), so it is NOT divided per shard.
+  std::uint64_t snapshot_retention_bytes = 64ull << 20;
 };
 
 /// One finished asynchronous command, as returned by poll_completions().
@@ -113,7 +129,46 @@ class KvsDevice {
   KvsResult retrieve(std::string_view key, Bytes* value_out);
   KvsResult remove(std::string_view key);
   KvsResult exist(std::string_view key);
-  /// Enumerates stored keys with the given prefix, sharded or not.
+
+  // -- MVCC snapshots (DESIGN.md §13) -----------------------------------------
+  /// Pins the current epoch: retrieve_at() and iterators opened against
+  /// the handle observe exactly the device state at open time, sharded
+  /// or not, no matter how much churn follows. Pins hold superseded
+  /// versions alive — release promptly.
+  KvsResult open_snapshot(SnapshotHandle* snap_out);
+  /// Releases a pin; retained versions it alone kept alive become
+  /// reclaimable at the next GC/background tick.
+  KvsResult release_snapshot(const SnapshotHandle& snap);
+  /// Point read at a pinned epoch. KVS_ERR_SNAPSHOT_TOO_OLD when the
+  /// pin expired (retention budget) or did not survive a power cycle.
+  KvsResult retrieve_at(const SnapshotHandle& snap, std::string_view key,
+                        Bytes* value_out);
+
+  // -- Streaming iterators (SNIA-style handle API) -----------------------------
+  /// Opens a prefix iterator and returns its handle. With `snap`
+  /// non-null the scan is bound to that pinned epoch; otherwise it pins
+  /// its own snapshot internally (released on close), so every scan is
+  /// a consistent cut even under concurrent writers. Results:
+  /// KVS_ERR_OPTION_INVALID when the device was opened without
+  /// enable_iterator; KVS_ERR_ITERATOR_MAX when too many iterators are
+  /// already open; KVS_ERR_SNAPSHOT_TOO_OLD when `snap` has expired.
+  KvsResult kvs_open_iterator(std::string_view prefix, std::uint64_t* iter_out,
+                              const SnapshotHandle* snap = nullptr);
+  /// Streams up to `max_keys` further keys into `keys_out` (replaced,
+  /// not appended). KVS_SUCCESS with a non-empty batch while keys
+  /// remain; KVS_ERR_KEY_NOT_EXIST once the iterator is exhausted;
+  /// KVS_ERR_SNAPSHOT_TOO_OLD if the backing pin expired mid-scan (the
+  /// scan errors rather than silently mixing epochs).
+  KvsResult kvs_iterator_next(std::uint64_t iter, std::size_t max_keys,
+                              std::vector<std::string>* keys_out);
+  /// Closes the iterator and releases its internally-pinned snapshot
+  /// (caller-supplied snapshots stay open — the caller releases those).
+  KvsResult kvs_close_iterator(std::uint64_t iter);
+
+  /// Deprecated collect-all scan, kept as a thin wrapper over the
+  /// handle API above: opens an iterator, drains it into `keys_out`
+  /// (sorted), closes it. Prefer the handle verbs — they stream in
+  /// bounded batches and can share one snapshot across scans.
   /// KVS_ERR_OPTION_INVALID when the device was opened without
   /// enable_iterator (the capability exists but was not requested);
   /// KVS_ERR_ITERATOR_NOT_SUPPORTED only when the backend genuinely

@@ -16,6 +16,8 @@ std::string_view to_string(Status s) noexcept {
     case Status::kBusy: return "BUSY";
     case Status::kUnsupported: return "UNSUPPORTED";
     case Status::kQueueFull: return "QUEUE_FULL";
+    case Status::kSnapshotTooOld: return "SNAPSHOT_TOO_OLD";
+    case Status::kIteratorMax: return "ITERATOR_MAX";
   }
   return "UNKNOWN";
 }

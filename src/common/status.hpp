@@ -30,6 +30,9 @@ enum class Status : std::uint8_t {
   kBusy,                ///< device is resizing / migrating and queueing halted
   kUnsupported,         ///< operation not supported by this configuration
   kQueueFull,           ///< admission/quota rejection — transient, retry later
+  kSnapshotTooOld,      ///< pin outlived the version-retention bound (retryable
+                        ///< with a fresh snapshot; never returns torn data)
+  kIteratorMax,         ///< all iterator handles in use — close one and retry
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "ftl/mvcc.hpp"
+
 namespace rhik::ftl {
 
 using flash::Ppa;
@@ -239,6 +241,35 @@ Status GarbageCollector::relocate_data_head(Ppa ppa) {
     if (!seen.insert(it->header.sig).second) continue;  // older duplicate
     const auto mapped = hooks_->gc_lookup(it->header.sig);
 
+    // Snapshot-retained versions of this signature living in this page
+    // (possibly several, the key's history) move out before the erase,
+    // each rewritten with its ORIGINAL epoch stamp so the version order
+    // survives relocation. The retainer follows them to their new homes;
+    // their deferred stale credit moves with them (write_pair credits
+    // the new location; reclaim later debits it there).
+    if (retainer_ != nullptr) {
+      for (const RetainedVersion& v :
+           retainer_->versions_at(it->header.sig, ppa)) {
+        Bytes key, value;
+        bool tomb = false;
+        if (Status s = store_->read_pair_at(ppa, it->header.sig, v.begin_epoch,
+                                            &key, &value, &tomb);
+            !ok(s)) {
+          return s;
+        }
+        auto new_ppa =
+            tomb ? store_->write_tombstone(it->header.sig, key, /*for_gc=*/true,
+                                           v.begin_epoch)
+                 : store_->write_pair(it->header.sig, key, value,
+                                      /*for_gc=*/true, v.begin_epoch);
+        if (!new_ppa) return new_ppa.status();
+        retainer_->repoint(it->header.sig, v.begin_epoch, *new_ppa);
+        stats_.pairs_relocated++;
+        stats_.retained_relocated++;
+        stats_.bytes_relocated += v.total_bytes;
+      }
+    }
+
     if (it->header.tombstone) {
       // A deletion record stays durable until a newer version of the
       // signature exists; only then is it obsolete and droppable.
@@ -247,7 +278,7 @@ Status GarbageCollector::relocate_data_head(Ppa ppa) {
       auto new_ppa = store_->write_tombstone(
           it->header.sig,
           ByteSpan{page.data() + key_off, it->header.key_len},
-          /*for_gc=*/true);
+          /*for_gc=*/true, it->header.epoch);
       if (!new_ppa) return new_ppa.status();
       stats_.pairs_relocated++;
       stats_.bytes_relocated += it->header.pair_bytes();
@@ -256,10 +287,13 @@ Status GarbageCollector::relocate_data_head(Ppa ppa) {
 
     if (!mapped || *mapped != ppa) continue;  // stale pair
     Bytes key, value;
-    if (Status s = store_->read_pair(ppa, it->header.sig, &key, &value); !ok(s)) {
+    std::uint64_t epoch = 0;
+    if (Status s = store_->read_pair(ppa, it->header.sig, &key, &value, &epoch);
+        !ok(s)) {
       return s;
     }
-    auto new_ppa = store_->write_pair(it->header.sig, key, value, /*for_gc=*/true);
+    auto new_ppa = store_->write_pair(it->header.sig, key, value, /*for_gc=*/true,
+                                      epoch);
     if (!new_ppa) return new_ppa.status();
     if (Status s = hooks_->gc_update_location(it->header.sig, *new_ppa); !ok(s)) {
       return s;

@@ -33,6 +33,8 @@
 
 namespace rhik::ftl {
 
+class VersionRetainer;
+
 /// Callbacks the index scheme provides so GC can validate and relocate.
 class GcIndexHooks {
  public:
@@ -56,6 +58,7 @@ struct GcStats {
   std::uint64_t blocks_reclaimed = 0;
   std::uint64_t pairs_relocated = 0;
   std::uint64_t index_pages_relocated = 0;
+  std::uint64_t retained_relocated = 0;  ///< snapshot-retained version moves
   std::uint64_t bytes_relocated = 0;  ///< write amplification source
   std::uint64_t runs = 0;
   std::uint64_t background_quanta = 0;  ///< incremental work slices executed
@@ -66,6 +69,7 @@ struct GcStats {
     snap.add_counter("gc.blocks_reclaimed", blocks_reclaimed);
     snap.add_counter("gc.pairs_relocated", pairs_relocated);
     snap.add_counter("gc.index_pages_relocated", index_pages_relocated);
+    snap.add_counter("gc.retained_relocated", retained_relocated);
     snap.add_counter("gc.bytes_relocated", bytes_relocated);
     snap.add_counter("gc.runs", runs);
     snap.add_counter("gc.background_quanta", background_quanta);
@@ -133,6 +137,14 @@ class GarbageCollector {
   [[nodiscard]] const GcStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const GcTuning& tuning() const noexcept { return tuning_; }
 
+  /// MVCC: when set, a pair is also live while the retainer holds it for
+  /// a pinned snapshot. Such versions are relocated with their ORIGINAL
+  /// epoch stamps (a relocation moves a version, it does not create one)
+  /// and the retainer is repointed to the new location.
+  void set_version_retainer(VersionRetainer* retainer) noexcept {
+    retainer_ = retainer;
+  }
+
  private:
   /// Relocates live contents of `block` starting at `*page`, at most
   /// `max_pages` pages; `*page` advances to the first unprocessed page.
@@ -151,6 +163,7 @@ class GarbageCollector {
   PageAllocator* alloc_;
   FlashKvStore* store_;
   GcIndexHooks* hooks_;
+  VersionRetainer* retainer_ = nullptr;
   GcTuning tuning_;
   GcStats stats_;
 

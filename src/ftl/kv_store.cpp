@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "ftl/mvcc.hpp"
+
 namespace rhik::ftl {
 
 using flash::Ppa;
@@ -30,7 +32,7 @@ Status FlashKvStore::program_open_page(OpenPage& open) {
   assert(open.ppa.has_value());
   Bytes spare(nand_->geometry().spare_size(), 0xFF);
   SpareTag{PageKind::kDataHead, open.stream}.encode(spare);
-  DataPageSpare{next_seq_++}.encode(spare);
+  DataPageSpare{next_seq_++, epochs_ ? epochs_->current() : 0}.encode(spare);
   const Status s = nand_->program_page(*open.ppa, open.builder.finalize(), spare);
   open.ppa.reset();
   open.builder.reset();
@@ -70,20 +72,20 @@ Status FlashKvStore::flush_block(std::uint32_t block) {
 }
 
 Result<Ppa> FlashKvStore::write_pair(std::uint64_t sig, ByteSpan key, ByteSpan value,
-                                     bool for_gc) {
-  return write_internal(sig, key, value, /*tombstone=*/false, for_gc);
+                                     bool for_gc, std::uint64_t epoch) {
+  return write_internal(sig, key, value, /*tombstone=*/false, for_gc, epoch);
 }
 
 Result<Ppa> FlashKvStore::write_tombstone(std::uint64_t sig, ByteSpan key,
-                                          bool for_gc) {
-  auto ppa = write_internal(sig, key, {}, /*tombstone=*/true, for_gc);
+                                          bool for_gc, std::uint64_t epoch) {
+  auto ppa = write_internal(sig, key, {}, /*tombstone=*/true, for_gc, epoch);
   if (ppa) stats_.tombstones_written++;
   return ppa;
 }
 
 Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
                                          ByteSpan value, bool tombstone,
-                                         bool for_gc) {
+                                         bool for_gc, std::uint64_t epoch) {
   const auto& g = nand_->geometry();
   if (key.empty() || key.size() > UINT16_MAX) return Status::kInvalidArgument;
   if (value.size() > max_value_size(key.size())) return Status::kInvalidArgument;
@@ -101,8 +103,12 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
     if (Status s = program_open_page(cold_); !ok(s)) return s;
   }
 
-  const PairHeader hdr{sig, static_cast<std::uint16_t>(key.size()),
-                       static_cast<std::uint32_t>(value.size()), tombstone};
+  PairHeader hdr;
+  hdr.sig = sig;
+  hdr.key_len = static_cast<std::uint16_t>(key.size());
+  hdr.val_len = static_cast<std::uint32_t>(value.size());
+  hdr.epoch = epoch;
+  hdr.tombstone = tombstone;
   const std::uint64_t total = hdr.pair_bytes();
   OpenPage& open = open_for(for_gc);
 
@@ -142,7 +148,7 @@ Result<Ppa> FlashKvStore::write_internal(std::uint64_t sig, ByteSpan key,
 
   Bytes spare(g.spare_size(), 0xFF);
   SpareTag{PageKind::kDataHead, open.stream}.encode(spare);
-  DataPageSpare{next_seq_++}.encode(spare);
+  DataPageSpare{next_seq_++, epochs_ ? epochs_->current() : 0}.encode(spare);
   if (Status s = nand_->program_page(*base, head.finalize(), spare); !ok(s)) return s;
   std::fill(spare.begin(), spare.end(), 0xFF);
 
@@ -186,7 +192,7 @@ Result<ByteSpan> FlashKvStore::load_head_page(Ppa ppa, ByteSpan* spare_out) {
 }
 
 Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
-                               Bytes* value_out) {
+                               Bytes* value_out, std::uint64_t* epoch_out) {
   const auto& g = nand_->geometry();
   ByteSpan spare;
   const auto page = load_head_page(start, &spare);
@@ -204,6 +210,7 @@ Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
     case PageFind::kFound: break;
   }
   const ParsedPair* p = &pair;
+  if (epoch_out) *epoch_out = p->header.epoch;
 
   const std::size_t key_off = p->offset + PairHeader::kSize;
   if (key_out) {
@@ -218,6 +225,63 @@ Status FlashKvStore::read_pair(Ppa start, std::uint64_t sig, Bytes* key_out,
     const ByteSpan v = page->subspan(val_off, in_page_val);
     value_out->insert(value_out->end(), v.begin(), v.end());
     std::size_t remaining = p->header.val_len - in_page_val;
+    Ppa next = start + 1;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(g.page_size, remaining);
+      ByteSpan cont;
+      if (Status s = nand_->read_page_view(next, &cont, nullptr,
+                                           static_cast<std::uint32_t>(chunk));
+          !ok(s)) {
+        return s;
+      }
+      value_out->insert(value_out->end(), cont.begin(),
+                        cont.begin() + static_cast<std::ptrdiff_t>(chunk));
+      remaining -= chunk;
+      ++next;
+    }
+  }
+  stats_.pairs_read++;
+  return Status::kOk;
+}
+
+Status FlashKvStore::read_pair_at(Ppa start, std::uint64_t sig,
+                                  std::uint64_t max_epoch, Bytes* key_out,
+                                  Bytes* value_out, bool* tombstone_out) {
+  const auto& g = nand_->geometry();
+  if (tombstone_out) *tombstone_out = false;
+  ByteSpan spare;
+  const auto page = load_head_page(start, &spare);
+  if (!page) return page.status();
+  ParsedPair p;
+  const PageFind found =
+      find_pair_in_page_at(*page, g.page_size, sig, max_epoch, &p);
+  if (!spare.empty() && SpareTag::decode(spare).kind != PageKind::kDataHead) {
+    return Status::kCorruption;
+  }
+  switch (found) {
+    case PageFind::kCorrupt: return Status::kCorruption;
+    case PageFind::kAbsent: return Status::kNotFound;
+    case PageFind::kFound: break;
+  }
+
+  const std::size_t key_off = p.offset + PairHeader::kSize;
+  if (key_out) {
+    const ByteSpan k = page->subspan(key_off, p.header.key_len);
+    key_out->assign(k.begin(), k.end());
+  }
+  if (p.header.tombstone) {
+    if (tombstone_out) *tombstone_out = true;
+    return Status::kOk;
+  }
+  if (value_out) {
+    value_out->clear();
+    value_out->reserve(p.header.val_len);
+    const std::size_t val_off = key_off + p.header.key_len;
+    const std::size_t in_page_val =
+        p.in_page_bytes - PairHeader::kSize - p.header.key_len;
+    const ByteSpan v = page->subspan(val_off, in_page_val);
+    value_out->insert(value_out->end(), v.begin(), v.end());
+    std::size_t remaining = p.header.val_len - in_page_val;
     Ppa next = start + 1;
     while (remaining > 0) {
       const std::size_t chunk = std::min<std::size_t>(g.page_size, remaining);
@@ -259,6 +323,7 @@ Result<PairMeta> FlashKvStore::read_pair_meta(Ppa start, std::uint64_t sig) {
   meta.key.assign(k.begin(), k.end());
   meta.value_len = p.header.val_len;
   meta.total_bytes = p.header.pair_bytes();
+  meta.epoch = p.header.epoch;
   meta.tombstone = p.header.tombstone;
   return meta;
 }

@@ -20,12 +20,15 @@
 
 namespace rhik::ftl {
 
+class EpochSource;
+
 /// Header + key of a stored pair, as needed by update/delete paths to
 /// verify the key and account the stale bytes exactly.
 struct PairMeta {
   Bytes key;
   std::uint32_t value_len = 0;
   std::uint64_t total_bytes = 0;  ///< header + key + value
+  std::uint64_t epoch = 0;        ///< MVCC version stamp (0 = pre-MVCC)
   bool tombstone = false;         ///< durable deletion record
 };
 
@@ -55,20 +58,36 @@ class FlashKvStore {
 
   /// Appends a pair to the log; returns its starting PPA.
   /// `for_gc` marks relocation writes (may use the GC block reserve).
+  /// `epoch` is the MVCC version stamp recorded in the pair header — the
+  /// current device epoch for fresh writes, the pair's ORIGINAL stamp
+  /// for GC relocations (a relocation moves a version, it does not
+  /// create one).
   Result<flash::Ppa> write_pair(std::uint64_t sig, ByteSpan key, ByteSpan value,
-                                bool for_gc = false);
+                                bool for_gc = false, std::uint64_t epoch = 0);
 
   /// Appends a tombstone — the durable deletion record crash recovery
   /// replays. Not indexed; GC keeps it until a newer version of the
   /// signature exists.
   Result<flash::Ppa> write_tombstone(std::uint64_t sig, ByteSpan key,
-                                     bool for_gc = false);
+                                     bool for_gc = false,
+                                     std::uint64_t epoch = 0);
 
   /// Reads the pair with signature `sig` starting at `start`. When a page
   /// holds several versions of the same signature, the most recently
-  /// appended one wins.
+  /// appended one wins. `epoch_out`, when given, receives the winner's
+  /// version stamp.
   Status read_pair(flash::Ppa start, std::uint64_t sig, Bytes* key_out,
-                   Bytes* value_out);
+                   Bytes* value_out, std::uint64_t* epoch_out = nullptr);
+
+  /// Snapshot read: the newest version of `sig` in the head page at
+  /// `start` whose epoch stamp is <= `max_epoch`. Used only on the
+  /// retained-version path, where the caller knows a version satisfying
+  /// the cap lives at `start`. A tombstone resolving under the cap
+  /// returns kOk with `*tombstone_out = true` and no value — the caller
+  /// maps it to "key absent at this snapshot" after verifying the key.
+  Status read_pair_at(flash::Ppa start, std::uint64_t sig,
+                      std::uint64_t max_epoch, Bytes* key_out, Bytes* value_out,
+                      bool* tombstone_out = nullptr);
 
   /// Reads only the header + key (update/delete verification path).
   Result<PairMeta> read_pair_meta(flash::Ppa start, std::uint64_t sig);
@@ -138,6 +157,11 @@ class FlashKvStore {
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
   void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
 
+  /// MVCC: when set, every programmed head page records the device
+  /// epoch high-water in its spare (DataPageSpare::epoch_hw), which is
+  /// how the checkpoint fast restore re-seeds the epoch counter.
+  void set_epoch_source(const EpochSource* epochs) noexcept { epochs_ = epochs; }
+
  private:
   /// One buffered head page being filled (the device DRAM write buffer).
   /// The hot instance takes fresh writes on Stream::kData; the cold one
@@ -150,7 +174,8 @@ class FlashKvStore {
   };
 
   Result<flash::Ppa> write_internal(std::uint64_t sig, ByteSpan key, ByteSpan value,
-                                    bool tombstone, bool for_gc);
+                                    bool tombstone, bool for_gc,
+                                    std::uint64_t epoch);
   /// Zero-copy view of a head page image, either straight into NAND page
   /// storage or into an open write buffer. Valid until the next write /
   /// flush / erase touching the source — callers parse and copy out what
@@ -176,6 +201,7 @@ class FlashKvStore {
   OpenPage cold_;
   bool cold_separation_ = false;
   std::uint64_t next_seq_ = 1;
+  const EpochSource* epochs_ = nullptr;
   KvStoreStats stats_;
 };
 

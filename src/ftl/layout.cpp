@@ -27,6 +27,7 @@ void PairHeader::encode(MutByteSpan dst, std::size_t off) const noexcept {
   put_u16(dst, off + 8,
           static_cast<std::uint16_t>(key_len | (tombstone ? kTombstoneBit : 0)));
   put_u32(dst, off + 10, val_len);
+  put_u64(dst, off + 14, epoch);
 }
 
 PairHeader PairHeader::decode(ByteSpan src, std::size_t off) noexcept {
@@ -36,17 +37,22 @@ PairHeader PairHeader::decode(ByteSpan src, std::size_t off) noexcept {
   h.tombstone = (raw & kTombstoneBit) != 0;
   h.key_len = static_cast<std::uint16_t>(raw & ~kTombstoneBit);
   h.val_len = get_u32(src, off + 10);
+  h.epoch = get_u64(src, off + 14);
   return h;
 }
 
 void DataPageSpare::encode(MutByteSpan spare) const noexcept {
   assert(spare.size() >= kEncodedSize);
   put_u64(spare, SpareTag::kEncodedSize, seq);
+  put_u64(spare, SpareTag::kEncodedSize + 8, epoch_hw);
 }
 
 DataPageSpare DataPageSpare::decode(ByteSpan spare) noexcept {
   DataPageSpare s;
-  if (spare.size() >= kEncodedSize) s.seq = get_u64(spare, SpareTag::kEncodedSize);
+  if (spare.size() >= kEncodedSize) {
+    s.seq = get_u64(spare, SpareTag::kEncodedSize);
+    s.epoch_hw = get_u64(spare, SpareTag::kEncodedSize + 8);
+  }
   return s;
 }
 
@@ -246,6 +252,54 @@ PageFind find_pair_in_page(ByteSpan page, std::uint32_t page_size,
     p.spills = true;
   }
   *out = p;
+  return PageFind::kFound;
+}
+
+PageFind find_pair_in_page_at(ByteSpan page, std::uint32_t page_size,
+                              std::uint64_t sig, std::uint64_t max_epoch,
+                              ParsedPair* out) noexcept {
+  if (page.size() < page_size || page_size < PageFooter::kCountSize) {
+    return PageFind::kCorrupt;
+  }
+  const std::uint16_t n = get_u16(page, page_size - PageFooter::kCountSize);
+  if (PageFooter::size_for(n) > page_size) return PageFind::kCorrupt;
+  const auto footer_sig = [&](std::size_t i) {
+    return get_u64(page, page_size - PageFooter::kCountSize -
+                             (i + 1) * PageFooter::kSigSize);
+  };
+
+  // Forward walk with full decodes, keeping the LAST match whose epoch
+  // fits under the cap — the newest version the snapshot may see here.
+  const std::size_t data_cap = page_size - PageFooter::size_for(n);
+  std::size_t off = 0;
+  bool found = false;
+  ParsedPair best;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (off + PairHeader::kSize > data_cap) return PageFind::kCorrupt;
+    ParsedPair p;
+    p.header = PairHeader::decode(page, off);
+    if (p.header.sig != footer_sig(i)) return PageFind::kCorrupt;
+    p.offset = off;
+    const std::uint64_t total = p.header.pair_bytes();
+    const std::size_t avail = data_cap - off;
+    if (total <= avail) {
+      p.in_page_bytes = static_cast<std::size_t>(total);
+      p.spills = false;
+      off += p.in_page_bytes;
+    } else {
+      // A spilling pair is always alone in its head page.
+      if (i + 1 != n) return PageFind::kCorrupt;
+      p.in_page_bytes = avail;
+      p.spills = true;
+    }
+    if (p.header.sig == sig && p.header.epoch <= max_epoch) {
+      best = p;
+      found = true;
+    }
+    if (p.spills) break;
+  }
+  if (!found) return PageFind::kAbsent;
+  *out = best;
   return PageFind::kFound;
 }
 

@@ -61,17 +61,23 @@ struct SpareTag {
 };
 
 /// Per-pair record header preceding the key and value bytes in the data
-/// area: [sig u64][key_len u16][val_len u32]. The top bit of the key_len
-/// field marks a *tombstone* — the durable deletion record that crash
-/// recovery needs (key lengths are capped at 255 by the device, so the
-/// bit is always free).
+/// area: [sig u64][key_len u16][val_len u32][epoch u64]. The top bit of
+/// the key_len field marks a *tombstone* — the durable deletion record
+/// that crash recovery needs (key lengths are capped at 255 by the
+/// device, so the bit is always free). `epoch` is the MVCC version
+/// stamp (DESIGN.md §13): the device-global epoch current when the pair
+/// was written; GC relocations preserve the original stamp, so a pair's
+/// epoch names its position in the key's version history wherever the
+/// pair physically lives. 0 means "pre-MVCC" and is visible to every
+/// snapshot.
 struct PairHeader {
   std::uint64_t sig = 0;
   std::uint16_t key_len = 0;
   std::uint32_t val_len = 0;
+  std::uint64_t epoch = 0;
   bool tombstone = false;
 
-  static constexpr std::size_t kSize = 8 + 2 + 4;
+  static constexpr std::size_t kSize = 8 + 2 + 4 + 8;
   static constexpr std::uint16_t kTombstoneBit = 0x8000;
 
   [[nodiscard]] std::uint64_t pair_bytes() const noexcept {
@@ -86,10 +92,20 @@ struct PairHeader {
 /// a monotonically increasing sequence number. Pairs are globally
 /// ordered by (page seq, in-page offset), which is what recovery uses to
 /// pick the newest version of each signature.
+///
+/// `epoch_hw` is the device-global epoch HIGH-WATER at program time —
+/// not the max of this page's pair stamps but the counter itself, so it
+/// is monotone with program order on every stream (GC relocations carry
+/// old PAIR stamps but a current page stamp). The checkpoint fast
+/// restore reads the topmost head page of each data block anyway (ghost
+/// scan); the max of those spare stamps bounds every durable pair epoch,
+/// which is how the epoch source is restored without a journal record
+/// per batch (DESIGN.md §13).
 struct DataPageSpare {
   std::uint64_t seq = 0;
+  std::uint64_t epoch_hw = 0;
 
-  static constexpr std::size_t kEncodedSize = SpareTag::kEncodedSize + 8;
+  static constexpr std::size_t kEncodedSize = SpareTag::kEncodedSize + 16;
 
   void encode(MutByteSpan spare) const noexcept;
   static DataPageSpare decode(ByteSpan spare) noexcept;
@@ -189,6 +205,17 @@ std::optional<std::vector<ParsedPair>> parse_head_page(ByteSpan page,
 enum class PageFind : std::uint8_t { kFound, kAbsent, kCorrupt };
 PageFind find_pair_in_page(ByteSpan page, std::uint32_t page_size,
                            std::uint64_t sig, ParsedPair* out) noexcept;
+
+/// Snapshot-read variant: the newest pair matching `sig` whose epoch
+/// stamp is <= `max_epoch`. Versions of one key written into the same
+/// page are time-contiguous (appends are strictly sequential and GC
+/// relocates a key's retained history in order), so "newest at-or-below
+/// the cap in this page" is the version a snapshot at `max_epoch` must
+/// see when it resolves here. Forward walk with full header decodes —
+/// the snapshot path, not the hot get path.
+PageFind find_pair_in_page_at(ByteSpan page, std::uint32_t page_size,
+                              std::uint64_t sig, std::uint64_t max_epoch,
+                              ParsedPair* out) noexcept;
 
 /// Number of continuation pages a spilling pair needs after its head page.
 std::uint32_t continuation_pages(const flash::Geometry& g, std::uint64_t pair_bytes);

@@ -123,9 +123,10 @@ std::uint64_t prefix_signature(ByteSpan key, std::size_t prefix_len) noexcept {
   const std::size_t plen = key.size() < prefix_len ? key.size() : prefix_len;
   const ByteSpan prefix = key.subspan(0, plen);
   const ByteSpan suffix = key.subspan(plen);
-  const auto hi = static_cast<std::uint32_t>(murmur2_64(prefix, 0x9d));
-  const auto lo = static_cast<std::uint32_t>(murmur2_64(suffix, 0x1b));
-  return (std::uint64_t{hi} << 32) | lo;
+  const std::uint64_t hi = murmur2_64(prefix, 0x9d) >> kClassTagShift;
+  const std::uint64_t lo =
+      murmur2_64(suffix, 0x1b) & ((std::uint64_t{1} << kClassTagShift) - 1);
+  return (hi << kClassTagShift) | lo;
 }
 
 }  // namespace rhik::hash

@@ -36,9 +36,24 @@ struct U128 {
   return x;
 }
 
-/// Iterator-friendly signature (§VI): 4 B prefix hash + 4 B suffix hash of
-/// the original key, so keys sharing a prefix land in adjacent signature
-/// ranges and prefix iteration can bound its scan.
+/// Width of the class tag packed into the top of a prefix signature. The
+/// tag only gates which signatures a prefix scan *inspects* — every
+/// candidate is verified against the stored key bytes — so tag collisions
+/// cost a wasted read, never a wrong result. The suffix hash, by
+/// contrast, is the index identity within a class: a suffix collision is
+/// an uncorrectable collision abort. 16/48 keeps the birthday bound at
+/// ~2^24 keys per class (a 32/32 split started aborting near 65k).
+inline constexpr unsigned kClassTagBits = 16;
+inline constexpr unsigned kClassTagShift = 64 - kClassTagBits;
+
+/// The class-tag portion of a prefix signature.
+[[nodiscard]] constexpr std::uint64_t class_tag(std::uint64_t sig) noexcept {
+  return sig >> kClassTagShift;
+}
+
+/// Iterator-friendly signature (§VI): 16-bit prefix-class tag in the high
+/// bits + 48-bit suffix hash, so keys sharing a prefix land in adjacent
+/// signature ranges and prefix iteration can bound its scan.
 [[nodiscard]] std::uint64_t prefix_signature(ByteSpan key, std::size_t prefix_len = 4) noexcept;
 
 }  // namespace rhik::hash

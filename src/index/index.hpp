@@ -243,6 +243,16 @@ class IIndex : public ftl::GcIndexHooks {
     const Status s = erase(sig);
     return s == Status::kNotFound ? Status::kOk : s;
   }
+
+  /// Recomputes the live key count from actual table occupancy. Called
+  /// once at the end of a checkpoint fast-restore: journal repoints can
+  /// fast-forward directory slots to pages that already hold keys the
+  /// put/erase overlay then re-applies as no-ops, so the incrementally
+  /// maintained count drifts from the tables it summarizes. For a
+  /// growing index the drift is load-bearing — a low count starves the
+  /// resize trigger until inserts physically fail with collision aborts
+  /// on a table the threshold said had headroom.
+  virtual Status recount_keys() { return Status::kOk; }
 };
 
 }  // namespace rhik::index

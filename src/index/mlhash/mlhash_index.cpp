@@ -362,4 +362,32 @@ Status MlHashIndex::apply_journal_repoint(
   return Status::kOk;
 }
 
+Status MlHashIndex::recount_keys() {
+  // Direct page reads: no cache eviction (a dirty victim would program
+  // flash mid-restore), cached copies win over their flash page.
+  std::uint64_t n = 0;
+  hash::HopscotchTable scratch = codec_.make_table();
+  for (std::uint32_t l = 0; l < cfg_.levels; ++l) {
+    for (std::uint64_t p = 0; p < dirs_[l].size(); ++p) {
+      if (const CachedTable* hit = cache_.get(make_key(l, p))) {
+        n += hit->table.size();
+        continue;
+      }
+      const Ppa ppa = dirs_[l][p];
+      if (ppa == kInvalidPpa) continue;
+      ByteSpan page, spare;
+      if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) {
+        return s;
+      }
+      if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
+        return Status::kCorruption;
+      }
+      if (Status s = codec_.decode(page, &scratch); !ok(s)) return s;
+      n += scratch.size();
+    }
+  }
+  num_keys_ = n;
+  return Status::kOk;
+}
+
 }  // namespace rhik::index

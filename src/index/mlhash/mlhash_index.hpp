@@ -79,6 +79,7 @@ class MlHashIndex final : public IIndex {
   Status apply_journal_repoint(
       std::uint64_t slot_key, flash::Ppa ppa,
       const std::function<bool(flash::Ppa)>& data_durable = {}) override;
+  Status recount_keys() override;
 
  private:
   static constexpr std::uint64_t make_key(std::uint32_t level, std::uint64_t page) {

@@ -743,6 +743,50 @@ Status RhikIndex::apply_journal_erase(std::uint64_t sig) {
   return Status::kOk;
 }
 
+Status RhikIndex::recount_keys() {
+  // Reads pages directly (no load_table) so the pass neither evicts the
+  // replay's dirty cache entries nor programs flash; cached copies win
+  // over their flash page — they may carry replay inserts.
+  std::uint64_t n = 0;
+  hash::HopscotchTable scratch = codec_.make_table();
+  const auto count_slot = [&](std::uint32_t gen, std::uint64_t keyed,
+                              Ppa ppa) -> Status {
+    if (const CachedTable* hit = cache_.get(make_key(gen, keyed))) {
+      n += hit->table.size();
+      return Status::kOk;
+    }
+    if (ppa == kInvalidPpa) return Status::kOk;
+    ByteSpan page, spare;
+    if (Status s = nand_->read_page_view(ppa, &page, &spare); !ok(s)) return s;
+    if (ftl::SpareTag::decode(spare).kind != ftl::PageKind::kIndexRecord) {
+      return Status::kCorruption;
+    }
+    if (Status s = codec_.decode(page, &scratch); !ok(s)) return s;
+    n += scratch.size();
+    return Status::kOk;
+  };
+  for (std::uint64_t b = 0; b < dir_size(); ++b) {
+    if (Status s = count_slot(gen_, b, dir_[b]); !ok(s)) return s;
+    if (Status s = count_slot(gen_, b | kOvBit, ov_dir_[b]); !ok(s)) return s;
+  }
+  if (mig_) {
+    // Keys of a half-drained doubling live in whichever generation still
+    // owns their bucket; migrated source slots are already kInvalidPpa.
+    for (std::uint64_t b = 0; b < mig_->old_dir.size(); ++b) {
+      if (mig_->migrated[b]) continue;
+      if (Status s = count_slot(mig_->old_gen, b, mig_->old_dir[b]); !ok(s)) {
+        return s;
+      }
+      if (Status s = count_slot(mig_->old_gen, b | kOvBit, mig_->old_ov[b]);
+          !ok(s)) {
+        return s;
+      }
+    }
+  }
+  num_keys_ = n;
+  return Status::kOk;
+}
+
 Status RhikIndex::checkpoint_directory() {
   const auto& g = nand_->geometry();
   // Retire the previous checkpoint fragments.

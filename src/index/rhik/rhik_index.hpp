@@ -122,6 +122,7 @@ class RhikIndex final : public IIndex {
   Status apply_journal_migrate(std::uint64_t old_slot_key) override;
   Status apply_journal_put(std::uint64_t sig, flash::Ppa ppa) override;
   Status apply_journal_erase(std::uint64_t sig) override;
+  Status recount_keys() override;
   [[nodiscard]] bool maintenance_active() const override {
     return migration_active();
   }

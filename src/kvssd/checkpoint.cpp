@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/crc32.hpp"
+#include "ftl/mvcc.hpp"
 
 namespace rhik::kvssd {
 
@@ -14,7 +15,7 @@ namespace {
 constexpr std::uint32_t kPayloadMagic = 0x52434B50;  // "RCKP"
 constexpr std::uint32_t kSuperMagic = 0x52434B53;    // "RCKS"
 constexpr std::uint32_t kJournalMagic = 0x52434B4A;  // "RCKJ"
-constexpr std::uint32_t kPayloadFormat = 1;
+constexpr std::uint32_t kPayloadFormat = 2;  // 2: +epoch high-water (MVCC)
 
 // Journal page header: [magic u32][page_seq u64][next_seq u64][count u16].
 constexpr std::size_t kJournalHeader = 4 + 8 + 8 + 2;
@@ -26,7 +27,7 @@ constexpr std::size_t kRecordSize = 1 + 8 + 5;
 constexpr std::size_t kSuperSize = 4 + 8 + 4 + 8 + 4 + 8;
 
 // Fixed payload header before the block table (see build_payload).
-constexpr std::size_t kPayloadHeader = 4 + 4 + 8 + 8 + 8 + 4 + 4;
+constexpr std::size_t kPayloadHeader = 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4;
 
 /// Reads a page and verifies the controller CRC stamp; returns the spare
 /// tag on success.
@@ -279,8 +280,9 @@ Bytes CheckpointManager::build_payload(std::uint64_t version) const {
   put_u64(payload, 8, version);
   put_u64(payload, 16, store_->next_seq());
   put_u64(payload, 24, *live_bytes_);
-  put_u32(payload, 32, index_kind_);
-  put_u32(payload, 36, blocks);
+  put_u64(payload, 32, epochs_ ? epochs_->current() : 0);
+  put_u32(payload, 40, index_kind_);
+  put_u32(payload, 44, blocks);
   for (std::uint32_t b = 0; b < blocks; ++b) {
     put_u64(payload, kPayloadHeader + std::size_t{b} * 8,
             alloc_->block_live_bytes(b));
@@ -546,8 +548,9 @@ std::optional<CheckpointManager::Image> CheckpointManager::decode_payload(
   img.version = get_u64(payload, 8);
   img.next_seq = get_u64(payload, 16);
   img.live_bytes = get_u64(payload, 24);
-  img.index_kind = get_u32(payload, 32);
-  const std::uint32_t blocks = get_u32(payload, 36);
+  img.epoch = get_u64(payload, 32);
+  img.index_kind = get_u32(payload, 40);
+  const std::uint32_t blocks = get_u32(payload, 44);
   const std::size_t image_off = kPayloadHeader + std::size_t{blocks} * 8;
   if (payload.size() < image_off + 8) return std::nullopt;
   img.block_live.resize(blocks);

@@ -157,6 +157,13 @@ class CheckpointManager final : public index::IndexJournal {
   /// image written by a different index implementation.
   void set_index_kind(std::uint32_t kind) noexcept { index_kind_ = kind; }
 
+  /// MVCC: the payload records the epoch high-water at checkpoint time so
+  /// a fast restore can re-seed the epoch source even when the ghost scan
+  /// touches no data page (empty or all-marked device).
+  void set_epoch_source(const ftl::EpochSource* epochs) noexcept {
+    epochs_ = epochs;
+  }
+
   // -- Restore support (static: runs before any manager exists) ------------
   struct Found {
     Bytes payload;
@@ -192,6 +199,8 @@ class CheckpointManager final : public index::IndexJournal {
     std::uint64_t version = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t live_bytes = 0;
+    /// Epoch-source high-water at checkpoint time (0 = pre-MVCC image).
+    std::uint64_t epoch = 0;
     std::uint32_t index_kind = 0;
     std::vector<std::uint64_t> block_live;  ///< per block below the region
     Bytes index_image;
@@ -231,6 +240,7 @@ class CheckpointManager final : public index::IndexJournal {
   CheckpointConfig cfg_;
   const std::uint64_t* live_bytes_;
   std::uint32_t index_kind_ = 0;
+  const ftl::EpochSource* epochs_ = nullptr;
 
   std::uint64_t version_ = 0;        ///< newest durable checkpoint version
   std::uint64_t durable_mark_ = 0;   ///< its journal mark

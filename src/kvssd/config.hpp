@@ -12,6 +12,10 @@
 #include "index/rhik/config.hpp"
 #include "obs/trace.hpp"
 
+namespace rhik::ftl {
+struct SnapshotContext;
+}
+
 namespace rhik::kvssd {
 
 enum class IndexKind : std::uint8_t {
@@ -115,6 +119,19 @@ struct DeviceConfig {
   /// Index checkpointing for O(dirty) restart. Default off: recovery then
   /// always performs the full-device scan.
   CheckpointConfig checkpoint{};
+
+  // -- MVCC snapshots (DESIGN.md §13) ----------------------------------------
+  /// Shared epoch source + snapshot pin registry. Non-owning: the sharded
+  /// array installs ONE context across every shard so a snapshot pins one
+  /// device-global epoch. When null (the default) the device owns a
+  /// private context — single-device snapshots still work.
+  ftl::SnapshotContext* snapshots = nullptr;
+  /// Budget for DRAM/flash bytes held only for pinned snapshots
+  /// (superseded versions awaiting reclaim). When a mutation would push
+  /// retention past this, the OLDEST pin is expired and its holder gets
+  /// kSnapshotTooOld on next use — retryable with a fresh snapshot, and
+  /// never torn data. 0 = unbounded.
+  std::uint64_t snapshot_retention_bytes = 64ull * 1024 * 1024;
 };
 
 }  // namespace rhik::kvssd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <iterator>
+#include <limits>
 #include <unordered_map>
 
 #include "ftl/layout.hpp"
@@ -56,12 +57,25 @@ KvssdDevice::KvssdDevice(DeviceConfig cfg, std::unique_ptr<flash::NandDevice> na
   gc_ = std::make_unique<ftl::GarbageCollector>(nand_.get(), alloc_.get(),
                                                 store_.get(), index_.get(),
                                                 tuning);
-  iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get());
+  if (cfg_.snapshots != nullptr) {
+    snaps_ = cfg_.snapshots;  // array-shared: one epoch across all shards
+  } else {
+    owned_snaps_ = std::make_unique<ftl::SnapshotContext>();
+    snaps_ = owned_snaps_.get();
+  }
+  snaps_->registry.set_retention_bytes(cfg_.snapshot_retention_bytes);
+  retainer_ = std::make_unique<ftl::VersionRetainer>(&snaps_->registry);
+  store_->set_epoch_source(&snaps_->epochs);
+  gc_->set_version_retainer(retainer_.get());
+  iter_mgr_ = std::make_unique<IteratorManager>(index_.get(), store_.get(),
+                                                &snaps_->registry,
+                                                retainer_.get());
   if (cfg_.checkpoint.enabled) {
     ckpt_ = std::make_unique<CheckpointManager>(nand_.get(), index_.get(),
                                                 store_.get(), alloc_.get(),
                                                 cfg_.checkpoint, &live_bytes_);
     ckpt_->set_index_kind(static_cast<std::uint32_t>(cfg_.index_kind));
+    ckpt_->set_epoch_source(&snaps_->epochs);
   }
   if (cfg_.obs.metrics) {
     put_timers_ = make_stage_timers("put");
@@ -143,6 +157,11 @@ Result<std::unique_ptr<KvssdDevice>> KvssdDevice::recover(
   }
   stats.pages_read = dev->nand_->stats().page_reads;
   dev->live_bytes_ = stats.live_bytes;
+  // Epochs must never regress across a restart: a reused stamp would make
+  // two generations of a key indistinguishable to snapshot resolution.
+  // Pins themselves do not survive the crash — their holders see
+  // kSnapshotTooOld, never torn data.
+  dev->snaps_->epochs.raise_to(stats.max_epoch);
 
   dev->enable_journaling();
   if (dev->ckpt_) {
@@ -303,6 +322,9 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
     flash::Ppa ppa = flash::kInvalidPpa;
   };
   std::unordered_map<std::uint64_t, Resolved> resolved;
+  // Tombstone locations from kRecDelAt records: deletion-epoch evidence
+  // for the ghost fold below (the index holds no epoch for absence).
+  std::unordered_map<std::uint64_t, flash::Ppa> del_at;
   for (std::size_t i = 0; i < tail.records.size(); ++i) {
     const auto& rec = tail.records[i];
     switch (rec.kind) {
@@ -346,6 +368,7 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
         // and GC relocates unmapped tombstones, so no revalidation: the
         // raw log agrees the key is gone.
         resolved[rec.key] = {Resolved::From::kAbsent, flash::kInvalidPpa};
+        del_at[rec.key] = rec.ppa;
         break;
       default:
         return Status::kCorruption;
@@ -382,6 +405,7 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   // spare read.
   const std::uint64_t horizon = std::max(img->next_seq, tail.max_next_seq);
   struct Ghost {
+    std::uint64_t epoch;
     std::uint64_t seq;
     std::size_t offset;
     std::uint64_t sig;
@@ -390,6 +414,7 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   };
   std::vector<Ghost> ghosts;
   std::uint64_t max_durable_seq = 0;
+  std::uint64_t max_epoch_hw = 0;
   for (std::uint32_t block = 0; block < valid_pages.size(); ++block) {
     for (std::uint32_t pg = valid_pages[block]; pg-- > 0;) {
       const flash::Ppa ppa = flash::make_ppa(g, block, pg);
@@ -398,10 +423,14 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
       const ftl::SpareTag tag = ftl::SpareTag::decode(spare);
       if (tag.kind == ftl::PageKind::kDataCont) continue;  // judged at head
       if (tag.kind != ftl::PageKind::kDataHead) break;     // index/meta block
-      const std::uint64_t seq = ftl::DataPageSpare::decode(spare).seq;
+      const ftl::DataPageSpare dspare = ftl::DataPageSpare::decode(spare);
+      const std::uint64_t seq = dspare.seq;
       // Sequence numbers ascend with page order, so this first head page
-      // read per block carries the block's maximum durable sequence.
+      // read per block carries the block's maximum durable sequence; its
+      // epoch high-water likewise bounds every stamp in the block (both
+      // are monotone in program order).
       max_durable_seq = std::max(max_durable_seq, seq);
+      max_epoch_hw = std::max(max_epoch_hw, dspare.epoch_hw);
       if (seq < horizon) break;  // everything below is journal-covered
       const auto pairs = ftl::parse_head_page(page, g.page_size);
       if (!pairs) continue;
@@ -413,16 +442,40 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
         if (pg + need >= valid_pages[block]) continue;
       }
       for (const auto& p : *pairs) {
-        ghosts.push_back(
-            Ghost{seq, p.offset, p.header.sig, ppa, p.header.tombstone});
+        ghosts.push_back(Ghost{p.header.epoch, seq, p.offset, p.header.sig,
+                               ppa, p.header.tombstone});
       }
     }
   }
+  // Epoch-major, like the full scan's winner ordering: GC may have
+  // relocated a snapshot-retained OLD version above the horizon (crash
+  // between the relocation flush and the pre-erase journal flush), and
+  // such a pair carries its ORIGINAL stamp with a top-of-log sequence.
   std::sort(ghosts.begin(), ghosts.end(), [](const Ghost& a, const Ghost& b) {
+    if (a.epoch != b.epoch) return a.epoch < b.epoch;
     return a.seq != b.seq ? a.seq < b.seq : a.offset < b.offset;
   });
   rejournal_.clear();
   for (const Ghost& gh : ghosts) {
+    // Every legitimately-unjournaled op postdates the checkpoint build
+    // (the checkpoint's own flush pushed anything older below the
+    // horizon), so its stamp exceeds the image's epoch high-water. A
+    // ghost at-or-below it can only be a relocated old version — already
+    // superseded somewhere in the durable log — and must not fold: a put
+    // would resurrect, a tombstone is a no-op against its absent sig.
+    if (gh.epoch <= img->epoch) continue;
+    // Same hazard when the superseding write is journal-resolved: fold
+    // only if the ghost is at least as new as the sig's current mapping
+    // (or, for an unmapped sig, its kRecDelAt tombstone).
+    const auto cur = index_->lookup(gh.sig);
+    if (!cur) return cur.status();
+    if (*cur) {
+      const auto meta = store_->read_pair_meta(**cur, gh.sig);
+      if (meta && meta->epoch > gh.epoch) continue;
+    } else if (const auto del = del_at.find(gh.sig); del != del_at.end()) {
+      const auto meta = store_->read_pair_meta(del->second, gh.sig);
+      if (meta && meta->tombstone && meta->epoch > gh.epoch) continue;
+    }
     if (gh.tombstone) {
       if (Status s = index_->apply_journal_erase(gh.sig); !ok(s)) return s;
     } else {
@@ -447,12 +500,22 @@ Status KvssdDevice::restore_from_checkpoint(const CheckpointManager::Found& foun
   // the true value. Introspection only — liveness accounting is per
   // block and self-corrects through GC validation.
   stats.live_bytes = img->live_bytes;
+  // The image's key count predates the journal tail, and the repoint
+  // records above fast-forwarded directory slots to pages that already
+  // hold the tail's keys — the put/del overlay re-applied those as
+  // updates, not inserts, so the incremental count stayed at the
+  // checkpoint's value. Recount from table occupancy: an undercount
+  // starves the resize trigger until inserts physically fail.
+  if (Status s = index_->recount_keys(); !ok(s)) return s;
   stats.keys_recovered = index_->size();
   stats.journal_pages_replayed = tail.pages;
   stats.journal_records_replayed = tail.records.size();
   stats.checkpoint_restored = 1;
   stats.checkpoint_version = found.version;
   stats.max_seq = store_->next_seq() - 1;
+  // Epoch high-water: the payload's value covers an idle device, the
+  // topmost spare per data block covers everything programmed since.
+  stats.max_epoch = std::max(max_epoch_hw, img->epoch);
   return Status::kOk;
 }
 
@@ -477,6 +540,24 @@ void KvssdDevice::charge_command(bool async) {
   clock_.advance(cost);
 }
 
+void KvssdDevice::retire_version(std::uint64_t sig, Ppa ppa,
+                                 std::uint64_t epoch,
+                                 std::uint64_t total_bytes) {
+  // A pinned snapshot may still need the dying version. The pin_count
+  // check is racy only in the safe direction: open() bumps the count
+  // BEFORE advancing the epoch (both seq_cst), so a zero read here means
+  // any concurrent pin lands at-or-after this mutation's stamp and never
+  // needed the old version. Same-stamp overwrites (one batch touching a
+  // key twice) have an empty visibility window [e, e) — free immediately.
+  if (snaps_->registry.pin_count() != 0 && epoch < mutation_epoch_) {
+    retainer_->capture(sig,
+                       ftl::RetainedVersion{ppa, epoch, mutation_epoch_,
+                                            total_bytes});
+  } else {
+    store_->note_stale(ppa, total_bytes);
+  }
+}
+
 void KvssdDevice::gc_tick() {
   // Best-effort: an IO failure here (powered-off injector, device full)
   // resurfaces on the next foreground op; the quantum itself must never
@@ -485,12 +566,22 @@ void KvssdDevice::gc_tick() {
   // An in-flight index doubling drains on the same quantum cadence as
   // GC, so foreground ops are never charged migration work.
   (void)index_->pump_maintenance(0);
+  // Retained versions whose windows dropped below the pin floor become
+  // ordinary stale bytes for GC to reclaim.
+  if (!retainer_->empty()) {
+    retainer_->reclaim(
+        [this](Ppa p, std::uint64_t bytes) { store_->note_stale(p, bytes); });
+  }
 }
 
 bool KvssdDevice::pump_background() {
   bool did_work = false;
   (void)gc_->background_tick(&did_work);
   if (index_->pump_maintenance(0)) did_work = true;
+  if (!retainer_->empty()) {
+    retainer_->reclaim(
+        [this](Ppa p, std::uint64_t bytes) { store_->note_stale(p, bytes); });
+  }
   return did_work;
 }
 
@@ -528,6 +619,7 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
   if (!looked) return looked.status();
   const std::optional<Ppa> old_ppa = *looked;
   std::uint64_t old_total = 0;
+  std::uint64_t old_epoch = 0;
   if (old_ppa) {
     obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
     auto meta = store_->read_pair_meta(*old_ppa, sig);
@@ -538,11 +630,13 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
       return Status::kCollisionAbort;
     }
     old_total = meta->total_bytes;
+    old_epoch = meta->epoch;
   }
 
   const auto timed_write = [&] {
     obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
-    return store_->write_pair(sig, key, value);
+    return store_->write_pair(sig, key, value, /*for_gc=*/false,
+                              mutation_epoch_);
   };
   auto new_ppa = timed_write();
   if (!new_ppa && new_ppa.status() == Status::kDeviceFull) {
@@ -575,7 +669,7 @@ Status KvssdDevice::put_locked(ByteSpan key, ByteSpan value) {
     return ist;
   }
   if (old_ppa) {
-    store_->note_stale(*old_ppa, old_total);
+    retire_version(sig, *old_ppa, old_epoch, old_total);
     live_bytes_ -= old_total;
   }
   live_bytes_ += ftl::FlashKvStore::pair_bytes(key.size(), value.size());
@@ -646,7 +740,7 @@ Status KvssdDevice::del_locked(ByteSpan key) {
     obs::StageScope span(active_trace_, obs::Stage::kIndex, clock_);
     if (Status s = index_->erase(sig); !ok(s)) return s;
   }
-  store_->note_stale(*ppa, meta->total_bytes);
+  retire_version(sig, *ppa, meta->epoch, meta->total_bytes);
   live_bytes_ -= meta->total_bytes;
 
   // Durable deletion record (crash recovery replays it). The bytes just
@@ -655,7 +749,7 @@ Status KvssdDevice::del_locked(ByteSpan key) {
   // the GC reserve — deletion must always be possible on a full device.
   const auto timed_tombstone = [&](bool for_gc) {
     obs::StageScope span(active_trace_, obs::Stage::kFlash, clock_);
-    return store_->write_tombstone(sig, key, for_gc);
+    return store_->write_tombstone(sig, key, for_gc, mutation_epoch_);
   };
   auto ts = timed_tombstone(/*for_gc=*/false);
   if (!ts && ts.status() == Status::kDeviceFull) {
@@ -685,6 +779,7 @@ Status KvssdDevice::put(ByteSpan key, ByteSpan value) {
   charge_command(/*async=*/false);
   obs::OpTrace tr;
   const bool traced = obs_begin(tr, obs::OpKind::kPut, t0, /*enqueue_ns=*/t0);
+  begin_mutation_batch();
   const Status s = put_locked(key, value);
   stats_.put_latency_ns.record(clock_.now() - t0);
   if (traced) obs_finish(tr, s, put_timers_);
@@ -709,6 +804,7 @@ Status KvssdDevice::del(ByteSpan key) {
   charge_command(/*async=*/false);
   obs::OpTrace tr;
   const bool traced = obs_begin(tr, obs::OpKind::kDel, t0, /*enqueue_ns=*/t0);
+  begin_mutation_batch();
   const Status s = del_locked(key);
   if (traced) obs_finish(tr, s, del_timers_);
   if (ckpt_) ckpt_->tick();
@@ -764,10 +860,132 @@ Status KvssdDevice::close_iterator(std::uint32_t handle) {
   return iter_mgr_->close(handle);
 }
 
+Result<api::SnapshotHandle> KvssdDevice::open_snapshot() {
+  charge_command(/*async=*/false);
+  const ftl::SnapshotRegistry::Pin pin = snaps_->registry.open();
+  return api::SnapshotHandle{pin.id, pin.epoch};
+}
+
+Status KvssdDevice::release_snapshot(const api::SnapshotHandle& snap) {
+  charge_command(/*async=*/false);
+  return snaps_->registry.release(snap.id, snap.epoch);
+}
+
+Status KvssdDevice::read_at(const api::SnapshotHandle& snap, ByteSpan key,
+                            Bytes* value_out) {
+  if (key.empty() || key.size() > cfg_.max_key_size) {
+    return Status::kInvalidArgument;
+  }
+  charge_command(/*async=*/false);
+  const auto epoch = snaps_->registry.epoch_of(snap.id);
+  if (!epoch) return epoch.status();  // expired / unknown pin
+  // A recycled pin id (the registry restarts after a power cycle) can
+  // never share a stale handle's epoch — recovery raises the epoch
+  // source past every durable stamp — so a mismatch identifies a pin
+  // that did not survive. Erroring beats reading at the wrong epoch.
+  if (snap.epoch != 0 && *epoch != snap.epoch) return Status::kSnapshotTooOld;
+
+  const std::uint64_t sig = signature(key);
+  const auto looked = index_->lookup(sig);
+  if (!looked) return looked.status();
+  if (*looked) {
+    // Current version first: visible iff its stamp is at or below the
+    // pinned epoch (an index hit is never a tombstone — deletes unmap).
+    Bytes stored_key;
+    Bytes value;
+    std::uint64_t e = 0;
+    if (Status s = store_->read_pair(**looked, sig, &stored_key, &value, &e);
+        !ok(s)) {
+      return s;
+    }
+    if (e <= *epoch) {
+      if (stored_key.size() != key.size() ||
+          !std::equal(key.begin(), key.end(), stored_key.begin())) {
+        stats_.not_found++;
+        return Status::kNotFound;  // signature collision (§IV-A3)
+      }
+      stats_.gets++;
+      stats_.bytes_got += value.size();
+      if (value_out) *value_out = std::move(value);
+      return Status::kOk;
+    }
+  }
+  // Superseded (or deleted) after the pin: the retainer holds the version
+  // visible at the pinned epoch, if the key existed then at all.
+  if (const ftl::RetainedVersion* v = retainer_->resolve(sig, *epoch)) {
+    Bytes stored_key;
+    Bytes value;
+    bool tomb = false;
+    if (Status s = store_->read_pair_at(v->ppa, sig, *epoch, &stored_key,
+                                        &value, &tomb);
+        !ok(s)) {
+      return s;
+    }
+    if (!tomb && stored_key.size() == key.size() &&
+        std::equal(key.begin(), key.end(), stored_key.begin())) {
+      stats_.gets++;
+      stats_.bytes_got += value.size();
+      if (value_out) *value_out = std::move(value);
+      return Status::kOk;
+    }
+  }
+  stats_.not_found++;
+  return Status::kNotFound;
+}
+
+Result<std::uint64_t> KvssdDevice::kvs_open_iterator(
+    ByteSpan prefix, const api::SnapshotHandle* snap) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  charge_command(/*async=*/false);
+  stats_.iterates++;
+  if (snap != nullptr && snap->epoch != 0) {
+    // Stale-handle guard (see read_at): a pin id recycled across a
+    // power cycle never matches the old handle's epoch.
+    const auto epoch = snaps_->registry.epoch_of(snap->id);
+    if (!epoch) return epoch.status();
+    if (*epoch != snap->epoch) return Status::kSnapshotTooOld;
+  }
+  const auto handle = snap != nullptr ? iter_mgr_->open_at(prefix, snap->id)
+                                      : iter_mgr_->open(prefix);
+  if (!handle) return handle.status();
+  return static_cast<std::uint64_t>(*handle);
+}
+
+Status KvssdDevice::kvs_iterator_next(std::uint64_t handle,
+                                      std::size_t max_keys,
+                                      std::vector<Bytes>* keys_out) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  if (keys_out == nullptr) return Status::kInvalidArgument;
+  if (handle > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::kInvalidArgument;
+  }
+  charge_command(/*async=*/false);
+  keys_out->clear();
+  std::vector<IteratorEntry> batch;
+  const Status s =
+      iter_mgr_->next(static_cast<std::uint32_t>(handle), max_keys, &batch);
+  if (!ok(s)) return s;
+  keys_out->reserve(batch.size());
+  for (IteratorEntry& e : batch) keys_out->push_back(std::move(e.key));
+  return Status::kOk;
+}
+
+Status KvssdDevice::kvs_close_iterator(std::uint64_t handle) {
+  if (!cfg_.prefix_signatures) return Status::kUnsupported;
+  if (handle > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::kInvalidArgument;
+  }
+  charge_command(/*async=*/false);
+  return iter_mgr_->close(static_cast<std::uint32_t>(handle));
+}
+
 Status KvssdDevice::execute_batch(std::vector<BatchOp>& ops) {
   // One NVMe round trip for the whole group (compound command, [8]).
   charge_command(/*async=*/false);
   stats_.batches++;
+  // One epoch per compound command: its ops are a single atomic batch to
+  // snapshot readers (a snapshot sees all of it or none of it).
+  begin_mutation_batch();
   for (BatchOp& op : ops) {
     const SimTime t0 = clock_.now();
     obs::OpTrace tr;
@@ -847,6 +1065,9 @@ std::size_t KvssdDevice::drain() {
     ops.assign(std::make_move_iterator(queue_.begin()),
                std::make_move_iterator(queue_.end()));
     queue_.clear();
+    // One epoch per drained batch (not per op): snapshot granularity is
+    // the queue snapshot, matching the paper's batch-ack semantics.
+    begin_mutation_batch();
 
     // Index-aware batch drain: execute the snapshot grouped by the
     // index's locality bucket, so a record page is loaded once per group
@@ -1037,6 +1258,22 @@ obs::MetricsSnapshot KvssdDevice::metrics_snapshot() const {
                  static_cast<std::int64_t>(clock_.total_stall()),
                  obs::MergeMode::kMax);
   snap.set_gauge("device.live_bytes", static_cast<std::int64_t>(live_bytes_));
+  // MVCC snapshot state. The registry/epoch gauges merge with kMax: in an
+  // array every shard reports the SAME shared context, so summing would
+  // multiply by the shard count.
+  snaps_->registry.stats().publish(snap);
+  retainer_->stats().publish(snap);
+  snap.set_gauge("snapshot.epoch",
+                 static_cast<std::int64_t>(snaps_->epochs.current()),
+                 obs::MergeMode::kMax);
+  snap.set_gauge("snapshot.open_pins",
+                 static_cast<std::int64_t>(snaps_->registry.open_pins()),
+                 obs::MergeMode::kMax);
+  snap.set_gauge("snapshot.retained_bytes",
+                 static_cast<std::int64_t>(snaps_->registry.retained_bytes()),
+                 obs::MergeMode::kMax);
+  snap.set_gauge("retainer.versions",
+                 static_cast<std::int64_t>(retainer_->size()));
   snap.set_gauge("device.key_count", static_cast<std::int64_t>(index_->size()));
   snap.set_gauge("index.size", static_cast<std::int64_t>(index_->size()));
   snap.set_gauge("index.capacity", static_cast<std::int64_t>(index_->capacity()));

@@ -28,6 +28,7 @@
 #include "flash/nand.hpp"
 #include "ftl/gc.hpp"
 #include "ftl/kv_store.hpp"
+#include "ftl/mvcc.hpp"
 #include "ftl/page_allocator.hpp"
 #include "index/index.hpp"
 #include "kvssd/checkpoint.hpp"
@@ -131,13 +132,34 @@ class KvssdDevice : public api::IKvsBackend {
   Status iterate_prefix(ByteSpan prefix, std::vector<Bytes>* keys_out,
                         std::size_t limit = SIZE_MAX) override;
 
+  // -- MVCC snapshots (DESIGN.md §13) ----------------------------------------
+  /// Pins the current epoch. Reads through the handle see exactly the
+  /// device state as of the pin, until release_snapshot (or expiry by
+  /// the retention budget / a power cycle → kSnapshotTooOld).
+  Result<api::SnapshotHandle> open_snapshot() override;
+  Status release_snapshot(const api::SnapshotHandle& snap) override;
+  /// Point read as of the snapshot's epoch: serves the current version
+  /// when its stamp is old enough, else the retainer's covering version.
+  Status read_at(const api::SnapshotHandle& snap, ByteSpan key,
+                 Bytes* value_out) override;
+
   // -- Iterator command set (§II-A; key+value iteration is the §VI
   // -- extension absent from Samsung KVSSD) ----------------------------------
+  /// Opens a device-level iterator. Pins its own snapshot internally, so
+  /// every iterator is consistent by default (DESIGN.md §13).
   Result<std::uint32_t> open_iterator(ByteSpan prefix, IteratorOptions opts = {});
-  /// kOk with entries while any remain; kNotFound at iterator end.
+  /// kOk with entries while any remain; kNotFound at iterator end;
+  /// kSnapshotTooOld if the backing pin was expired mid-scan.
   Status iterator_next(std::uint32_t handle, std::size_t max_entries,
                        std::vector<IteratorEntry>* out);
   Status close_iterator(std::uint32_t handle);
+
+  // -- SNIA-style streaming key iterators (api::IKvsBackend) -----------------
+  Result<std::uint64_t> kvs_open_iterator(ByteSpan prefix,
+                                          const api::SnapshotHandle* snap) override;
+  Status kvs_iterator_next(std::uint64_t handle, std::size_t max_keys,
+                           std::vector<Bytes>* keys_out) override;
+  Status kvs_close_iterator(std::uint64_t handle) override;
 
   /// Compound command (Kim et al., HotStorage'19 [8]): executes a group
   /// of KV operations under a single NVMe round trip — one fixed command
@@ -208,6 +230,12 @@ class KvssdDevice : public api::IKvsBackend {
   [[nodiscard]] ftl::PageAllocator& allocator() noexcept { return *alloc_; }
   [[nodiscard]] ftl::FlashKvStore& store() noexcept { return *store_; }
   [[nodiscard]] ftl::GarbageCollector& gc() noexcept { return *gc_; }
+  /// The snapshot context (device-owned, or the shared one installed via
+  /// DeviceConfig::snapshots) and the per-device version retainer.
+  [[nodiscard]] ftl::SnapshotContext& snapshots() noexcept { return *snaps_; }
+  [[nodiscard]] ftl::VersionRetainer& version_retainer() noexcept {
+    return *retainer_;
+  }
   [[nodiscard]] const DeviceConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
@@ -271,6 +299,17 @@ class KvssdDevice : public api::IKvsBackend {
   Status get_locked(ByteSpan key, Bytes* value_out);
   Status del_locked(ByteSpan key);
 
+  /// Advances the global epoch and stamps this mutation batch with the
+  /// new value. Called once per synchronous mutation and once per drain
+  /// batch — ops of one batch share a stamp (DESIGN.md §13).
+  void begin_mutation_batch() noexcept {
+    mutation_epoch_ = snaps_->epochs.advance();
+  }
+  /// Overwrite/delete path: hands the dying version to the retainer when
+  /// any snapshot is pinned, else surrenders its stale credit now.
+  void retire_version(std::uint64_t sig, flash::Ppa ppa, std::uint64_t epoch,
+                      std::uint64_t total_bytes);
+
   /// Charges the per-command cost; async commands amortize it over the
   /// queue depth.
   void charge_command(bool async);
@@ -326,6 +365,12 @@ class KvssdDevice : public api::IKvsBackend {
   std::unique_ptr<ftl::FlashKvStore> store_;
   std::unique_ptr<index::IIndex> index_;
   std::unique_ptr<ftl::GarbageCollector> gc_;
+  /// Owned when DeviceConfig::snapshots is null; `snaps_` always valid.
+  std::unique_ptr<ftl::SnapshotContext> owned_snaps_;
+  ftl::SnapshotContext* snaps_ = nullptr;
+  std::unique_ptr<ftl::VersionRetainer> retainer_;
+  /// Epoch stamped on the current mutation batch (begin_mutation_batch).
+  std::uint64_t mutation_epoch_ = 0;
   std::unique_ptr<CheckpointManager> ckpt_;
   /// Ghost pairs folded by the last fast restore, pending re-journaling.
   /// See restore_from_checkpoint.

@@ -1,4 +1,4 @@
-// Iterator manager (paper §II-A, §VI).
+// Iterator manager (paper §II-A, §VI; DESIGN.md §13).
 //
 // Samsung KVSSD exposes an `iterate` command that enumerates keys (or KV
 // pairs) matching a search prefix, served by a log-structured iterator
@@ -7,11 +7,17 @@
 // 4 B suffix hash, so all keys sharing a prefix form one signature class
 // that an index scan can enumerate.
 //
-// This manager implements that design: `open` snapshots the matching
-// (signature, PPA) set from the index; `next` returns batches of keys
-// (optionally with values), verifying the actual stored prefix to weed
-// out hash-class collisions. Like the real device, a bounded number of
-// iterators may be open at once.
+// Iterators are SNAPSHOT-BOUND: `open` pins an MVCC epoch (its own pin,
+// or a caller-supplied snapshot via `open_at`) and gathers the candidate
+// signature set — the index's current class members plus any retained
+// versions covering the pinned epoch. `next` resolves every candidate AS
+// OF that epoch: the current version when its stamp is old enough,
+// otherwise the retainer's covering version, otherwise the key did not
+// exist at the epoch. Keys mutated, deleted or GC-relocated mid-scan
+// therefore still enumerate exactly their as-of-open state. The stored
+// prefix is verified on every hit to weed out hash-class collisions.
+// Like the real device, a bounded number of iterators may be open at
+// once (kIteratorMax beyond that).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "ftl/kv_store.hpp"
+#include "ftl/mvcc.hpp"
 #include "index/index.hpp"
 
 namespace rhik::kvssd {
@@ -39,16 +46,26 @@ class IteratorManager {
   /// Samsung firmware allows a handful of concurrent iterators.
   static constexpr std::uint32_t kMaxOpenIterators = 16;
 
-  IteratorManager(index::IIndex* index, ftl::FlashKvStore* store);
+  /// `registry`/`retainer` may be null (FTL-level tests): iterators then
+  /// enumerate the open-time index snapshot without epoch resolution.
+  IteratorManager(index::IIndex* index, ftl::FlashKvStore* store,
+                  ftl::SnapshotRegistry* registry = nullptr,
+                  ftl::VersionRetainer* retainer = nullptr);
 
-  /// Opens an iterator over keys starting with `prefix`. Snapshots the
-  /// candidate set (later mutations are not reflected, matching the
-  /// snapshot-ish semantics of the firmware iterator).
+  /// Opens an iterator over keys starting with `prefix`, pinning its own
+  /// snapshot (released on close) so the view is consistent by default.
   Result<std::uint32_t> open(ByteSpan prefix, IteratorOptions opts = {});
+
+  /// Opens an iterator bound to the caller's snapshot pin. The pin stays
+  /// owned by the caller (close() does not release it); it must outlive
+  /// the iterator or next() degrades to kSnapshotTooOld.
+  Result<std::uint32_t> open_at(ByteSpan prefix, std::uint64_t pin_id,
+                                IteratorOptions opts = {});
 
   /// Fetches up to `max_entries` further entries. Returns kOk while
   /// entries remain; kNotFound once the iterator is exhausted (the SNIA
-  /// ITERATOR_END condition); kInvalidArgument for a bad handle.
+  /// ITERATOR_END condition); kSnapshotTooOld when the backing pin was
+  /// expired by the retention bound; kInvalidArgument for a bad handle.
   Status next(std::uint32_t handle, std::size_t max_entries,
               std::vector<IteratorEntry>* out);
 
@@ -60,12 +77,28 @@ class IteratorManager {
   struct OpenIterator {
     Bytes prefix;
     IteratorOptions opts;
+    /// Candidate signatures with their open-time PPA. Pinned iterators
+    /// re-resolve by signature at next() (the PPA is only a hint that
+    /// may go stale under churn); unpinned legacy iterators read the
+    /// hint directly.
     std::vector<std::pair<std::uint64_t, flash::Ppa>> candidates;
     std::size_t pos = 0;
+    std::uint64_t pin_id = 0;  ///< 0 = unpinned (no registry) enumeration
+    std::uint64_t epoch = ftl::kEpochMax;
+    bool owns_pin = false;
   };
+
+  Result<std::uint32_t> open_impl(ByteSpan prefix, IteratorOptions opts,
+                                  std::uint64_t pin_id, std::uint64_t epoch,
+                                  bool owns_pin);
+  /// Resolves one candidate as of `it.epoch`; returns false to skip it.
+  bool resolve_pinned(const OpenIterator& it, std::uint64_t sig,
+                      IteratorEntry* entry);
 
   index::IIndex* index_;
   ftl::FlashKvStore* store_;
+  ftl::SnapshotRegistry* registry_;
+  ftl::VersionRetainer* retainer_;
   std::unordered_map<std::uint32_t, OpenIterator> iters_;
   std::uint32_t next_handle_ = 1;
 };

@@ -34,6 +34,7 @@ void RecoveryStats::merge_from(const RecoveryStats& other) noexcept {
   keys_recovered += other.keys_recovered;
   live_bytes += other.live_bytes;
   max_seq = std::max(max_seq, other.max_seq);
+  max_epoch = std::max(max_epoch, other.max_epoch);
   torn_pages_dropped += other.torn_pages_dropped;
   incomplete_extents_dropped += other.incomplete_extents_dropped;
   wear_blocks_restored += other.wear_blocks_restored;
@@ -53,8 +54,15 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
   const auto& g = nand.geometry();
   RecoveryStats stats;
 
-  // Newest version of each signature seen so far in the log.
+  // Newest version of each signature seen so far in the log. Ordering is
+  // epoch-major, (seq, offset)-minor: GC relocates snapshot-retained OLD
+  // versions into fresh pages (preserving their original epoch stamps),
+  // so a higher page seq alone no longer implies a newer version. Epochs
+  // strictly increase across a key's mutations; ops of one batch share a
+  // stamp and are ordered by (seq, offset) as before (pre-MVCC pages all
+  // decode epoch 0 and keep the legacy pure-seq behavior).
   struct Winner {
+    std::uint64_t epoch = 0;
     std::uint64_t seq = 0;
     std::size_t offset = 0;
     Ppa ppa = flash::kInvalidPpa;
@@ -157,10 +165,14 @@ Result<RecoveryStats> recover_from_flash(flash::NandDevice& nand,
       for (const auto& p : *pairs) {
         stats.pairs_seen++;
         if (p.header.tombstone) stats.tombstones_seen++;
+        const std::uint64_t e = p.header.epoch;
+        if (e > stats.max_epoch) stats.max_epoch = e;
         Winner& w = winners[p.header.sig];
-        if (w.ppa == flash::kInvalidPpa || seq > w.seq ||
-            (seq == w.seq && p.offset > w.offset)) {
-          w = Winner{seq,
+        if (w.ppa == flash::kInvalidPpa || e > w.epoch ||
+            (e == w.epoch &&
+             (seq > w.seq || (seq == w.seq && p.offset > w.offset)))) {
+          w = Winner{e,
+                     seq,
                      p.offset,
                      ppa,
                      p.header.pair_bytes(),

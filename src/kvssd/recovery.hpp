@@ -9,9 +9,11 @@
 //     with programmed pages is adopted as sealed; empty blocks are free.
 //  2. The index is rebuilt from the data log alone. Head pages carry a
 //     monotonically increasing sequence number; pairs are globally
-//     ordered by (page seq, in-page offset), so the newest version of
-//     every signature wins, and a newest-version tombstone (durable
-//     deletion record) means the key is absent.
+//     ordered by (epoch, page seq, in-page offset) — epoch-major because
+//     GC may relocate snapshot-retained OLD versions into new pages with
+//     their original MVCC stamps — so the newest version of every
+//     signature wins, and a newest-version tombstone (durable deletion
+//     record) means the key is absent.
 //  3. Old index-zone pages are deliberately ignored: they carry no live
 //     accounting after recovery, so GC reclaims them wholesale. The
 //     directory-checkpoint fast path (RhikIndex::load_directory) remains
@@ -58,6 +60,9 @@ struct RecoveryStats {
   std::uint64_t keys_recovered = 0;
   std::uint64_t live_bytes = 0;  ///< live user data after recovery
   std::uint64_t max_seq = 0;
+  /// Highest MVCC epoch stamped on any durable pair — the epoch source
+  /// is raised past this after a full scan so epochs never regress.
+  std::uint64_t max_epoch = 0;
   std::uint64_t torn_pages_dropped = 0;       ///< programmed pages failing CRC/structure
   std::uint64_t incomplete_extents_dropped = 0;  ///< valid heads with a torn/missing tail
   std::uint64_t wear_blocks_restored = 0;     ///< erase counts re-derived from spare stamps
@@ -105,6 +110,8 @@ struct RecoveryStats {
                    obs::MergeMode::kMax);
     snap.add_counter("recovery.live_bytes", live_bytes);
     snap.set_gauge("recovery.max_seq", static_cast<std::int64_t>(max_seq),
+                   obs::MergeMode::kMax);
+    snap.set_gauge("recovery.max_epoch", static_cast<std::int64_t>(max_epoch),
                    obs::MergeMode::kMax);
   }
 };

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <limits>
@@ -215,14 +216,32 @@ api::KvsResult KvClient::del(std::string_view key) {
   return f.status;
 }
 
-api::KvsResult KvClient::iterate(std::string_view prefix, std::uint32_t limit,
-                                 std::vector<std::string>* keys_out) {
+api::KvsResult KvClient::iter_open(std::string_view prefix,
+                                   IterToken* token_out) {
   if (const auto v = validate_frame(prefix, {});
       v != api::KvsResult::KVS_SUCCESS) {
     return v;
   }
   ResponseFrame f;
-  if (round_trip(Opcode::kIter, prefix, {}, limit, &f) != Status::kOk) {
+  if (round_trip(Opcode::kIterOpen, prefix, {}, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  if (f.status != api::KvsResult::KVS_SUCCESS) return f.status;
+  if (token_out != nullptr &&
+      !decode_iter_token(ByteSpan(f.value), token_out)) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::iter_next(const IterToken& token, std::uint32_t limit,
+                                   std::vector<std::string>* keys_out) {
+  Bytes tok;
+  encode_iter_token(token, &tok);
+  const std::string_view tok_sv(reinterpret_cast<const char*>(tok.data()),
+                                tok.size());
+  ResponseFrame f;
+  if (round_trip(Opcode::kIterNext, {}, tok_sv, limit, &f) != Status::kOk) {
     return api::KvsResult::KVS_ERR_SYS_IO;
   }
   if (f.status != api::KvsResult::KVS_SUCCESS) return f.status;
@@ -231,6 +250,43 @@ api::KvsResult KvClient::iterate(std::string_view prefix, std::uint32_t limit,
     return api::KvsResult::KVS_ERR_SYS_IO;
   }
   return f.status;
+}
+
+api::KvsResult KvClient::iter_close(const IterToken& token) {
+  Bytes tok;
+  encode_iter_token(token, &tok);
+  const std::string_view tok_sv(reinterpret_cast<const char*>(tok.data()),
+                                tok.size());
+  ResponseFrame f;
+  if (round_trip(Opcode::kIterClose, {}, tok_sv, 0, &f) != Status::kOk) {
+    return api::KvsResult::KVS_ERR_SYS_IO;
+  }
+  return f.status;
+}
+
+api::KvsResult KvClient::iterate(std::string_view prefix, std::uint32_t limit,
+                                 std::vector<std::string>* keys_out) {
+  IterToken token;
+  api::KvsResult r = iter_open(prefix, &token);
+  if (r != api::KvsResult::KVS_SUCCESS) return r;
+  // Drain the whole cursor even with a limit: the contract is the
+  // lexicographically FIRST `limit` keys (a deterministic cut), and the
+  // cursor streams in enumeration (hash) order — the cut can only be
+  // taken after the full sorted view exists.
+  std::vector<std::string> all;
+  std::vector<std::string> batch;
+  for (;;) {
+    r = iter_next(token, 4096, &batch);
+    if (r != api::KvsResult::KVS_SUCCESS) break;
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  (void)iter_close(token);
+  if (r != api::KvsResult::KVS_ERR_KEY_NOT_EXIST) return r;
+  std::sort(all.begin(), all.end());
+  if (limit != 0 && all.size() > limit) all.resize(limit);
+  if (keys_out != nullptr) *keys_out = std::move(all);
+  return api::KvsResult::KVS_SUCCESS;
 }
 
 api::KvsResult KvClient::status_json(std::string* json_out) {

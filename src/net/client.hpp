@@ -63,10 +63,30 @@ class KvClient {
   api::KvsResult put(std::string_view key, std::string_view value);
   api::KvsResult get(std::string_view key, Bytes* value_out);
   api::KvsResult del(std::string_view key);
-  /// Prefix scan within this client's tenant namespace; limit 0 = server
-  /// default. Keys come back sorted (api::KvsDevice::iterate contract).
+  /// Prefix scan within this client's tenant namespace; limit 0 = no
+  /// cap. Keys come back sorted (api::KvsDevice::iterate contract).
+  /// Implemented over the cursored verbs below, so the whole scan is one
+  /// consistent snapshot and never silently truncates at the server's
+  /// per-response ceiling (the old one-shot ITER bug).
   api::KvsResult iterate(std::string_view prefix, std::uint32_t limit,
                          std::vector<std::string>* keys_out);
+
+  // -- Cursored scans (ITER_OPEN / ITER_NEXT / ITER_CLOSE) --------------------
+  /// Opens a server-side cursor over `prefix`, pinned to one snapshot
+  /// epoch for its whole lifetime. The continuation token identifies the
+  /// cursor in iter_next/iter_close. Cursors are per-connection state:
+  /// they die with the connection (the server reaps them), but close
+  /// promptly — an open cursor pins device version retention.
+  api::KvsResult iter_open(std::string_view prefix, IterToken* token_out);
+  /// Streams up to `limit` further keys (0 = server batch ceiling) into
+  /// `keys_out` (replaced). KVS_SUCCESS while keys remain;
+  /// KVS_ERR_KEY_NOT_EXIST once exhausted (cursor stays open);
+  /// KVS_ERR_SNAPSHOT_TOO_OLD when the pinned epoch fell out of
+  /// retention mid-scan — reopen and restart.
+  api::KvsResult iter_next(const IterToken& token, std::uint32_t limit,
+                           std::vector<std::string>* keys_out);
+  /// Releases the cursor and its snapshot pin.
+  api::KvsResult iter_close(const IterToken& token);
   /// Server metrics snapshot as JSON (the kStatus opcode).
   api::KvsResult status_json(std::string* json_out);
 

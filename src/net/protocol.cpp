@@ -14,15 +14,19 @@ const char* to_string(Opcode op) noexcept {
     case Opcode::kDel: return "DEL";
     case Opcode::kIter: return "ITER";
     case Opcode::kStatus: return "STATUS";
+    case Opcode::kIterOpen: return "ITER_OPEN";
+    case Opcode::kIterNext: return "ITER_NEXT";
+    case Opcode::kIterClose: return "ITER_CLOSE";
   }
   return "UNKNOWN";
 }
 
 namespace {
 
-constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(Opcode::kStatus);
+constexpr std::uint8_t kMaxOpcode =
+    static_cast<std::uint8_t>(Opcode::kIterClose);
 constexpr std::uint8_t kMaxResult =
-    static_cast<std::uint8_t>(api::KvsResult::KVS_ERR_QUEUE_FULL);
+    static_cast<std::uint8_t>(api::KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD);
 
 void append(Bytes* out, const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
@@ -170,6 +174,21 @@ void encode_key_list(const std::vector<std::string>& keys, Bytes* out) {
     append(out, len, 2);
     append(out, k.data(), k.size());
   }
+}
+
+void encode_iter_token(const IterToken& t, Bytes* out) {
+  std::uint8_t buf[kIterTokenSize];
+  MutByteSpan b(buf);
+  put_u64(b, 0, t.cursor_id);
+  put_u64(b, 8, t.epoch);
+  append(out, buf, sizeof buf);
+}
+
+bool decode_iter_token(ByteSpan payload, IterToken* out) {
+  if (payload.size() != kIterTokenSize) return false;
+  out->cursor_id = get_u64(payload, 0);
+  out->epoch = get_u64(payload, 8);
+  return true;
 }
 
 bool decode_key_list(ByteSpan payload, std::uint32_t count,

@@ -39,9 +39,27 @@
 // integrity is TCP's job; the CRC protects the *lengths* the decoder is
 // about to trust.
 //
-// kIter response payloads are a key list: `extra` entries of
-// [u16 len][len key bytes], concatenated (encode_key_list /
+// kIter / kIterNext response payloads are a key list: `extra` entries
+// of [u16 len][len key bytes], concatenated (encode_key_list /
 // decode_key_list).
+//
+// Cursored scans (kIterOpen / kIterNext / kIterClose) replace the
+// one-shot kIter for anything that must not truncate: kIter silently
+// capped a scan at WireLimits::max_iter_keys, cursored scans stream the
+// whole prefix in bounded batches pinned to ONE snapshot epoch.
+//   kIterOpen:  request key = prefix; response value = 16-byte
+//               continuation token (IterToken: [cursor_id u64][epoch
+//               u64] — the epoch the server pinned for the cursor).
+//   kIterNext:  request value = the token, limit = max keys this batch;
+//               response = key list (`extra` keys) while keys remain,
+//               KVS_ERR_KEY_NOT_EXIST once exhausted (the cursor stays
+//               open until kIterClose), KVS_ERR_SNAPSHOT_TOO_OLD when
+//               the pinned epoch fell out of version retention.
+//   kIterClose: request value = the token; releases the cursor and its
+//               snapshot pin.
+// Cursors are per-connection server state, owned by the tenant that
+// opened them (a token is rejected across tenants) and reaped when the
+// connection closes — an abandoned cursor never pins an epoch forever.
 #pragma once
 
 #include <cstdint>
@@ -57,8 +75,14 @@ enum class Opcode : std::uint8_t {
   kPut = 1,
   kGet = 2,
   kDel = 3,
-  kIter = 4,    ///< prefix scan; key = prefix, limit = max keys
-  kStatus = 5,  ///< server metrics snapshot; response value = JSON
+  /// One-shot prefix scan; key = prefix, limit = max keys. Deprecated:
+  /// results silently truncate at WireLimits::max_iter_keys — use the
+  /// cursored kIterOpen / kIterNext / kIterClose instead.
+  kIter = 4,
+  kStatus = 5,     ///< server metrics snapshot; response value = JSON
+  kIterOpen = 6,   ///< open cursor; key = prefix, response = IterToken
+  kIterNext = 7,   ///< value = IterToken, limit = batch; response = keys
+  kIterClose = 8,  ///< value = IterToken; releases cursor + pin
 };
 
 [[nodiscard]] const char* to_string(Opcode op) noexcept;
@@ -165,11 +189,29 @@ class ResponseDecoder {
   bool poisoned_ = false;
 };
 
-/// kIter payload codec: `extra` entries of [u16 len][key bytes].
+/// kIter / kIterNext payload codec: `extra` entries of
+/// [u16 len][key bytes].
 void encode_key_list(const std::vector<std::string>& keys, Bytes* out);
 /// Strict decode: every byte must be consumed and exactly `count`
 /// entries present, else false (payload treated as corrupt).
 [[nodiscard]] bool decode_key_list(ByteSpan payload, std::uint32_t count,
                                    std::vector<std::string>* keys_out);
+
+/// Continuation token of a cursored scan: returned by kIterOpen, echoed
+/// verbatim in every kIterNext / kIterClose. `cursor_id` names the
+/// server-side cursor; `epoch` is the snapshot epoch the cursor pinned
+/// (diagnostics — the server validates the id, the device validates the
+/// pin).
+struct IterToken {
+  std::uint64_t cursor_id = 0;
+  std::uint64_t epoch = 0;
+};
+
+constexpr std::size_t kIterTokenSize = 16;
+
+/// Appends the 16-byte token encoding to `out`.
+void encode_iter_token(const IterToken& t, Bytes* out);
+/// Strict decode: exactly kIterTokenSize bytes, else false.
+[[nodiscard]] bool decode_iter_token(ByteSpan payload, IterToken* out);
 
 }  // namespace rhik::net

@@ -41,6 +41,12 @@ std::uint64_t KvServer::wall_now_ns() noexcept {
           .count());
 }
 
+obs::MetricsSnapshot KvServer::device_metrics() {
+  std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+  if (serialize_backend_) lk.lock();
+  return dev_.metrics_snapshot();
+}
+
 KvServer::KvServer(api::KvsDevice& dev, ServerConfig cfg)
     : dev_(dev),
       cfg_(std::move(cfg)),
@@ -62,8 +68,11 @@ KvServer::KvServer(api::KvsDevice& dev, ServerConfig cfg)
   m_send_calls_ = &metrics_.counter("net.send_calls");
   m_loop_iters_ = &metrics_.counter("net.loop_iters");
   m_harvest_batches_ = &metrics_.counter("net.harvest_batches");
+  m_cursors_opened_ = &metrics_.counter("net.cursors_opened");
+  m_cursors_reaped_ = &metrics_.counter("net.cursors_reaped");
   m_connections_ = &metrics_.gauge("net.connections");
   m_inflight_ = &metrics_.gauge("net.inflight");
+  m_cursors_ = &metrics_.gauge("net.cursors");
 }
 
 KvServer::~KvServer() { stop(); }
@@ -278,6 +287,7 @@ void KvServer::worker_main(Worker& w) {
   }
   // Worker teardown: close whatever is left (drained or past deadline).
   for (auto& [id, conn] : w.conns) {
+    reap_cursors(*conn);
     ::close(conn->fd);
     m_closed_->inc();
     m_connections_->add(-1);
@@ -328,7 +338,24 @@ void KvServer::adopt_conn(Worker& w, int fd) {
   w.conns.emplace(c->id, std::move(c));
 }
 
+void KvServer::reap_cursors(Conn& c) {
+  if (c.cursors.empty()) return;
+  std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+  if (serialize_backend_) lk.lock();
+  for (auto& [id, cur] : c.cursors) {
+    (void)dev_.kvs_close_iterator(cur.backend_iter);
+    (void)dev_.release_snapshot(cur.snap);
+    m_cursors_reaped_->inc();
+    m_cursors_->add(-1);
+  }
+  c.cursors.clear();
+}
+
 void KvServer::close_conn(Worker& w, Conn& c) {
+  // Idle-cursor reaping: a dying connection's scans release their
+  // snapshot pins here, so an abandoned cursor never holds version
+  // retention hostage.
+  reap_cursors(c);
   // Pending completions for this connection stay registered; whoever
   // harvests them finds the connection gone and reaps them as orphans —
   // reaped exactly once, delivered zero times.
@@ -499,6 +526,12 @@ void KvServer::handle_request(Worker& w, Conn& c, RequestFrame&& f) {
     return;
   }
 
+  if (f.opcode == Opcode::kIterOpen || f.opcode == Opcode::kIterNext ||
+      f.opcode == Opcode::kIterClose) {
+    handle_cursor_op(w, c, f, *tenant, now);
+    return;
+  }
+
   if (f.opcode == Opcode::kIter) {
     // Clamp to the wire limit too: a response above limits.max_iter_keys
     // would be rejected as kTooLarge by any same-config client decoder.
@@ -597,6 +630,101 @@ void KvServer::handle_request(Worker& w, Conn& c, RequestFrame&& f) {
     inflight_total_.fetch_sub(1, std::memory_order_relaxed);
     m_inflight_->add(-1);
   }
+}
+
+void KvServer::handle_cursor_op(Worker& w, Conn& c, RequestFrame& f,
+                                Tenant& tenant, std::uint64_t now_ns) {
+  if (f.opcode == Opcode::kIterOpen) {
+    if (c.cursors.size() >= cfg_.max_conn_cursors) {
+      respond_now(w, c, f, api::KvsResult::KVS_ERR_ITERATOR_MAX);
+      return;
+    }
+    const Bytes prefix = namespaced_key(tenant.id, f.key);
+    api::SnapshotHandle snap{};
+    std::uint64_t handle = 0;
+    api::KvsResult r;
+    {
+      std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+      if (serialize_backend_) lk.lock();
+      // The cursor pins its own snapshot explicitly (rather than the
+      // iterator's internal one) so the pinned epoch can ride in the
+      // continuation token and the reaper can release it by handle.
+      r = dev_.open_snapshot(&snap);
+      if (r == api::KvsResult::KVS_SUCCESS) {
+        r = dev_.kvs_open_iterator(as_sv(prefix), &handle, &snap);
+        if (r != api::KvsResult::KVS_SUCCESS) (void)dev_.release_snapshot(snap);
+      }
+    }
+    if (r != api::KvsResult::KVS_SUCCESS) {
+      respond_now(w, c, f, r);
+      return;
+    }
+    const std::uint64_t cid = c.next_cursor_id++;
+    c.cursors.emplace(cid, Cursor{handle, snap, tenant.id});
+    m_cursors_opened_->inc();
+    m_cursors_->add(1);
+    Bytes token;
+    encode_iter_token(IterToken{cid, snap.epoch}, &token);
+    tenant.ops->inc();
+    tenant.bytes->inc(f.key.size() + token.size());
+    tenant.latency->record(wall_now_ns() - now_ns);
+    respond_now(w, c, f, r, std::move(token));
+    return;
+  }
+
+  // kIterNext / kIterClose: both start from the continuation token. A
+  // token that does not name a live cursor of THIS connection and THIS
+  // tenant is an invalid request, not an expired snapshot.
+  IterToken t;
+  auto found = c.cursors.end();
+  if (decode_iter_token(ByteSpan(f.value), &t)) found = c.cursors.find(t.cursor_id);
+  if (found == c.cursors.end() || found->second.tenant != tenant.id) {
+    respond_now(w, c, f, api::KvsResult::KVS_ERR_OPTION_INVALID);
+    return;
+  }
+  Cursor& cur = found->second;
+
+  if (f.opcode == Opcode::kIterClose) {
+    {
+      std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+      if (serialize_backend_) lk.lock();
+      (void)dev_.kvs_close_iterator(cur.backend_iter);
+      (void)dev_.release_snapshot(cur.snap);
+    }
+    c.cursors.erase(found);
+    m_cursors_->add(-1);
+    respond_now(w, c, f, api::KvsResult::KVS_SUCCESS);
+    return;
+  }
+
+  // kIterNext. Same batch ceiling as the one-shot path: a response
+  // above limits.max_iter_keys would be rejected by the client decoder.
+  const std::size_t ceiling =
+      std::min(cfg_.max_iter_keys, cfg_.limits.max_iter_keys);
+  const std::size_t limit =
+      std::min<std::size_t>(f.limit == 0 ? ceiling : f.limit, ceiling);
+  std::vector<std::string> keys;
+  api::KvsResult r;
+  {
+    std::unique_lock<std::mutex> lk(backend_mu_, std::defer_lock);
+    if (serialize_backend_) lk.lock();
+    r = dev_.kvs_iterator_next(cur.backend_iter, limit, &keys);
+  }
+  if (r != api::KvsResult::KVS_SUCCESS) {
+    // KVS_ERR_KEY_NOT_EXIST = clean end-of-scan (cursor stays open for
+    // an explicit close); KVS_ERR_SNAPSHOT_TOO_OLD = the pin fell out
+    // of retention mid-scan and the client must restart.
+    respond_now(w, c, f, r);
+    return;
+  }
+  for (auto& k : keys) k.erase(0, kTenantPrefixLen);
+  Bytes payload;
+  encode_key_list(keys, &payload);
+  const auto count = static_cast<std::uint32_t>(keys.size());
+  tenant.ops->inc();
+  tenant.bytes->inc(f.key.size() + payload.size());
+  tenant.latency->record(wall_now_ns() - now_ns);
+  respond_now(w, c, f, r, std::move(payload), count);
 }
 
 std::size_t KvServer::harvest_completions(Worker& w) {

@@ -38,6 +38,9 @@
 //   net.recv_calls / net.send_calls / net.loop_iters /
 //   net.harvest_batches (syscall- and batching-efficiency ratios:
 //   requests/recv_calls, responses/send_calls, responses/harvest_batches)
+//   net.cursors_opened / net.cursors_reaped / net.cursors (gauge —
+//   cursored scans open right now; reaped counts cursors a dying
+//   connection abandoned, not clean ITER_CLOSEs)
 //   net.tenant.<id>.{ops,bytes,throttled,latency_ns}
 #pragma once
 
@@ -66,8 +69,13 @@ struct ServerConfig {
   std::size_t max_global_inflight = 16384;
   /// Per-connection pipeline cap (same retryable rejection).
   std::size_t max_conn_inflight = 4096;
-  /// Ceiling on keys in one kIter response.
+  /// Ceiling on keys in one kIter (or kIterNext batch) response.
   std::size_t max_iter_keys = 65536;
+  /// Open scan cursors per connection (kIterOpen). Each cursor pins a
+  /// snapshot epoch on the device, holding superseded versions alive,
+  /// so the cap bounds how much retention one client can hold hostage.
+  /// Above it, kIterOpen answers KVS_ERR_ITERATOR_MAX.
+  std::size_t max_conn_cursors = 4;
   /// Unknown tenant ids get an unlimited namespace on first sight when
   /// true; otherwise they are answered KVS_ERR_OPTION_INVALID.
   bool allow_unknown_tenants = true;
@@ -112,11 +120,26 @@ class KvServer {
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
     return metrics_.snapshot();
   }
+  /// Device-side metrics, read under the backend serialization lock.
+  /// While workers run, dev.metrics_snapshot() from another thread races
+  /// whatever request or disconnect-reap is mid-flight (the sim clock is
+  /// not atomic); this is the safe way to poll the device from outside.
+  [[nodiscard]] obs::MetricsSnapshot device_metrics();
 
   /// Wall-clock monotonic ns (the serving layer's time domain).
   [[nodiscard]] static std::uint64_t wall_now_ns() noexcept;
 
  private:
+  /// One open cursored scan (kIterOpen): a backend iterator handle plus
+  /// the snapshot pin it reads at. Owned by the connection (reaped on
+  /// close) and by the tenant that opened it (tokens are rejected
+  /// across tenants).
+  struct Cursor {
+    std::uint64_t backend_iter = 0;
+    api::SnapshotHandle snap{};
+    std::uint32_t tenant = 0;
+  };
+
   struct Conn {
     int fd = -1;
     std::uint64_t id = 0;
@@ -126,6 +149,8 @@ class KvServer {
     std::size_t inflight = 0;  ///< async commands not yet answered
     bool want_write = false;   ///< EPOLLOUT armed
     bool read_closed = false;  ///< peer EOF or stop(): no more requests
+    std::unordered_map<std::uint64_t, Cursor> cursors;  ///< open scans
+    std::uint64_t next_cursor_id = 1;
     explicit Conn(WireLimits limits) : decoder(limits) {}
   };
 
@@ -175,6 +200,13 @@ class KvServer {
   void flush_touched(Worker& w, std::vector<std::uint64_t>& touched);
   void update_write_interest(Worker& w, Conn& c);
   void handle_request(Worker& w, Conn& c, RequestFrame&& f);
+  /// kIterOpen / kIterNext / kIterClose (the cursored scan verbs).
+  void handle_cursor_op(Worker& w, Conn& c, RequestFrame& f, Tenant& tenant,
+                        std::uint64_t now_ns);
+  /// Closes every backend iterator the connection still holds and
+  /// releases their snapshot pins (connection close / server teardown) —
+  /// an abandoned cursor must not pin retention forever.
+  void reap_cursors(Conn& c);
   /// Immediate (non-device) answer: throttles, validation errors,
   /// ITER/STATUS results.
   void respond_now(Worker& w, Conn& c, const RequestFrame& f,
@@ -232,8 +264,11 @@ class KvServer {
   obs::Counter* m_send_calls_;
   obs::Counter* m_loop_iters_;
   obs::Counter* m_harvest_batches_;
+  obs::Counter* m_cursors_opened_;
+  obs::Counter* m_cursors_reaped_;
   obs::Gauge* m_connections_;
   obs::Gauge* m_inflight_;
+  obs::Gauge* m_cursors_;
 };
 
 }  // namespace rhik::net

@@ -44,14 +44,33 @@ std::vector<std::unique_ptr<kvssd::KvssdDevice>> build_devices(
   return devs;
 }
 
+/// Ensures every shard device shares ONE snapshot context (so a snapshot
+/// pins a single device-global epoch): honors a caller-installed context
+/// on cfg.device.snapshots, else creates one the array will own.
+std::unique_ptr<ftl::SnapshotContext> adopt_context(ShardedConfig& cfg) {
+  if (cfg.device.snapshots != nullptr) return nullptr;  // caller-owned
+  auto ctx = std::make_unique<ftl::SnapshotContext>();
+  cfg.device.snapshots = ctx.get();
+  return ctx;
+}
+
 }  // namespace
 
 ShardedKvssd::ShardedKvssd(ShardedConfig cfg)
-    : ShardedKvssd(cfg, build_devices(cfg)) {}
+    : ShardedKvssd(std::move(cfg), nullptr, {}) {}
 
 ShardedKvssd::ShardedKvssd(
-    ShardedConfig cfg, std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices)
-    : cfg_(std::move(cfg)) {
+    ShardedConfig cfg, std::unique_ptr<ftl::SnapshotContext> ctx,
+    std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices)
+    : cfg_(std::move(cfg)), owned_snaps_(std::move(ctx)) {
+  if (devices.empty()) {
+    // Fresh array (public constructor): share one context, then build.
+    if (owned_snaps_ == nullptr) owned_snaps_ = adopt_context(cfg_);
+    devices = build_devices(cfg_);
+  }
+  snaps_ = cfg_.device.snapshots != nullptr ? cfg_.device.snapshots
+                                            : owned_snaps_.get();
+  assert(snaps_ != nullptr);
   cfg_.num_shards = static_cast<std::uint32_t>(devices.size());
   fe_puts_ = &front_metrics_.counter("frontend.puts");
   fe_gets_ = &front_metrics_.counter("frontend.gets");
@@ -86,6 +105,11 @@ Result<std::unique_ptr<ShardedKvssd>> ShardedKvssd::recover(
   const std::uint32_t n = std::max<std::uint32_t>(1, cfg.num_shards);
   if (nands.size() != n) return Status::kInvalidArgument;
 
+  // One shared snapshot context across the recovered shards; each
+  // shard's recover() raises its epoch past every stamp found on flash,
+  // so the shared source ends above the whole array's high-water.
+  std::unique_ptr<ftl::SnapshotContext> ctx = adopt_context(cfg);
+
   std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices;
   devices.reserve(n);
   kvssd::RecoveryStats merged;
@@ -106,8 +130,8 @@ Result<std::unique_ptr<ShardedKvssd>> ShardedKvssd::recover(
   for (auto& dev : devices) dev->clock().advance(max_clock - dev->clock().now());
 
   if (stats_out) *stats_out = merged;
-  return std::unique_ptr<ShardedKvssd>(
-      new ShardedKvssd(std::move(cfg), std::move(devices)));
+  return std::unique_ptr<ShardedKvssd>(new ShardedKvssd(
+      std::move(cfg), std::move(ctx), std::move(devices)));
 }
 
 std::vector<std::unique_ptr<flash::NandDevice>> ShardedKvssd::release_nands() {
@@ -222,6 +246,39 @@ void ShardedKvssd::worker_loop(Shard& s) {
           s.completed += s.dev->drain();
           if (op.done) op.done();
           break;
+        case ShardOp::Kind::kReadAt: {
+          // Snapshot reads resolve against the live index + retainer;
+          // queued work lands first so "behind queued commands" holds
+          // like the other sync verbs (the pinned epoch, not the drain,
+          // decides visibility).
+          s.completed += s.dev->drain();
+          Bytes value;
+          const Status st = s.dev->read_at(op.snap, op.key, &value);
+          s.completed += 1;
+          if (op.get_cb) op.get_cb(st, std::move(value));
+          break;
+        }
+        case ShardOp::Kind::kIterOpen: {
+          s.completed += s.dev->drain();
+          const auto h = s.dev->kvs_open_iterator(op.key, &op.snap);
+          s.completed += 1;
+          if (h && op.handle_out != nullptr) *op.handle_out = *h;
+          if (op.cb) op.cb(h ? Status::kOk : h.status());
+          break;
+        }
+        case ShardOp::Kind::kIterNext: {
+          s.completed += s.dev->drain();
+          const Status st = s.dev->kvs_iterator_next(op.tag, op.limit, op.keys);
+          s.completed += 1;
+          if (op.cb) op.cb(st);
+          break;
+        }
+        case ShardOp::Kind::kIterClose: {
+          const Status st = s.dev->kvs_close_iterator(op.tag);
+          s.completed += 1;
+          if (op.cb) op.cb(st);
+          break;
+        }
       }
     }
     // One ring batch ingested: drain the device queue. This is the
@@ -364,6 +421,180 @@ Status ShardedKvssd::iterate_prefix(ByteSpan prefix,
   std::sort(merged.begin(), merged.end());
   if (merged.size() > limit) merged.resize(limit);
   if (keys_out) *keys_out = std::move(merged);
+  return Status::kOk;
+}
+
+// -- MVCC snapshots and array iterators ----------------------------------------
+
+Result<api::SnapshotHandle> ShardedKvssd::open_snapshot() {
+  // The registry is shared and internally synchronized; no worker round
+  // trip. Pinning is linearizable against every shard's stamps through
+  // the shared EpochSource (see ftl/mvcc.hpp's ordering argument).
+  const ftl::SnapshotRegistry::Pin pin = snaps_->registry.open();
+  return api::SnapshotHandle{pin.id, pin.epoch};
+}
+
+Status ShardedKvssd::release_snapshot(const api::SnapshotHandle& snap) {
+  return snaps_->registry.release(snap.id, snap.epoch);
+}
+
+Status ShardedKvssd::read_at(const api::SnapshotHandle& snap, ByteSpan key,
+                             Bytes* value_out) {
+  fe_gets_->inc();
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kReadAt;
+  op.key = owned(key);
+  op.snap = snap;
+  op.get_cb = [&](Status s, Bytes&& v) {
+    st = s;
+    if (value_out) *value_out = std::move(v);
+    gate.open();
+  };
+  submit_to(shard_of(key), std::move(op));
+  gate.wait();
+  return st;
+}
+
+Result<std::uint64_t> ShardedKvssd::dev_iter_open(
+    std::uint32_t shard, ByteSpan prefix, const api::SnapshotHandle& snap) {
+  Gate gate;
+  Status st = Status::kIoError;
+  std::uint64_t handle = 0;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kIterOpen;
+  op.key = owned(prefix);
+  op.snap = snap;
+  op.handle_out = &handle;
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard, std::move(op));
+  gate.wait();
+  if (!ok(st)) return st;
+  return handle;
+}
+
+Status ShardedKvssd::dev_iter_next(std::uint32_t shard, std::uint64_t handle,
+                                   std::size_t max_keys,
+                                   std::vector<Bytes>* keys_out) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kIterNext;
+  op.tag = handle;
+  op.limit = max_keys;
+  op.keys = keys_out;
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard, std::move(op));
+  gate.wait();
+  return st;
+}
+
+Status ShardedKvssd::dev_iter_close(std::uint32_t shard,
+                                    std::uint64_t handle) {
+  Gate gate;
+  Status st = Status::kIoError;
+  ShardOp op;
+  op.kind = ShardOp::Kind::kIterClose;
+  op.tag = handle;
+  op.cb = [&](Status s) {
+    st = s;
+    gate.open();
+  };
+  submit_to(shard, std::move(op));
+  gate.wait();
+  return st;
+}
+
+Result<std::uint64_t> ShardedKvssd::kvs_open_iterator(
+    ByteSpan prefix, const api::SnapshotHandle* snap) {
+  if (!cfg_.device.prefix_signatures) return Status::kUnsupported;
+  if (prefix.empty()) return Status::kInvalidArgument;
+
+  ArrayIter it;
+  it.prefix = owned(prefix);
+  if (snap != nullptr) {
+    // Caller-owned pin: validate it up front so a dead handle fails at
+    // open, not on the first next(). The epoch cross-check catches a
+    // pin id recycled across a power cycle (recovery raises the epoch
+    // source past every durable stamp, so epochs never collide).
+    const auto epoch = snaps_->registry.epoch_of(snap->id);
+    if (!epoch) return epoch.status();
+    if (snap->epoch != 0 && *epoch != snap->epoch) {
+      return Status::kSnapshotTooOld;
+    }
+    it.snap = *snap;
+  } else {
+    const ftl::SnapshotRegistry::Pin pin = snaps_->registry.open();
+    it.snap = api::SnapshotHandle{pin.id, pin.epoch};
+    it.owns_snap = true;
+  }
+
+  std::lock_guard lk(iter_mu_);
+  if (array_iters_.size() >= kvssd::IteratorManager::kMaxOpenIterators) {
+    if (it.owns_snap) (void)snaps_->registry.release(it.snap.id);
+    return Status::kIteratorMax;
+  }
+  const std::uint64_t handle = next_iter_handle_++;
+  array_iters_.emplace(handle, std::move(it));
+  return handle;
+}
+
+Status ShardedKvssd::kvs_iterator_next(std::uint64_t handle,
+                                       std::size_t max_keys,
+                                       std::vector<Bytes>* keys_out) {
+  if (keys_out == nullptr || max_keys == 0) return Status::kInvalidArgument;
+  std::lock_guard lk(iter_mu_);
+  const auto found = array_iters_.find(handle);
+  if (found == array_iters_.end()) return Status::kInvalidArgument;
+  ArrayIter& it = found->second;
+
+  keys_out->clear();
+  std::vector<Bytes> batch;
+  while (keys_out->size() < max_keys && it.shard < shards_.size()) {
+    if (!it.dev_open) {
+      // Lazy per-shard open: one device handle lives at a time, bound to
+      // the iterator's pin (still valid or open_at fails with the pin's
+      // error — kSnapshotTooOld once expired).
+      const auto h = dev_iter_open(it.shard, it.prefix, it.snap);
+      if (!h) return h.status();
+      it.dev_handle = *h;
+      it.dev_open = true;
+    }
+    const Status st = dev_iter_next(it.shard, it.dev_handle,
+                                    max_keys - keys_out->size(), &batch);
+    if (st == Status::kNotFound) {
+      // Shard exhausted: advance the cursor.
+      (void)dev_iter_close(it.shard, it.dev_handle);
+      it.dev_open = false;
+      it.dev_handle = 0;
+      it.shard++;
+      continue;
+    }
+    if (!ok(st)) return st;
+    for (Bytes& k : batch) keys_out->push_back(std::move(k));
+    batch.clear();
+  }
+  if (keys_out->empty() && it.shard >= shards_.size()) {
+    return Status::kNotFound;  // ITERATOR_END
+  }
+  return Status::kOk;
+}
+
+Status ShardedKvssd::kvs_close_iterator(std::uint64_t handle) {
+  std::lock_guard lk(iter_mu_);
+  const auto found = array_iters_.find(handle);
+  if (found == array_iters_.end()) return Status::kInvalidArgument;
+  ArrayIter& it = found->second;
+  if (it.dev_open) (void)dev_iter_close(it.shard, it.dev_handle);
+  if (it.owns_snap) (void)snaps_->registry.release(it.snap.id);
+  array_iters_.erase(found);
   return Status::kOk;
 }
 

@@ -21,10 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/backend.hpp"
+#include "ftl/mvcc.hpp"
 #include "kvssd/device.hpp"
 #include "obs/metrics.hpp"
 #include "shard/submission_ring.hpp"
@@ -86,6 +89,32 @@ class ShardedKvssd : public api::IKvsBackend {
   /// (relative order preserved within each shard), executed as one
   /// sub-batch per shard, and per-op status/value written back in place.
   Status execute_batch(std::vector<BatchOp>& ops);
+
+  // -- MVCC snapshots (DESIGN.md §13) ----------------------------------------
+  /// Pins ONE device-global epoch: every shard stamps from the same
+  /// shared EpochSource, so a snapshot is a consistent cut across the
+  /// whole array — a cross-shard scan at the pin never mixes epochs.
+  Result<api::SnapshotHandle> open_snapshot() override;
+  Status release_snapshot(const api::SnapshotHandle& snap) override;
+  /// Point read as of the snapshot, routed to the key's shard (behind
+  /// that shard's queued work, like the other sync verbs).
+  Status read_at(const api::SnapshotHandle& snap, ByteSpan key,
+                 Bytes* value_out) override;
+
+  // -- Streaming iterator handles (SNIA-style; §II-A) ------------------------
+  /// Array-wide key iterator: walks the shards in shard order, holding
+  /// one device iterator at a time, all bound to the same pinned epoch
+  /// (the caller's snapshot, or an internal pin when `snap` is null).
+  /// Keys stream in per-shard candidate order, shard-major — a stable,
+  /// deterministic order, but not lexicographic across shards.
+  Result<std::uint64_t> kvs_open_iterator(ByteSpan prefix,
+                                          const api::SnapshotHandle* snap) override;
+  Status kvs_iterator_next(std::uint64_t handle, std::size_t max_keys,
+                           std::vector<Bytes>* keys_out) override;
+  Status kvs_close_iterator(std::uint64_t handle) override;
+
+  /// The array-shared snapshot context (epoch source + pin registry).
+  [[nodiscard]] ftl::SnapshotContext& snapshots() noexcept { return *snaps_; }
 
   // -- Asynchronous submission (callbacks run on the shard's worker) ----------
   void submit_put(Bytes key, Bytes value, Callback cb = {}) override;
@@ -159,9 +188,28 @@ class ShardedKvssd : public api::IKvsBackend {
 
  private:
   /// Wiring over pre-built shard devices (the recovery path); starts the
-  /// worker threads. `devices.size()` defines the shard count.
-  ShardedKvssd(ShardedConfig cfg,
+  /// worker threads. `devices.size()` defines the shard count. `ctx` is
+  /// the shared snapshot context every device was built against.
+  ShardedKvssd(ShardedConfig cfg, std::unique_ptr<ftl::SnapshotContext> ctx,
                std::vector<std::unique_ptr<kvssd::KvssdDevice>> devices);
+
+  /// One array-level streaming iterator: a cursor over the shards,
+  /// holding at most one device iterator at a time, bound to one pin.
+  struct ArrayIter {
+    Bytes prefix;
+    api::SnapshotHandle snap{};
+    bool owns_snap = false;  ///< internal pin, released on close
+    std::uint32_t shard = 0;
+    std::uint64_t dev_handle = 0;
+    bool dev_open = false;
+  };
+
+  /// Worker round trips for the array-iterator cursor (caller-side).
+  Result<std::uint64_t> dev_iter_open(std::uint32_t shard, ByteSpan prefix,
+                                      const api::SnapshotHandle& snap);
+  Status dev_iter_next(std::uint32_t shard, std::uint64_t handle,
+                       std::size_t max_keys, std::vector<Bytes>* keys_out);
+  Status dev_iter_close(std::uint32_t shard, std::uint64_t handle);
 
   struct Snapshot {
     kvssd::DeviceStats stats;
@@ -184,6 +232,10 @@ class ShardedKvssd : public api::IKvsBackend {
       kSnapshot,
       kMetrics,
       kBarrier,
+      kReadAt,     ///< snapshot point read (key + snap + get_cb)
+      kIterOpen,   ///< open a device iterator (key = prefix, snap, handle_out)
+      kIterNext,   ///< stream keys (tag = device handle, limit, keys)
+      kIterClose,  ///< close a device iterator (tag = device handle)
     };
     Kind kind = Kind::kBarrier;
     Bytes key;
@@ -195,6 +247,8 @@ class ShardedKvssd : public api::IKvsBackend {
     std::vector<BatchOp>* batch = nullptr;  ///< sub-batch, owned by waiter
     std::vector<Bytes>* keys = nullptr;   ///< iterate: per-shard key sink
     std::size_t limit = 0;                ///< iterate: per-shard result cap
+    api::SnapshotHandle snap{};           ///< kReadAt / kIterOpen pin
+    std::uint64_t* handle_out = nullptr;  ///< kIterOpen: device handle sink
     Snapshot* snap_out = nullptr;
     std::function<void()> done;           ///< control-op completion
   };
@@ -214,7 +268,22 @@ class ShardedKvssd : public api::IKvsBackend {
   [[nodiscard]] std::uint64_t completed_total() const;
 
   ShardedConfig cfg_;
+
+  /// Shared snapshot context: owned unless the caller installed one via
+  /// cfg.device.snapshots (then `snaps_` aliases it). Declared before
+  /// `shards_` so it outlives the devices, whose destructors still
+  /// checkpoint through the shared epoch source.
+  std::unique_ptr<ftl::SnapshotContext> owned_snaps_;
+  ftl::SnapshotContext* snaps_ = nullptr;
+
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Array-iterator table. The mutex serializes cursor advancement —
+  /// concurrent next() calls on different handles take worker round
+  /// trips one at a time, which keeps the cursor logic trivially safe.
+  std::mutex iter_mu_;
+  std::unordered_map<std::uint64_t, ArrayIter> array_iters_;
+  std::uint64_t next_iter_handle_ = 1;
 
   /// Front-end-side metrics (`frontend.*`): striped counters, so the
   /// many producer threads and the caller of the sync verbs never

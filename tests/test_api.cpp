@@ -36,6 +36,8 @@ TEST(KvsApi, StatusMappingExhaustive) {
       {Status::kBusy, KvsResult::KVS_ERR_DEV_BUSY},
       {Status::kUnsupported, KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED},
       {Status::kQueueFull, KvsResult::KVS_ERR_QUEUE_FULL},
+      {Status::kIteratorMax, KvsResult::KVS_ERR_ITERATOR_MAX},
+      {Status::kSnapshotTooOld, KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD},
   };
   for (const auto& row : kTable) {
     EXPECT_EQ(from_status(row.in), row.want)
@@ -56,6 +58,8 @@ TEST(KvsApi, ResultStringsExhaustive) {
       KvsResult::KVS_ERR_OPTION_INVALID,
       KvsResult::KVS_ERR_ITERATOR_NOT_SUPPORTED,
       KvsResult::KVS_ERR_QUEUE_FULL,
+      KvsResult::KVS_ERR_ITERATOR_MAX,
+      KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD,
   };
   std::set<std::string> seen;
   for (const KvsResult r : kAll) {
@@ -69,6 +73,10 @@ TEST(KvsApi, ResultStringsExhaustive) {
                "KVS_ERR_KEY_NOT_EXIST");
   EXPECT_STREQ(to_string(KvsResult::KVS_ERR_QUEUE_FULL),
                "KVS_ERR_QUEUE_FULL");
+  EXPECT_STREQ(to_string(KvsResult::KVS_ERR_ITERATOR_MAX),
+               "KVS_ERR_ITERATOR_MAX");
+  EXPECT_STREQ(to_string(KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD),
+               "KVS_ERR_SNAPSHOT_TOO_OLD");
 }
 
 TEST(KvsApi, StoreRetrieveRemove) {
@@ -289,6 +297,202 @@ TEST(KvsApi, CheckpointRestartRoundTripSharded) {
               KvsResult::KVS_SUCCESS);
     EXPECT_EQ(rhik::to_string(value), "v" + std::to_string(i));
   }
+}
+
+// -- MVCC snapshots + handle iterators (DESIGN.md §13) -------------------------
+
+TEST(KvsApiSnapshot, RetrieveAtSeesPinnedVersions) {
+  KvsDevice dev(small_opts());
+  ASSERT_EQ(dev.store("k", "old"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.store("doomed", "d"), KvsResult::KVS_SUCCESS);
+  SnapshotHandle snap;
+  ASSERT_EQ(dev.open_snapshot(&snap), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.store("k", "new"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.remove("doomed"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.store("later", "l"), KvsResult::KVS_SUCCESS);
+
+  Bytes value;
+  EXPECT_EQ(dev.retrieve_at(snap, "k", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "old");
+  EXPECT_EQ(dev.retrieve_at(snap, "doomed", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "d");
+  // A key born after the pin is invisible at the pinned epoch.
+  EXPECT_EQ(dev.retrieve_at(snap, "later", &value),
+            KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  // Live reads are unaffected by the pin.
+  EXPECT_EQ(dev.retrieve("k", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "new");
+  EXPECT_EQ(dev.retrieve("doomed", &value), KvsResult::KVS_ERR_KEY_NOT_EXIST);
+
+  ASSERT_EQ(dev.release_snapshot(snap), KvsResult::KVS_SUCCESS);
+  // A released pin is a stale handle, not a live view.
+  EXPECT_EQ(dev.retrieve_at(snap, "k", &value),
+            KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD);
+}
+
+TEST(KvsApiSnapshot, HandleIteratorStreamsInBatches) {
+  KvsDeviceOptions opts = small_opts();
+  opts.enable_iterator = true;
+  KvsDevice dev(opts);
+  std::vector<std::string> expect;
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "scan:" + std::to_string(i);
+    ASSERT_EQ(dev.store(k, "v"), KvsResult::KVS_SUCCESS);
+    expect.push_back(k);
+  }
+  std::uint64_t it = 0;
+  ASSERT_EQ(dev.kvs_open_iterator("scan", &it), KvsResult::KVS_SUCCESS);
+  std::vector<std::string> got;
+  std::vector<std::string> batch;
+  KvsResult r;
+  while ((r = dev.kvs_iterator_next(it, 7, &batch)) ==
+         KvsResult::KVS_SUCCESS) {
+    EXPECT_LE(batch.size(), 7u);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(r, KvsResult::KVS_ERR_KEY_NOT_EXIST);  // exhaustion, not error
+  ASSERT_EQ(dev.kvs_close_iterator(it), KvsResult::KVS_SUCCESS);
+  // A closed handle is dead.
+  EXPECT_NE(dev.kvs_iterator_next(it, 7, &batch), KvsResult::KVS_SUCCESS);
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(KvsApiSnapshot, OpenIteratorWithoutOptionIsOptionInvalid) {
+  KvsDevice dev(small_opts());
+  std::uint64_t it = 0;
+  EXPECT_EQ(dev.kvs_open_iterator("p", &it), KvsResult::KVS_ERR_OPTION_INVALID);
+}
+
+TEST(KvsApiSnapshot, SnapshotBoundIteratorIgnoresLaterChurn) {
+  KvsDeviceOptions opts = small_opts();
+  opts.enable_iterator = true;
+  KvsDevice dev(opts);
+  std::vector<std::string> expect;
+  for (int i = 0; i < 16; ++i) {
+    const std::string k = "pin:" + std::to_string(i);
+    ASSERT_EQ(dev.store(k, "v0"), KvsResult::KVS_SUCCESS);
+    expect.push_back(k);
+  }
+  SnapshotHandle snap;
+  ASSERT_EQ(dev.open_snapshot(&snap), KvsResult::KVS_SUCCESS);
+  std::uint64_t it = 0;
+  ASSERT_EQ(dev.kvs_open_iterator("pin:", &it, &snap), KvsResult::KVS_SUCCESS);
+  // Churn after the pin: new keys, overwrites, a delete. None of it may
+  // leak into the pinned scan.
+  for (int i = 16; i < 32; ++i) {
+    ASSERT_EQ(dev.store("pin:" + std::to_string(i), "late"),
+              KvsResult::KVS_SUCCESS);
+  }
+  ASSERT_EQ(dev.store("pin:0", "v1"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.remove("pin:1"), KvsResult::KVS_SUCCESS);
+
+  std::vector<std::string> got;
+  std::vector<std::string> batch;
+  KvsResult r;
+  while ((r = dev.kvs_iterator_next(it, 5, &batch)) == KvsResult::KVS_SUCCESS) {
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(r, KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  ASSERT_EQ(dev.kvs_close_iterator(it), KvsResult::KVS_SUCCESS);
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+  // Closing a caller-pinned iterator must NOT release the caller's
+  // snapshot — it is still readable.
+  Bytes value;
+  EXPECT_EQ(dev.retrieve_at(snap, "pin:1", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "v0");
+  ASSERT_EQ(dev.release_snapshot(snap), KvsResult::KVS_SUCCESS);
+}
+
+TEST(KvsApiSnapshot, ShardedSnapshotIsOneConsistentCut) {
+  KvsDeviceOptions opts = small_opts();
+  opts.capacity_bytes = 1ull << 30;
+  opts.enable_iterator = true;
+  opts.num_shards = 4;
+  KvsDevice dev(opts);
+  ASSERT_TRUE(dev.sharded());
+  std::vector<std::string> expect;
+  for (int i = 0; i < 32; ++i) {
+    const std::string k = "cut:" + std::to_string(i);
+    ASSERT_EQ(dev.store(k, "before"), KvsResult::KVS_SUCCESS);
+    expect.push_back(k);
+  }
+  SnapshotHandle snap;
+  ASSERT_EQ(dev.open_snapshot(&snap), KvsResult::KVS_SUCCESS);
+  // Overwrite everything and add more, hitting every shard.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(dev.store("cut:" + std::to_string(i), "after"),
+              KvsResult::KVS_SUCCESS);
+  }
+  // Point reads at the pin return the pre-churn values on every shard.
+  for (int i = 0; i < 32; ++i) {
+    Bytes value;
+    ASSERT_EQ(dev.retrieve_at(snap, "cut:" + std::to_string(i), &value),
+              KvsResult::KVS_SUCCESS);
+    EXPECT_EQ(rhik::to_string(value), "before") << i;
+  }
+  Bytes value;
+  EXPECT_EQ(dev.retrieve_at(snap, "cut:40", &value),
+            KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  // A pinned scan sees exactly the 32 pre-churn keys.
+  std::uint64_t it = 0;
+  ASSERT_EQ(dev.kvs_open_iterator("cut:", &it, &snap), KvsResult::KVS_SUCCESS);
+  std::vector<std::string> got;
+  std::vector<std::string> batch;
+  KvsResult r;
+  while ((r = dev.kvs_iterator_next(it, 9, &batch)) == KvsResult::KVS_SUCCESS) {
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(r, KvsResult::KVS_ERR_KEY_NOT_EXIST);
+  ASSERT_EQ(dev.kvs_close_iterator(it), KvsResult::KVS_SUCCESS);
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+  ASSERT_EQ(dev.release_snapshot(snap), KvsResult::KVS_SUCCESS);
+}
+
+TEST(KvsApiSnapshot, RetentionBudgetExpiresOldestPin) {
+  KvsDeviceOptions opts = small_opts();
+  opts.snapshot_retention_bytes = 4096;  // one overwritten page busts it
+  KvsDevice dev(opts);
+  const std::string big(2048, 'x');
+  ASSERT_EQ(dev.store("hot", big), KvsResult::KVS_SUCCESS);
+  SnapshotHandle snap;
+  ASSERT_EQ(dev.open_snapshot(&snap), KvsResult::KVS_SUCCESS);
+  // Overwrite the pinned version repeatedly: each dead version is
+  // retained for the pin until the budget trips and expires it.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(dev.store("hot", big), KvsResult::KVS_SUCCESS);
+  }
+  Bytes value;
+  EXPECT_EQ(dev.retrieve_at(snap, "hot", &value),
+            KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD);
+  // Expired is still released normally; a fresh pin works again.
+  EXPECT_EQ(dev.release_snapshot(snap), KvsResult::KVS_SUCCESS);
+  SnapshotHandle fresh;
+  ASSERT_EQ(dev.open_snapshot(&fresh), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(dev.retrieve_at(fresh, "hot", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(dev.release_snapshot(fresh), KvsResult::KVS_SUCCESS);
+}
+
+TEST(KvsApiSnapshot, PinDroppedAcrossPowerCycleErrorsNotTears) {
+  KvsDevice dev(small_opts());
+  ASSERT_EQ(dev.store("k", "v"), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.flush(), KvsResult::KVS_SUCCESS);
+  SnapshotHandle snap;
+  ASSERT_EQ(dev.open_snapshot(&snap), KvsResult::KVS_SUCCESS);
+  ASSERT_EQ(dev.recover(), KvsResult::KVS_SUCCESS);
+  // Pins are in-memory state: the handle did not survive the power
+  // cycle, and even if its pin id gets recycled the epoch cross-check
+  // rejects it — an error, never a view at the wrong epoch.
+  Bytes value;
+  EXPECT_EQ(dev.retrieve_at(snap, "k", &value),
+            KvsResult::KVS_ERR_SNAPSHOT_TOO_OLD);
+  EXPECT_EQ(dev.retrieve("k", &value), KvsResult::KVS_SUCCESS);
+  EXPECT_EQ(rhik::to_string(value), "v");
 }
 
 TEST(KvsApi, RecoverWithoutCheckpointFallsBackToScan) {

@@ -3,7 +3,10 @@
 // schemes (RHIK and the MLHash baseline), under uniform and zipf-skewed
 // key distributions, with forced GC quanta, synchronous collections,
 // flushes and clean device reopens (full-scan and fast-restore recovery
-// paths) interleaved into the trace.
+// paths) interleaved into the trace. MVCC snapshots ride along as an
+// oracle: pins capture a full model copy at open time, and every
+// read_at must return exactly that view or kSnapshotTooOld — retention
+// expiry and pins dropped across a reopen must error, never tear.
 //
 // On a divergence the failing trace is shrunk by chunk removal to a
 // minimal reproducer, written to an artifact file, and the failure
@@ -44,10 +47,13 @@ struct Op {
     kCollect,  // synchronous GC: collect_one()
     kPump,     // one background quantum: GC + index-migration drain
     kReopen,   // clean close + recover (no fault): full differential check
+    kSnapOpen,     // pin a snapshot + capture a model copy (the oracle)
+    kSnapRead,     // read_at vs the captured copy; TOO_OLD allowed, tears not
+    kSnapRelease,  // release the pin; the handle must be dead afterwards
   };
   Kind kind = Kind::kPut;
   std::uint32_t key = 0;
-  std::uint32_t val_len = 0;
+  std::uint32_t val_len = 0;  ///< kSnapRead/kSnapRelease: snapshot selector
   char fill = 'a';
 };
 
@@ -61,6 +67,9 @@ const char* kind_name(Op::Kind k) {
     case Op::Kind::kCollect: return "collect";
     case Op::Kind::kPump: return "pump";
     case Op::Kind::kReopen: return "reopen";
+    case Op::Kind::kSnapOpen: return "snap_open";
+    case Op::Kind::kSnapRead: return "snap_read";
+    case Op::Kind::kSnapRelease: return "snap_release";
   }
   return "?";
 }
@@ -76,6 +85,10 @@ DeviceConfig device_config(const DiffConfig& dc) {
   cfg.geometry = flash::Geometry::tiny(64);
   cfg.dram_cache_bytes = 32 * 1024;
   cfg.index_kind = dc.index;
+  // Small retention budget: zipf churn against pinned snapshots must be
+  // able to trip oldest-pin expiry, so the oracle exercises the
+  // kSnapshotTooOld path, not just happy-path reads.
+  cfg.snapshot_retention_bytes = 48 * 1024;
   if (dc.checkpoint) {
     cfg.checkpoint.enabled = true;
     cfg.checkpoint.slot_blocks = 2;
@@ -117,17 +130,26 @@ std::vector<Op> generate_trace(std::uint64_t seed, bool zipf, int nops) {
     } else if (dice < 80) {
       op.kind = Op::Kind::kGet;
       op.key = pick_key();
-    } else if (dice < 85) {
+    } else if (dice < 84) {
       op.kind = Op::Kind::kExist;
       op.key = pick_key();
-    } else if (dice < 90) {
+    } else if (dice < 87) {
       op.kind = Op::Kind::kFlush;
-    } else if (dice < 93) {
+    } else if (dice < 90) {
       op.kind = Op::Kind::kCollect;
-    } else if (dice < 98) {
+    } else if (dice < 94) {
       op.kind = Op::Kind::kPump;
-    } else {
+    } else if (dice < 96) {
       op.kind = Op::Kind::kReopen;
+    } else if (dice < 97) {
+      op.kind = Op::Kind::kSnapOpen;
+    } else if (dice < 99) {
+      op.kind = Op::Kind::kSnapRead;
+      op.key = pick_key();
+      op.val_len = rng.next_below(16);  // snapshot selector
+    } else {
+      op.kind = Op::Kind::kSnapRelease;
+      op.val_len = rng.next_below(16);
     }
     trace.push_back(op);
   }
@@ -142,6 +164,18 @@ std::optional<std::string> run_trace(const DiffConfig& dc,
   const DeviceConfig cfg = device_config(dc);
   auto dev = std::make_unique<KvssdDevice>(cfg);
   std::map<std::string, std::string> model;
+
+  // Snapshot oracle: each open pin carries a full copy of the model at
+  // open time. A read through the handle must return exactly that view,
+  // or kSnapshotTooOld (retention expiry / pin dropped across a power
+  // cycle) — anything else is a torn snapshot. Once a handle has been
+  // seen dead it must stay dead.
+  struct SnapOracle {
+    api::SnapshotHandle handle;
+    std::map<std::string, std::string> view;
+    bool dead = false;
+  };
+  std::vector<SnapOracle> snaps;
 
   const auto fail = [](std::size_t i, const Op& op, const std::string& what) {
     std::ostringstream os;
@@ -223,6 +257,17 @@ std::optional<std::string> run_trace(const DiffConfig& dc,
         auto recovered = KvssdDevice::recover(cfg, std::move(nand));
         if (!recovered) return fail(i, op, "recovery failed");
         dev = std::move(*recovered);
+        // Pins are in-memory state and did not survive: every handle
+        // still held must error from here on — never resolve to a view
+        // at the wrong epoch, even if its pin id gets recycled.
+        for (SnapOracle& so : snaps) {
+          Bytes value;
+          if (dev->read_at(so.handle, as_bytes(key_str(0)), &value) !=
+              Status::kSnapshotTooOld) {
+            return fail(i, op, "pin survived power cycle with a view");
+          }
+          so.dead = true;
+        }
         for (const auto& [mk, mv] : model) {
           Bytes value;
           if (dev->get(as_bytes(mk), &value) != Status::kOk) {
@@ -232,6 +277,70 @@ std::optional<std::string> run_trace(const DiffConfig& dc,
             return fail(i, op, "key " + mk + " mangled across reopen");
           }
         }
+        break;
+      }
+      case Op::Kind::kSnapOpen: {
+        if (snaps.size() >= 8) break;  // bound how much retention we pin
+        auto snap = dev->open_snapshot();
+        if (!snap) return fail(i, op, "open_snapshot failed");
+        snaps.push_back(SnapOracle{*snap, model, false});
+        break;
+      }
+      case Op::Kind::kSnapRead: {
+        if (snaps.empty()) break;
+        SnapOracle& so = snaps[op.val_len % snaps.size()];
+        Bytes value;
+        const Status s = dev->read_at(so.handle, as_bytes(k), &value);
+        if (so.dead) {
+          if (s != Status::kSnapshotTooOld) {
+            return fail(i, op, "dead snapshot resurrected (status " +
+                                   std::to_string(int(s)) + ")");
+          }
+          break;
+        }
+        if (s == Status::kSnapshotTooOld) {
+          // The retention budget expired the pin — legal, and one-way.
+          so.dead = true;
+          break;
+        }
+        const auto it = so.view.find(k);
+        if (it == so.view.end()) {
+          if (s != Status::kNotFound) {
+            return fail(i, op, "snapshot saw a key absent at pin time");
+          }
+        } else if (s != Status::kOk) {
+          return fail(i, op, "snapshot lost a pinned key (status " +
+                                 std::to_string(int(s)) + ")");
+        } else if (rhik::to_string(value) != it->second) {
+          return fail(i, op, "snapshot TORE: got " +
+                                 std::to_string(value.size()) + " bytes, " +
+                                 "pinned view has " +
+                                 std::to_string(it->second.size()));
+        }
+        break;
+      }
+      case Op::Kind::kSnapRelease: {
+        if (snaps.empty()) break;
+        const std::size_t pick = op.val_len % snaps.size();
+        SnapOracle& so = snaps[pick];
+        const Status s = dev->release_snapshot(so.handle);
+        // Valid and retention-expired pins release kOk; handles dropped
+        // across a reopen answer kSnapshotTooOld (unknown/recycled id).
+        if (!so.dead && s != Status::kOk) {
+          return fail(i, op, "release of live pin returned " +
+                                 std::to_string(int(s)));
+        }
+        if (so.dead && s != Status::kOk && s != Status::kSnapshotTooOld) {
+          return fail(i, op, "release of dead pin returned " +
+                                 std::to_string(int(s)));
+        }
+        // A released handle is dead for good.
+        Bytes value;
+        if (dev->read_at(so.handle, as_bytes(key_str(0)), &value) !=
+            Status::kSnapshotTooOld) {
+          return fail(i, op, "released handle still readable");
+        }
+        snaps.erase(snaps.begin() + static_cast<std::ptrdiff_t>(pick));
         break;
       }
     }
@@ -435,7 +544,9 @@ class MirroredTables {
     const auto b = scalar_.find(sig);
     ASSERT_EQ(a.has_value(), b.has_value())
         << "find diverged for sig 0x" << std::hex << sig;
-    if (a.has_value()) ASSERT_EQ(*a, *b);
+    if (a.has_value()) {
+      ASSERT_EQ(*a, *b);
+    }
   }
 
   void check_both() {

@@ -207,10 +207,11 @@ TEST(GcBackground, SkipsNearlyFullyLiveVictims) {
   GcTuning t{GcPolicy::kCostBenefit, /*background_free_blocks=*/64,
              /*quantum_pages=*/4};
   Rig rig(t);
-  // 997-byte values with fixed 4-char keys pack exactly four pairs per
-  // 4 KiB page (4094 of 4096 bytes used), so sealed blocks sit above
-  // the collector's 90% utilization cutoff.
-  const std::string value(997, 'L');
+  // 989-byte values with fixed 4-char keys pack exactly four pairs per
+  // 4 KiB page (4094 of 4096 bytes used, epoch-stamped headers
+  // included), so sealed blocks sit above the collector's 90%
+  // utilization cutoff.
+  const std::string value(989, 'L');
   std::uint64_t sig = 100;
   while (!rig.alloc.pick_victim(t.policy).has_value()) rig.put(sig++, value);
   // Everything stays live: the only victims are ~100% utilized.

@@ -84,18 +84,21 @@ TEST(Mix64, BijectivityProperties) {
   EXPECT_NE(mix64(1), 1u);
 }
 
-TEST(PrefixSignature, SharedPrefixSharesHighBits) {
-  // §VI: 4 B prefix hash in the high 32 bits enables prefix iteration.
+TEST(PrefixSignature, SharedPrefixSharesClassTag) {
+  // §VI: 4 B prefix hash in the high kClassTagBits enables prefix
+  // iteration; the other 48 bits are the per-key identity within the
+  // class, wide enough that birthday collisions (which abort) stay out
+  // past ~2^24 keys per class.
   const std::uint64_t a = prefix_signature(bytes("userAAAA:1"));
   const std::uint64_t b = prefix_signature(bytes("userBBBB:2"));
-  EXPECT_EQ(a >> 32, b >> 32);  // same 4-byte prefix "user"
-  EXPECT_NE(a, b);              // different suffixes differ in low bits
+  EXPECT_EQ(class_tag(a), class_tag(b));  // same 4-byte prefix "user"
+  EXPECT_NE(a, b);  // different suffixes differ in low bits
 }
 
 TEST(PrefixSignature, DifferentPrefixDiffers) {
   const std::uint64_t a = prefix_signature(bytes("useraaa"));
   const std::uint64_t b = prefix_signature(bytes("acctaaa"));
-  EXPECT_NE(a >> 32, b >> 32);
+  EXPECT_NE(class_tag(a), class_tag(b));
 }
 
 TEST(PrefixSignature, ShortKeysHandled) {

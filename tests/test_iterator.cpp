@@ -92,7 +92,7 @@ TEST_F(IteratorTest, HandleLimitEnforced) {
     ASSERT_TRUE(h) << i;
     handles.push_back(*h);
   }
-  EXPECT_EQ(dev_.open_iterator(key("user")).status(), Status::kBusy);
+  EXPECT_EQ(dev_.open_iterator(key("user")).status(), Status::kIteratorMax);
   ASSERT_EQ(dev_.close_iterator(handles[0]), Status::kOk);
   EXPECT_TRUE(dev_.open_iterator(key("user")).has_value());
 }

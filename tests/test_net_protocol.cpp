@@ -255,7 +255,8 @@ TEST(NetProtocol, BadOpcodeAndFlagsFatal) {
     return frame;
   };
 
-  for (const std::uint8_t bad_op : {std::uint8_t{0}, std::uint8_t{6},
+  // 9 = one past kIterClose, the highest assigned opcode.
+  for (const std::uint8_t bad_op : {std::uint8_t{0}, std::uint8_t{9},
                                     std::uint8_t{255}}) {
     const Bytes bad = patch_and_fix_crc(stream, 4, bad_op);
     RequestDecoder dec;

@@ -35,13 +35,14 @@ std::unique_ptr<KvssdDevice> power_cycle(std::unique_ptr<KvssdDevice> dev,
 }
 
 TEST(Tombstone, HeaderBitRoundTrip) {
-  ftl::PairHeader h{42, 10, 0, true};
+  ftl::PairHeader h{42, 10, 0, /*epoch=*/7, true};
   Bytes buf(32);
   h.encode(buf, 0);
   const auto got = ftl::PairHeader::decode(buf, 0);
   EXPECT_TRUE(got.tombstone);
   EXPECT_EQ(got.key_len, 10);
   EXPECT_EQ(got.sig, 42u);
+  EXPECT_EQ(got.epoch, 7u);
 }
 
 TEST(Tombstone, StoreWritesAndReportsIt) {
